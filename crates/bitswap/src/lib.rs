@@ -1,0 +1,16 @@
+//! # bitswap — sans-io Bitswap block exchange
+//!
+//! From-scratch implementation of the Bitswap mechanics the paper measures:
+//! the local 1-hop `WantHave` broadcast used for content discovery (what the
+//! monitoring nodes log), presence responses, block transfer with per-peer
+//! ledgers, and want registration so blocks are forwarded the moment they
+//! arrive. Transport, timeouts and connection management live in
+//! `ipfs-node`.
+
+pub mod engine;
+pub mod messages;
+pub mod store;
+
+pub use engine::{Bitswap, BsOutput, FetchSession, Ledger};
+pub use messages::{BitswapMessage, Block, WantEntry, WantType};
+pub use store::MemoryBlockstore;

@@ -1,0 +1,122 @@
+//! Bitswap wire messages.
+//!
+//! The subset of the Bitswap 1.2 protocol the paper's monitoring relies on:
+//! wantlists (`WantHave` / `WantBlock`, with cancel and `send_dont_have`
+//! flags), block transfers, and block-presence responses. The local 1-hop
+//! broadcast of `WantHave` entries to all connected neighbours is the
+//! traffic the monitoring nodes log (§3 "Bitswap logs").
+
+use ipfs_types::Cid;
+
+/// A data block. We carry sizes, not payload bytes: every analysis in the
+/// paper counts messages/requests, never payload contents (and the monitors
+/// deliberately do not fetch content, §A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Content identifier (binds the virtual payload).
+    pub cid: Cid,
+    /// Payload size in bytes.
+    pub size: u32,
+}
+
+/// Kind of want.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WantType {
+    /// "Do you have this block?" — used for the discovery broadcast.
+    Have,
+    /// "Send me this block."
+    Block,
+}
+
+/// One wantlist entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WantEntry {
+    /// The desired content.
+    pub cid: Cid,
+    /// Have-probe or full block request.
+    pub ty: WantType,
+    /// Retract a previous entry instead of adding one.
+    pub cancel: bool,
+    /// Ask the peer to answer `DontHave` when it misses the block.
+    pub send_dont_have: bool,
+}
+
+impl WantEntry {
+    /// A discovery probe (`WantHave` + `send_dont_have`).
+    pub fn have(cid: Cid) -> WantEntry {
+        WantEntry { cid, ty: WantType::Have, cancel: false, send_dont_have: true }
+    }
+
+    /// A block request.
+    pub fn block(cid: Cid) -> WantEntry {
+        WantEntry { cid, ty: WantType::Block, cancel: false, send_dont_have: true }
+    }
+
+    /// A cancellation.
+    pub fn cancel(cid: Cid) -> WantEntry {
+        WantEntry { cid, ty: WantType::Block, cancel: true, send_dont_have: false }
+    }
+}
+
+/// A Bitswap message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BitswapMessage {
+    /// Wantlist update (the only broadcast message).
+    Wantlist {
+        /// Entries (adds and cancels).
+        entries: Vec<WantEntry>,
+        /// Whether this replaces the peer's view of our wantlist.
+        full: bool,
+    },
+    /// Block delivery.
+    Blocks {
+        /// The delivered blocks.
+        blocks: Vec<Block>,
+    },
+    /// Presence information (`Have` / `DontHave`).
+    Presence {
+        /// Blocks we hold.
+        have: Vec<Cid>,
+        /// Blocks we were asked about but miss.
+        dont_have: Vec<Cid>,
+    },
+}
+
+impl BitswapMessage {
+    /// CIDs referenced by this message (for monitor logging).
+    pub fn cids(&self) -> Vec<Cid> {
+        match self {
+            BitswapMessage::Wantlist { entries, .. } => {
+                entries.iter().filter(|e| !e.cancel).map(|e| e.cid).collect()
+            }
+            BitswapMessage::Blocks { blocks } => blocks.iter().map(|b| b.cid).collect(),
+            BitswapMessage::Presence { have, dont_have } => {
+                have.iter().chain(dont_have.iter()).copied().collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_constructors() {
+        let cid = Cid::from_seed(1);
+        assert_eq!(WantEntry::have(cid).ty, WantType::Have);
+        assert!(!WantEntry::have(cid).cancel);
+        assert_eq!(WantEntry::block(cid).ty, WantType::Block);
+        assert!(WantEntry::cancel(cid).cancel);
+    }
+
+    #[test]
+    fn message_cids_skip_cancels() {
+        let (a, b) = (Cid::from_seed(1), Cid::from_seed(2));
+        let m = BitswapMessage::Wantlist {
+            entries: vec![WantEntry::have(a), WantEntry::cancel(b)],
+            full: false,
+        };
+        assert_eq!(m.cids(), vec![a]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Longest-prefix-match binary trie over IPv4 addresses.
+//!
+//! This is the lookup structure behind every IP-metadata database in the
+//! workspace (cloud provider, geolocation, ASN). Semantics mirror the
+//! commercial databases the paper used: the most specific covering prefix
+//! wins; an address covered by no prefix yields `None`.
+
+use std::net::Ipv4Addr;
+
+/// A CIDR block, e.g. `45.76.0.0/15`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cidr {
+    /// Network base address (host bits must be zero; [`Cidr::new`] masks them).
+    pub base: u32,
+    /// Prefix length, 0..=32.
+    pub prefix_len: u8,
+}
+
+impl Cidr {
+    /// Build a CIDR, masking stray host bits.
+    pub fn new(base: Ipv4Addr, prefix_len: u8) -> Cidr {
+        assert!(prefix_len <= 32, "prefix length out of range");
+        let raw = u32::from(base);
+        let masked = if prefix_len == 0 { 0 } else { raw & (u32::MAX << (32 - prefix_len)) };
+        Cidr { base: masked, prefix_len }
+    }
+
+    /// Parse `"a.b.c.d/len"`.
+    pub fn parse(s: &str) -> Option<Cidr> {
+        let (ip, len) = s.split_once('/')?;
+        Some(Cidr::new(ip.parse().ok()?, len.parse().ok()?))
+    }
+
+    /// Whether `ip` falls inside this block.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        if self.prefix_len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - self.prefix_len);
+        (u32::from(ip) & mask) == self.base
+    }
+
+    /// Number of addresses in the block.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+
+    /// The `i`-th address of the block (wraps if `i >= size`, callers pass
+    /// already-bounded offsets).
+    pub fn addr(&self, i: u64) -> Ipv4Addr {
+        let off = (i % self.size()) as u32;
+        Ipv4Addr::from(self.base.wrapping_add(off))
+    }
+}
+
+impl std::fmt::Debug for Cidr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", Ipv4Addr::from(self.base), self.prefix_len)
+    }
+}
+
+impl std::fmt::Display for Cidr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", Ipv4Addr::from(self.base), self.prefix_len)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    children: [Option<u32>; 2],
+    value: Option<T>,
+}
+
+impl<T> Node<T> {
+    fn empty() -> Node<T> {
+        Node { children: [None, None], value: None }
+    }
+}
+
+/// Arena-backed LPM trie mapping CIDR blocks to values.
+#[derive(Clone, Debug)]
+pub struct PrefixTrie<T> {
+    nodes: Vec<Node<T>>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Empty trie.
+    pub fn new() -> PrefixTrie<T> {
+        PrefixTrie { nodes: vec![Node::empty()], len: 0 }
+    }
+
+    /// Number of inserted prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert (or replace) the value for a CIDR block. Returns the previous
+    /// value if the exact prefix was already present.
+    pub fn insert(&mut self, cidr: Cidr, value: T) -> Option<T> {
+        let mut idx = 0usize;
+        for bit_pos in 0..cidr.prefix_len {
+            let bit = ((cidr.base >> (31 - bit_pos)) & 1) as usize;
+            idx = match self.nodes[idx].children[bit] {
+                Some(child) => child as usize,
+                None => {
+                    self.nodes.push(Node::empty());
+                    let child = (self.nodes.len() - 1) as u32;
+                    self.nodes[idx].children[bit] = Some(child);
+                    child as usize
+                }
+            };
+        }
+        let old = self.nodes[idx].value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<&T> {
+        let raw = u32::from(ip);
+        let mut idx = 0usize;
+        let mut best = self.nodes[0].value.as_ref();
+        for bit_pos in 0..32 {
+            let bit = ((raw >> (31 - bit_pos)) & 1) as usize;
+            match self.nodes[idx].children[bit] {
+                Some(child) => {
+                    idx = child as usize;
+                    if let Some(v) = self.nodes[idx].value.as_ref() {
+                        best = Some(v);
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn cidr_contains_and_masking() {
+        let c = Cidr::new(ip("10.1.2.3"), 16); // host bits masked away
+        assert_eq!(c, Cidr::parse("10.1.0.0/16").unwrap());
+        assert!(c.contains(ip("10.1.255.255")));
+        assert!(!c.contains(ip("10.2.0.0")));
+        assert_eq!(c.size(), 65536);
+        assert_eq!(c.addr(0), ip("10.1.0.0"));
+        assert_eq!(c.addr(65535), ip("10.1.255.255"));
+    }
+
+    #[test]
+    fn zero_prefix_matches_everything() {
+        let c = Cidr::new(ip("0.0.0.0"), 0);
+        assert!(c.contains(ip("255.255.255.255")));
+        let mut t = PrefixTrie::new();
+        t.insert(c, "default");
+        assert_eq!(t.lookup(ip("8.8.8.8")), Some(&"default"));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = PrefixTrie::new();
+        t.insert(Cidr::parse("10.0.0.0/8").unwrap(), "big");
+        t.insert(Cidr::parse("10.1.0.0/16").unwrap(), "mid");
+        t.insert(Cidr::parse("10.1.2.0/24").unwrap(), "small");
+        assert_eq!(t.lookup(ip("10.9.9.9")), Some(&"big"));
+        assert_eq!(t.lookup(ip("10.1.9.9")), Some(&"mid"));
+        assert_eq!(t.lookup(ip("10.1.2.9")), Some(&"small"));
+        assert_eq!(t.lookup(ip("11.0.0.1")), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(Cidr::parse("1.2.3.0/24").unwrap(), 1), None);
+        assert_eq!(t.insert(Cidr::parse("1.2.3.0/24").unwrap(), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(ip("1.2.3.4")), Some(&2));
+    }
+
+    #[test]
+    fn host_route() {
+        let mut t = PrefixTrie::new();
+        t.insert(Cidr::parse("1.2.3.4/32").unwrap(), "host");
+        assert_eq!(t.lookup(ip("1.2.3.4")), Some(&"host"));
+        assert_eq!(t.lookup(ip("1.2.3.5")), None);
+    }
+}

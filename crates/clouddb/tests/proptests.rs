@@ -1,0 +1,45 @@
+//! Property tests: the trie must agree with a naive linear CIDR scan.
+
+use clouddb::{Cidr, PrefixTrie};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    #[test]
+    fn trie_agrees_with_linear_scan(
+        blocks in proptest::collection::vec((any::<u32>(), 4u8..=28), 1..40),
+        probes in proptest::collection::vec(any::<u32>(), 1..64),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut list: Vec<(Cidr, usize)> = Vec::new();
+        for (i, (base, len)) in blocks.iter().enumerate() {
+            let cidr = Cidr::new(Ipv4Addr::from(*base), *len);
+            trie.insert(cidr, i);
+            // Later insert of the identical prefix replaces: mimic in the list.
+            list.retain(|(c, _)| *c != cidr);
+            list.push((cidr, i));
+        }
+        for probe in probes {
+            let ip = Ipv4Addr::from(probe);
+            // Naive LPM: most specific containing block, latest insert wins ties.
+            let expected = list
+                .iter()
+                .filter(|(c, _)| c.contains(ip))
+                .max_by_key(|(c, _)| c.prefix_len)
+                .map(|(_, v)| *v);
+            prop_assert_eq!(trie.lookup(ip).copied(), expected);
+        }
+    }
+
+    #[test]
+    fn cidr_addr_stays_inside(base in any::<u32>(), len in 8u8..=32, i in any::<u64>()) {
+        let cidr = Cidr::new(Ipv4Addr::from(base), len);
+        prop_assert!(cidr.contains(cidr.addr(i)));
+    }
+
+    #[test]
+    fn cidr_parse_roundtrip(base in any::<u32>(), len in 0u8..=32) {
+        let cidr = Cidr::new(Ipv4Addr::from(base), len);
+        prop_assert_eq!(Cidr::parse(&cidr.to_string()), Some(cidr));
+    }
+}

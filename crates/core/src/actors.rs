@@ -1,0 +1,290 @@
+//! The ecosystem actor: every participant type behind one `simnet::Actor`.
+
+use crate::crawler::{Crawler, CrawlerCmd};
+use crate::hydra::Hydra;
+use ipfs_node::{IpfsNode, NodeCmd, WireMsg};
+use ipfs_types::Cid;
+use simnet::{Actor, Ctx, NodeId, SimTime};
+use std::collections::HashMap;
+
+/// Commands addressed to any ecosystem actor.
+#[derive(Clone, Debug)]
+pub enum EcoCmd {
+    /// For IPFS nodes.
+    Node(NodeCmd),
+    /// For the crawler.
+    Crawler(CrawlerCmd),
+    /// For web users: GET `cid` via the frontend at `frontend`.
+    WebGet {
+        /// Frontend endpoint.
+        frontend: NodeId,
+        /// Content to request.
+        cid: Cid,
+    },
+}
+
+/// An HTTP reverse-proxy frontend fanning out to gateway overlay nodes.
+#[derive(Debug, Default)]
+pub struct Frontend {
+    /// Overlay backends (empty = dead endpoint, always 404).
+    pub backends: Vec<NodeId>,
+    rr: usize,
+    next_req: u64,
+    pending: HashMap<u64, (NodeId, u64)>,
+    queued: HashMap<NodeId, Vec<(u64, Cid)>>,
+    /// Requests served `(found)` count: (ok, failed).
+    pub served: (u64, u64),
+}
+
+impl Frontend {
+    /// Frontend over the given backends.
+    pub fn new(backends: Vec<NodeId>) -> Frontend {
+        Frontend { backends, ..Default::default() }
+    }
+
+    fn forward<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        client: NodeId,
+        client_req: u64,
+        cid: Cid,
+    ) {
+        if self.backends.is_empty() {
+            ctx.send(client, WireMsg::HttpResponse { req_id: client_req, found: false });
+            self.served.1 += 1;
+            return;
+        }
+        let backend = self.backends[self.rr % self.backends.len()];
+        self.rr += 1;
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.pending.insert(req_id, (client, client_req));
+        if ctx.is_connected(backend) {
+            ctx.send(backend, WireMsg::HttpRequest { req_id, cid });
+        } else {
+            self.queued.entry(backend).or_default().push((req_id, cid));
+            ctx.dial(backend);
+        }
+    }
+
+    fn on_message<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        from: NodeId,
+        msg: WireMsg,
+    ) {
+        match msg {
+            WireMsg::HttpRequest { req_id, cid } => self.forward(ctx, from, req_id, cid),
+            WireMsg::HttpResponse { req_id, found } => {
+                if let Some((client, client_req)) = self.pending.remove(&req_id) {
+                    if found {
+                        self.served.0 += 1;
+                    } else {
+                        self.served.1 += 1;
+                    }
+                    ctx.send(client, WireMsg::HttpResponse { req_id: client_req, found });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_dial_result<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        target: NodeId,
+        ok: bool,
+    ) {
+        for (req_id, cid) in self.queued.remove(&target).unwrap_or_default() {
+            if ok {
+                ctx.send(target, WireMsg::HttpRequest { req_id, cid });
+            } else if let Some((client, client_req)) = self.pending.remove(&req_id) {
+                ctx.send(client, WireMsg::HttpResponse { req_id: client_req, found: false });
+                self.served.1 += 1;
+            }
+        }
+    }
+}
+
+/// An HTTP user population: fires GETs at gateway frontends.
+#[derive(Debug, Default)]
+pub struct WebUser {
+    next_req: u64,
+    queued: HashMap<NodeId, Vec<(u64, Cid)>>,
+    /// Outcomes: `(ts, found)`.
+    pub outcomes: Vec<(SimTime, bool)>,
+}
+
+impl WebUser {
+    /// Fresh user population actor.
+    pub fn new() -> WebUser {
+        WebUser::default()
+    }
+
+    fn get<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, frontend: NodeId, cid: Cid) {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        if ctx.is_connected(frontend) {
+            ctx.send(frontend, WireMsg::HttpRequest { req_id, cid });
+        } else {
+            self.queued.entry(frontend).or_default().push((req_id, cid));
+            ctx.dial(frontend);
+        }
+    }
+
+    fn on_dial_result<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        target: NodeId,
+        ok: bool,
+    ) {
+        for (req_id, cid) in self.queued.remove(&target).unwrap_or_default() {
+            if ok {
+                ctx.send(target, WireMsg::HttpRequest { req_id, cid });
+            } else {
+                self.outcomes.push((ctx.now(), false));
+            }
+        }
+    }
+}
+
+/// Every participant of the simulated ecosystem.
+pub enum EcoActor {
+    /// A full IPFS node (regular, platform, monitor, gateway overlay…).
+    Node(Box<IpfsNode>),
+    /// The DHT crawler.
+    Crawler(Box<Crawler>),
+    /// A Hydra-booster host.
+    Hydra(Box<Hydra>),
+    /// A gateway HTTP frontend.
+    Frontend(Frontend),
+    /// The web-user population.
+    WebUser(WebUser),
+}
+
+impl EcoActor {
+    /// Borrow the inner node (panics on other variants).
+    pub fn node(&self) -> &IpfsNode {
+        match self {
+            EcoActor::Node(n) => n,
+            _ => panic!("not a node actor"),
+        }
+    }
+
+    /// Mutable inner node.
+    pub fn node_mut(&mut self) -> &mut IpfsNode {
+        match self {
+            EcoActor::Node(n) => n,
+            _ => panic!("not a node actor"),
+        }
+    }
+
+    /// Borrow the crawler (panics on other variants).
+    pub fn crawler(&self) -> &Crawler {
+        match self {
+            EcoActor::Crawler(c) => c,
+            _ => panic!("not a crawler actor"),
+        }
+    }
+
+    /// Borrow the hydra (panics on other variants).
+    pub fn hydra(&self) -> &Hydra {
+        match self {
+            EcoActor::Hydra(h) => h,
+            _ => panic!("not a hydra actor"),
+        }
+    }
+}
+
+impl Actor for EcoActor {
+    type Msg = WireMsg;
+    type Cmd = EcoCmd;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, WireMsg, EcoCmd>) {
+        match self {
+            EcoActor::Node(n) => n.handle_start(ctx),
+            EcoActor::Hydra(h) => h.handle_start(ctx),
+            EcoActor::Frontend(f) => {
+                // Pre-dial backends so forwarding has warm connections.
+                let backends = f.backends.clone();
+                for b in backends {
+                    ctx.dial(b);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_stop(&mut self, ctx: &mut Ctx<'_, WireMsg, EcoCmd>) {
+        if let EcoActor::Node(n) = self {
+            n.handle_stop(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, WireMsg, EcoCmd>, from: NodeId, msg: WireMsg) {
+        match self {
+            EcoActor::Node(n) => n.handle_message(ctx, from, msg),
+            EcoActor::Crawler(c) => c.handle_message(ctx, from, msg),
+            EcoActor::Hydra(h) => h.handle_message(ctx, from, msg),
+            EcoActor::Frontend(f) => f.on_message(ctx, from, msg),
+            EcoActor::WebUser(w) => {
+                if let WireMsg::HttpResponse { found, .. } = msg {
+                    w.outcomes.push((ctx.now(), found));
+                }
+            }
+        }
+    }
+
+    fn on_command(&mut self, ctx: &mut Ctx<'_, WireMsg, EcoCmd>, cmd: EcoCmd) {
+        match (self, cmd) {
+            (EcoActor::Node(n), EcoCmd::Node(c)) => n.handle_command(ctx, c),
+            (EcoActor::Crawler(cr), EcoCmd::Crawler(c)) => cr.handle_command(ctx, c),
+            (EcoActor::WebUser(w), EcoCmd::WebGet { frontend, cid }) => w.get(ctx, frontend, cid),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, WireMsg, EcoCmd>, token: u64) {
+        match self {
+            EcoActor::Node(n) => n.handle_timer(ctx, token),
+            EcoActor::Crawler(c) => c.handle_timer(ctx, token),
+            EcoActor::Hydra(h) => h.handle_timer(ctx, token),
+            _ => {}
+        }
+    }
+
+    fn on_inbound_connection(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, EcoCmd>,
+        from: NodeId,
+        relayed: bool,
+    ) {
+        match self {
+            EcoActor::Node(n) => n.handle_inbound(ctx, from, relayed),
+            EcoActor::Hydra(h) => h.handle_inbound(ctx, from),
+            _ => {}
+        }
+    }
+
+    fn on_dial_result(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, EcoCmd>,
+        target: NodeId,
+        ok: bool,
+        relayed: bool,
+    ) {
+        match self {
+            EcoActor::Node(n) => n.handle_dial_result(ctx, target, ok, relayed),
+            EcoActor::Crawler(c) => c.handle_dial_result(ctx, target, ok),
+            EcoActor::Hydra(h) => h.handle_dial_result(ctx, target, ok),
+            EcoActor::Frontend(f) => f.on_dial_result(ctx, target, ok),
+            EcoActor::WebUser(w) => w.on_dial_result(ctx, target, ok),
+        }
+    }
+
+    fn on_connection_closed(&mut self, ctx: &mut Ctx<'_, WireMsg, EcoCmd>, peer: NodeId) {
+        if let EcoActor::Node(n) = self {
+            n.handle_connection_closed(ctx, peer);
+        }
+    }
+}

@@ -1,0 +1,634 @@
+//! Decentralization analyses: Pareto/Lorenz concentration, degree
+//! distributions, removal resilience, day-frequency, provider and CID
+//! classification (§4–§6).
+
+use crate::crawler::CrawlSnapshot;
+use ipfs_types::PeerId;
+use kademlia::ProviderRecord;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+// ---------------------------------------------------------------------------
+// Pareto / Lorenz
+// ---------------------------------------------------------------------------
+
+/// A point of the "simplified Pareto chart" the paper plots: the top
+/// `x`-fraction of identifiers generate the `y`-fraction of traffic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LorenzPoint {
+    /// Fraction of identifiers (sorted by activity, most active first).
+    pub x: f64,
+    /// Cumulative fraction of traffic they account for.
+    pub y: f64,
+}
+
+/// Build the concentration curve from per-identifier activity counts.
+/// Returns points sorted by `x` with monotonically increasing `y`.
+pub fn lorenz_curve<K: Ord>(counts: &BTreeMap<K, u64>) -> Vec<LorenzPoint> {
+    let mut values: Vec<u64> = counts.values().copied().collect();
+    values.sort_unstable_by(|a, b| b.cmp(a)); // descending
+    let total: u64 = values.iter().sum();
+    if total == 0 || values.is_empty() {
+        return vec![];
+    }
+    let n = values.len() as f64;
+    let mut acc = 0u64;
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            acc += v;
+            LorenzPoint { x: (i + 1) as f64 / n, y: acc as f64 / total as f64 }
+        })
+        .collect()
+}
+
+/// Read the `y` value at a given `x` (top-fraction) off a Lorenz curve.
+pub fn share_of_top(curve: &[LorenzPoint], x: f64) -> f64 {
+    curve
+        .iter()
+        .find(|p| p.x >= x)
+        .map(|p| p.y)
+        .unwrap_or_else(|| curve.last().map(|p| p.y).unwrap_or(0.0))
+}
+
+// ---------------------------------------------------------------------------
+// Degree distribution (Fig. 7)
+// ---------------------------------------------------------------------------
+
+/// Per-node degrees of one crawl graph.
+#[derive(Clone, Debug, Default)]
+pub struct DegreeStats {
+    /// Out-degree (bucket contents) per crawlable peer.
+    pub out_degrees: Vec<u32>,
+    /// Estimated in-degree (presence in other peers' buckets) per peer.
+    pub in_degrees: Vec<u32>,
+    /// Peers sorted by in-degree, descending (ties by peer id).
+    pub top_in_degree: Vec<(PeerId, u32)>,
+}
+
+/// Compute degree statistics from a snapshot.
+pub fn degree_stats(snap: &CrawlSnapshot) -> DegreeStats {
+    let mut out: HashMap<PeerId, u32> = HashMap::new();
+    let mut inn: HashMap<PeerId, u32> = HashMap::new();
+    for p in &snap.peers {
+        inn.entry(p.peer).or_insert(0);
+        if p.crawlable {
+            out.entry(p.peer).or_insert(0);
+        }
+    }
+    for (from, to) in &snap.edges {
+        *out.entry(*from).or_insert(0) += 1;
+        *inn.entry(*to).or_insert(0) += 1;
+    }
+    let mut out_degrees: Vec<u32> = snap
+        .peers
+        .iter()
+        .filter(|p| p.crawlable)
+        .map(|p| out.get(&p.peer).copied().unwrap_or(0))
+        .collect();
+    out_degrees.sort_unstable();
+    let mut in_degrees: Vec<u32> = inn.values().copied().collect();
+    in_degrees.sort_unstable();
+    let mut top_in_degree: Vec<(PeerId, u32)> = inn.into_iter().collect();
+    top_in_degree.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    DegreeStats { out_degrees, in_degrees, top_in_degree }
+}
+
+/// Percentile (0..=100) of a sorted slice.
+pub fn percentile(sorted: &[u32], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (pct / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)] as f64
+}
+
+/// CDF points `(value, fraction ≤ value)` from a sorted slice.
+pub fn cdf(sorted: &[u32]) -> Vec<(u32, f64)> {
+    let n = sorted.len() as f64;
+    let mut out = Vec::new();
+    for (i, &v) in sorted.iter().enumerate() {
+        if i + 1 == sorted.len() || sorted[i + 1] != v {
+            out.push((v, (i + 1) as f64 / n));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Resilience to node removal (Fig. 8)
+// ---------------------------------------------------------------------------
+
+/// Union-find over dense indices.
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singletons.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    /// Root with path halving.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Union by size; returns the new root.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        ra
+    }
+
+    /// Size of the component containing `x`.
+    pub fn component_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+}
+
+/// Removal strategy for the resilience experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemovalStrategy {
+    /// Uniform random order (seeded).
+    Random {
+        /// RNG seed for the permutation.
+        seed: u64,
+    },
+    /// Highest current degree first, recomputed after every removal.
+    TargetedByDegree,
+}
+
+/// One resilience curve: after removing `removed_frac` of nodes, the
+/// largest connected component spans `lcc_frac` of the *remaining* nodes.
+#[derive(Clone, Debug)]
+pub struct ResilienceCurve {
+    /// Points `(removed fraction, LCC fraction of remaining)`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl ResilienceCurve {
+    /// LCC fraction at (or just past) a removal fraction.
+    pub fn lcc_at(&self, removed: f64) -> f64 {
+        self.points
+            .iter()
+            .find(|(r, _)| *r >= removed)
+            .map(|(_, l)| *l)
+            .unwrap_or_else(|| self.points.last().map(|(_, l)| *l).unwrap_or(0.0))
+    }
+
+    /// First removal fraction where the LCC drops to ≤ `frac` of remaining.
+    pub fn partition_point(&self, frac: f64) -> f64 {
+        self.points
+            .iter()
+            .find(|(_, l)| *l <= frac)
+            .map(|(r, _)| *r)
+            .unwrap_or(1.0)
+    }
+}
+
+/// Undirected graph in adjacency form for removal experiments.
+pub struct Graph {
+    /// Adjacency lists over dense node indices.
+    pub adj: Vec<Vec<u32>>,
+}
+
+impl Graph {
+    /// Build the undirected graph of a crawl snapshot (paper §4: all
+    /// observable connections usable in both directions).
+    pub fn from_snapshot(snap: &CrawlSnapshot) -> Graph {
+        let mut index: HashMap<PeerId, u32> = HashMap::new();
+        for p in &snap.peers {
+            let next = index.len() as u32;
+            index.entry(p.peer).or_insert(next);
+        }
+        let mut adj = vec![Vec::new(); index.len()];
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        for (a, b) in &snap.edges {
+            let (ia, ib) = (index[a], index[b]);
+            if ia == ib {
+                continue;
+            }
+            let key = (ia.min(ib), ia.max(ib));
+            if seen.insert(key) {
+                adj[ia as usize].push(ib);
+                adj[ib as usize].push(ia);
+            }
+        }
+        Graph { adj }
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Largest-connected-component size over `alive` nodes.
+    fn lcc(&self, alive: &[bool]) -> u32 {
+        let n = self.adj.len();
+        let mut uf = UnionFind::new(n);
+        for (a, nbrs) in self.adj.iter().enumerate() {
+            if !alive[a] {
+                continue;
+            }
+            for &b in nbrs {
+                if alive[b as usize] {
+                    uf.union(a as u32, b);
+                }
+            }
+        }
+        let mut best = 0;
+        for i in 0..n {
+            if alive[i] {
+                best = best.max(uf.component_size(i as u32));
+            }
+        }
+        best
+    }
+
+    /// Run the removal experiment, sampling the LCC at `steps` evenly
+    /// spaced removal fractions.
+    pub fn resilience(&self, strategy: RemovalStrategy, steps: usize) -> ResilienceCurve {
+        let n = self.adj.len();
+        if n == 0 {
+            return ResilienceCurve { points: vec![] };
+        }
+        // Removal order.
+        let order: Vec<u32> = match strategy {
+            RemovalStrategy::Random { seed } => {
+                use rand::seq::SliceRandom;
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let mut v: Vec<u32> = (0..n as u32).collect();
+                v.shuffle(&mut rng);
+                v
+            }
+            RemovalStrategy::TargetedByDegree => {
+                // Recompute-highest-degree-first via a degree bucket walk.
+                let mut degree: Vec<u32> =
+                    self.adj.iter().map(|a| a.len() as u32).collect();
+                let mut alive = vec![true; n];
+                let mut order = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let (best, _) = degree
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| alive[*i])
+                        .max_by_key(|(i, d)| (**d, usize::MAX - *i))
+                        .expect("alive node exists");
+                    alive[best] = false;
+                    order.push(best as u32);
+                    for &nb in &self.adj[best] {
+                        if alive[nb as usize] && degree[nb as usize] > 0 {
+                            degree[nb as usize] -= 1;
+                        }
+                    }
+                }
+                order
+            }
+        };
+        let mut alive = vec![true; n];
+        let mut points = Vec::with_capacity(steps + 1);
+        let step_size = (n / steps.max(1)).max(1);
+        points.push((0.0, self.lcc(&alive) as f64 / n as f64));
+        for (removed, &node) in order.iter().enumerate() {
+            alive[node as usize] = false;
+            let removed = removed + 1;
+            if removed % step_size == 0 || removed == n {
+                let remaining = n - removed;
+                let lcc = if remaining == 0 { 0 } else { self.lcc(&alive) };
+                let frac = if remaining == 0 {
+                    0.0
+                } else {
+                    lcc as f64 / remaining as f64
+                };
+                points.push((removed as f64 / n as f64, frac));
+                if remaining == 0 {
+                    break;
+                }
+            }
+        }
+        ResilienceCurve { points }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Day-frequency (Fig. 9)
+// ---------------------------------------------------------------------------
+
+/// Histogram of "days seen" per identifier: `hist[d-1]` = identifiers
+/// observed on exactly `d` distinct days.
+pub fn days_seen_histogram<K: Ord + Clone, I: IntoIterator<Item = (K, u64)>>(
+    observations: I,
+) -> Vec<u64> {
+    let mut days: BTreeMap<K, HashSet<u64>> = BTreeMap::new();
+    for (k, day) in observations {
+        days.entry(k).or_default().insert(day);
+    }
+    let max_days = days.values().map(|s| s.len()).max().unwrap_or(0);
+    let mut hist = vec![0u64; max_days];
+    for s in days.values() {
+        hist[s.len() - 1] += 1;
+    }
+    hist
+}
+
+// ---------------------------------------------------------------------------
+// Provider classification (Figs. 14–16)
+// ---------------------------------------------------------------------------
+
+/// The paper's provider classes (Fig. 14).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProviderClass {
+    /// Reachable only through a relay (circuit address).
+    Nat,
+    /// All public addresses attribute to cloud providers.
+    Cloud,
+    /// Public, no cloud addresses.
+    NonCloud,
+    /// Mixed cloud and non-cloud addresses.
+    Hybrid,
+}
+
+/// Classify one provider peer from all its records.
+pub fn classify_provider<F>(records: &[&ProviderRecord], mut is_cloud: F) -> ProviderClass
+where
+    F: FnMut(Ipv4Addr) -> bool,
+{
+    let mut any_circuit = false;
+    let mut cloud = 0usize;
+    let mut noncloud = 0usize;
+    for rec in records {
+        for addr in &rec.addrs {
+            if addr.is_circuit() {
+                any_circuit = true;
+            } else if let Some(ip) = addr.ip4() {
+                if is_cloud(ip) {
+                    cloud += 1;
+                } else {
+                    noncloud += 1;
+                }
+            }
+        }
+    }
+    match (cloud > 0, noncloud > 0) {
+        (true, true) => ProviderClass::Hybrid,
+        (true, false) => ProviderClass::Cloud,
+        (false, true) => ProviderClass::NonCloud,
+        (false, false) => {
+            if any_circuit {
+                ProviderClass::Nat
+            } else {
+                // No addresses at all: treat as NAT-ed (unreachable directly).
+                ProviderClass::Nat
+            }
+        }
+    }
+}
+
+/// Outcome of the content-level cloud analysis (Fig. 16).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CidCloudStats {
+    /// CIDs analysed.
+    pub total: usize,
+    /// Share with ≥1 cloud-based provider.
+    pub any_cloud: f64,
+    /// Share where ≥50% of providers are cloud-based.
+    pub majority_cloud: f64,
+    /// Share with *only* cloud providers.
+    pub all_cloud: f64,
+    /// Share with ≥1 non-cloud provider (the paper's alternate reading).
+    pub any_noncloud: f64,
+}
+
+/// Per-CID cloud percentages; NAT-ed providers count as non-cloud (§6).
+pub fn cid_cloud_stats<F>(
+    per_cid: &[(ipfs_types::Cid, Vec<&ProviderRecord>)],
+    mut is_cloud: F,
+) -> CidCloudStats
+where
+    F: FnMut(Ipv4Addr) -> bool,
+{
+    let mut stats = CidCloudStats::default();
+    let mut counted = 0usize;
+    for (_cid, records) in per_cid {
+        if records.is_empty() {
+            continue;
+        }
+        counted += 1;
+        // Group records by provider peer so multi-record providers count once.
+        let mut by_peer: BTreeMap<PeerId, Vec<&ProviderRecord>> = BTreeMap::new();
+        for r in records {
+            by_peer.entry(r.provider).or_default().push(r);
+        }
+        let classes: Vec<ProviderClass> = by_peer
+            .values()
+            .map(|rs| classify_provider(rs, &mut is_cloud))
+            .collect();
+        let cloud = classes
+            .iter()
+            .filter(|c| matches!(c, ProviderClass::Cloud | ProviderClass::Hybrid))
+            .count();
+        let total = classes.len();
+        if cloud > 0 {
+            stats.any_cloud += 1.0;
+        }
+        if cloud * 2 >= total {
+            stats.majority_cloud += 1.0;
+        }
+        if cloud == total {
+            stats.all_cloud += 1.0;
+        }
+        if cloud < total {
+            stats.any_noncloud += 1.0;
+        }
+    }
+    stats.total = counted;
+    if counted > 0 {
+        let n = counted as f64;
+        stats.any_cloud /= n;
+        stats.majority_cloud /= n;
+        stats.all_cloud /= n;
+        stats.any_noncloud /= n;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawler::CrawledPeer;
+    use ipfs_types::{Cid, Multiaddr};
+    use simnet::{NodeId, SimTime};
+
+    #[test]
+    fn lorenz_concentrated_distribution() {
+        let mut counts = BTreeMap::new();
+        counts.insert("whale", 9_800u64);
+        for i in 0..99 {
+            counts.insert(Box::leak(format!("small{i}").into_boxed_str()) as &str, 2);
+        }
+        let curve = lorenz_curve(&counts);
+        // Top 1% (the whale) ≈ 98% of traffic.
+        assert!(share_of_top(&curve, 0.011) > 0.97);
+        let last = curve.last().unwrap();
+        assert!((last.y - 1.0).abs() < 1e-9);
+        for w in curve.windows(2) {
+            assert!(w[1].y >= w[0].y, "lorenz must be monotone");
+        }
+    }
+
+    #[test]
+    fn degree_stats_and_percentile() {
+        let p: Vec<PeerId> = (0..4).map(PeerId::from_seed).collect();
+        let snap = CrawlSnapshot {
+            crawl_id: 1,
+            peers: p
+                .iter()
+                .map(|&peer| CrawledPeer { peer, ips: vec![], agent: String::new(), crawlable: true })
+                .collect(),
+            edges: vec![(p[0], p[1]), (p[0], p[2]), (p[1], p[2]), (p[3], p[0])],
+            ..Default::default()
+        };
+        let d = degree_stats(&snap);
+        assert_eq!(d.out_degrees.len(), 4);
+        // In-degrees: p0 ← p3, p1 ← p0, p2 ← p0,p1 ; p3 ← none.
+        assert_eq!(d.top_in_degree[0].1, 2);
+        assert_eq!(percentile(&d.in_degrees, 100.0), 2.0);
+        let c = cdf(&d.in_degrees);
+        assert!((c.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    fn ring_graph(n: usize) -> Graph {
+        let mut adj = vec![Vec::new(); n];
+        for i in 0..n {
+            let j = (i + 1) % n;
+            adj[i].push(j as u32);
+            adj[j].push(i as u32);
+        }
+        Graph { adj }
+    }
+
+    #[test]
+    fn union_find_components() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert_eq!(uf.component_size(2), 3);
+        assert_eq!(uf.component_size(4), 1);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(3));
+    }
+
+    #[test]
+    fn resilience_on_star_targeted_shatters_fast() {
+        // Star graph: removing the hub disconnects everything.
+        let n = 50;
+        let mut adj = vec![Vec::new(); n];
+        for i in 1..n {
+            adj[0].push(i as u32);
+            adj[i].push(0);
+        }
+        let g = Graph { adj };
+        let targeted = g.resilience(RemovalStrategy::TargetedByDegree, 25);
+        // After the very first removal (the hub), LCC = 1/49.
+        assert!(targeted.points[1].1 < 0.05, "{:?}", &targeted.points[..3]);
+        // Random removal keeps the star largely intact much longer.
+        let random = g.resilience(RemovalStrategy::Random { seed: 3 }, 25);
+        assert!(random.lcc_at(0.1) > targeted.lcc_at(0.1));
+    }
+
+    #[test]
+    fn resilience_ring_survives_random() {
+        let g = ring_graph(100);
+        let c = g.resilience(RemovalStrategy::Random { seed: 1 }, 20);
+        assert!((c.points[0].1 - 1.0).abs() < 1e-9, "ring starts connected");
+        // partition_point is monotone-sane.
+        assert!(c.partition_point(0.01) <= 1.0);
+    }
+
+    fn rec(cid: Cid, provider: u64, addrs: Vec<Multiaddr>) -> ProviderRecord {
+        ProviderRecord {
+            cid,
+            provider: PeerId::from_seed(provider),
+            addrs,
+            endpoint: NodeId(provider as u32),
+            relay_endpoint: None,
+            stored_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn provider_classification() {
+        let cloud_ip: Ipv4Addr = "52.0.0.1".parse().unwrap();
+        let home_ip: Ipv4Addr = "24.0.0.1".parse().unwrap();
+        let is_cloud = |ip: Ipv4Addr| ip.octets()[0] == 52;
+        let cid = Cid::from_seed(1);
+        let direct = Multiaddr::ip4_tcp(cloud_ip, 4001);
+        let home = Multiaddr::ip4_tcp(home_ip, 4001);
+        let circuit = Multiaddr::circuit(cloud_ip, 4001, PeerId::from_seed(9), PeerId::from_seed(2));
+
+        let r1 = rec(cid, 1, vec![direct.clone()]);
+        assert_eq!(classify_provider(&[&r1], is_cloud), ProviderClass::Cloud);
+        let r2 = rec(cid, 2, vec![circuit]);
+        assert_eq!(classify_provider(&[&r2], is_cloud), ProviderClass::Nat);
+        let r3 = rec(cid, 3, vec![home.clone()]);
+        assert_eq!(classify_provider(&[&r3], is_cloud), ProviderClass::NonCloud);
+        let r4 = rec(cid, 4, vec![direct, home]);
+        assert_eq!(classify_provider(&[&r4], is_cloud), ProviderClass::Hybrid);
+    }
+
+    #[test]
+    fn cid_cloud_stats_shapes() {
+        let is_cloud = |ip: Ipv4Addr| ip.octets()[0] == 52;
+        let cloud = Multiaddr::ip4_tcp("52.0.0.1".parse().unwrap(), 4001);
+        let home = Multiaddr::ip4_tcp("24.0.0.1".parse().unwrap(), 4001);
+        let (c1, c2, c3) = (Cid::from_seed(1), Cid::from_seed(2), Cid::from_seed(3));
+        let r_cloud = rec(c1, 1, vec![cloud.clone()]);
+        let r_home = rec(c2, 2, vec![home.clone()]);
+        let r_cloud3 = rec(c3, 3, vec![cloud]);
+        let r_home3 = rec(c3, 4, vec![home]);
+        let data = vec![
+            (c1, vec![&r_cloud]),              // all cloud
+            (c2, vec![&r_home]),               // no cloud
+            (c3, vec![&r_cloud3, &r_home3]),   // half cloud
+        ];
+        let s = cid_cloud_stats(&data, is_cloud);
+        assert_eq!(s.total, 3);
+        assert!((s.any_cloud - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.all_cloud - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.majority_cloud - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.any_noncloud - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn days_histogram() {
+        let obs = vec![
+            ("a", 1u64), ("a", 1), ("a", 2), ("a", 3),
+            ("b", 5),
+            ("c", 1), ("c", 9),
+        ];
+        let h = days_seen_histogram(obs);
+        assert_eq!(h, vec![1, 1, 1]); // b:1 day, c:2 days, a:3 days
+    }
+}

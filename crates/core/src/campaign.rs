@@ -1,0 +1,405 @@
+//! Campaign driver: instantiate a `netgen::Scenario` as a live simulation
+//! with the paper's measurement tools deployed inside it.
+//!
+//! Layout: scenario nodes come first (index-aligned with
+//! `scenario.nodes`), then one frontend actor per gateway, then the tools —
+//! Bitswap monitor, crawler, web-user population and the provider-record
+//! searcher. Hydra hosts from the scenario are instantiated as [`Hydra`]
+//! actors in place of regular nodes.
+
+use crate::actors::{EcoActor, EcoCmd, Frontend, WebUser};
+use crate::crawler::{Crawler, CrawlerCmd, CrawlerConfig, CrawlSnapshot};
+use crate::hydra::{Hydra, HydraConfig, HydraLogEntry};
+use ipfs_node::{BitswapLogEntry, IpfsNode, NodeCmd, NodeConfig, NodeEvent};
+use ipfs_types::{Cid, Keypair, PeerId};
+use kademlia::ProviderRecord;
+use netgen::{Platform, Request, Scenario};
+use simnet::{Dur, LatencyModel, NodeId, NodeSetup, RegionId, Sim, SimConfig, SimTime};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+/// Campaign construction options.
+#[derive(Clone, Debug)]
+pub struct CampaignOptions {
+    /// Engine dial timeout (the crawler's 3-minute timeout is separate and
+    /// implied by RPC timers).
+    pub dial_timeout: Dur,
+    /// Random message loss.
+    pub loss: f64,
+    /// Whether to schedule the content/request workload (crawl-only
+    /// campaigns skip it to save events).
+    pub with_workload: bool,
+    /// Override the engine seed (defaults to scenario seed).
+    pub engine_seed: Option<u64>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            dial_timeout: Dur::from_secs(8),
+            loss: 0.002,
+            with_workload: true,
+            engine_seed: None,
+        }
+    }
+}
+
+/// A live campaign: scenario + simulation + tools.
+pub struct Campaign {
+    /// The generating scenario (ground truth lives here; analyses must not
+    /// read it except for database access).
+    pub scenario: Scenario,
+    /// The simulator.
+    pub sim: Sim<EcoActor>,
+    /// Engine ids of scenario nodes (index-aligned).
+    pub node_ids: Vec<NodeId>,
+    /// Frontend ids (aligned with `scenario.gateways`).
+    pub frontends: Vec<NodeId>,
+    /// The Bitswap monitoring node.
+    pub monitor: NodeId,
+    /// The DHT crawler.
+    pub crawler: NodeId,
+    /// Hydra hosts.
+    pub hydras: Vec<NodeId>,
+    /// Web-user population.
+    pub webuser: NodeId,
+    /// Provider-record searcher client.
+    pub searcher: NodeId,
+    crawl_seq: u64,
+    bootstrap: Vec<(PeerId, NodeId)>,
+}
+
+impl Campaign {
+    /// Instantiate the scenario.
+    pub fn new(scenario: Scenario, opts: CampaignOptions) -> Campaign {
+        let cfg = SimConfig {
+            loss: opts.loss,
+            dial_timeout: opts.dial_timeout,
+            max_events: u64::MAX,
+        };
+        let latency = LatencyModel::continents(
+            4,
+            Dur::from_millis(12),
+            Dur::from_millis(90),
+            0.3,
+        );
+        let seed = opts.engine_seed.unwrap_or(scenario.cfg.seed ^ 0x51u64);
+        let mut sim: Sim<EcoActor> = Sim::new(cfg, latency, seed);
+
+        // Bootstrap identities are known up front (first N nodes).
+        let bootstrap: Vec<(PeerId, NodeId)> = (0..scenario.bootstrap_count)
+            .map(|i| {
+                (
+                    Keypair::from_seed(scenario.nodes[i].identity_seed).peer_id(),
+                    NodeId(i as u32),
+                )
+            })
+            .collect();
+
+        // --- scenario nodes -------------------------------------------------
+        let mut node_ids = Vec::with_capacity(scenario.nodes.len());
+        let mut hydras = Vec::new();
+        for (i, spec) in scenario.nodes.iter().enumerate() {
+            let first_ip = spec
+                .sessions
+                .first()
+                .map(|s| spec.ips[s.ip_idx])
+                .unwrap_or(spec.ips[0]);
+            let setup = NodeSetup {
+                addr: SocketAddrV4::new(first_ip, 4001),
+                region: RegionId(spec.region),
+                dialable: !spec.nat,
+                online: false,
+            };
+            let actor = if spec.platform == Some(Platform::Hydra) {
+                let h = Hydra::new(
+                    HydraConfig {
+                        heads: scenario.cfg.hydra_heads,
+                        seed_base: 0x1D7A_0000 + ((i as u64) << 8),
+                        ..Default::default()
+                    },
+                    bootstrap.clone(),
+                );
+                EcoActor::Hydra(Box::new(h))
+            } else {
+                let mut nc = NodeConfig::regular(spec.identity_seed);
+                nc.bootstrap = bootstrap
+                    .iter()
+                    .filter(|(_, ep)| ep.0 as usize != i)
+                    .cloned()
+                    .collect();
+                nc.agent = spec.agent.clone();
+                nc.is_gateway = spec.gateway;
+                nc.conn_floor = match spec.segment {
+                    netgen::Segment::NatClient | netgen::Segment::Ephemeral => {
+                        scenario.cfg.conn_floor / 3
+                    }
+                    netgen::Segment::PublicFringe => scenario.cfg.conn_floor / 2,
+                    _ => scenario.cfg.conn_floor,
+                };
+                nc.connmgr_interval = Dur::from_mins(30);
+                nc.refresh_interval = Dur::from_hours(12);
+                nc.table_entry_ttl = Dur::from_mins(70);
+                nc.reprovide_interval = Dur::from_hours(12);
+                if let Some(extra) = spec.extra_addr {
+                    nc.extra_addrs = vec![SocketAddrV4::new(extra, 4001)];
+                }
+                match spec.platform {
+                    Some(Platform::Filebase) => {
+                        nc.unbounded_conns = true;
+                        nc.conn_floor = 4 * scenario.cfg.conn_floor.max(50);
+                        nc.max_dials_per_tick = 64;
+                        nc.connmgr_interval = Dur::from_mins(5);
+                    }
+                    Some(Platform::Web3Storage | Platform::NftStorage | Platform::Pinata) => {
+                        nc.conn_floor = 2 * scenario.cfg.conn_floor.max(30);
+                        nc.reprovide_batch = 32;
+                    }
+                    Some(Platform::IpfsBank | Platform::Gateway) => {
+                        nc.conn_floor = 2 * scenario.cfg.conn_floor.max(30);
+                    }
+                    _ => {}
+                }
+                EcoActor::Node(Box::new(IpfsNode::new(nc)))
+            };
+            let id = sim.add_node(actor, setup);
+            if spec.platform == Some(Platform::Hydra) {
+                hydras.push(id);
+            }
+            node_ids.push(id);
+            // Churn schedule.
+            for sess in &spec.sessions {
+                let addr = SocketAddrV4::new(spec.ips[sess.ip_idx], 4001);
+                sim.schedule_up(sess.up, id, Some(addr));
+                sim.schedule_down(sess.down, id);
+                if let Some(new_seed) = sess.new_identity {
+                    sim.schedule_command(
+                        sess.up + Dur::from_millis(50),
+                        id,
+                        EcoCmd::Node(NodeCmd::AdoptIdentity { seed: new_seed }),
+                    );
+                }
+            }
+        }
+
+        // --- gateway frontends ----------------------------------------------
+        let mut frontends = Vec::with_capacity(scenario.gateways.len());
+        for g in &scenario.gateways {
+            let backends: Vec<NodeId> = g.overlay_nodes.iter().map(|&i| node_ids[i]).collect();
+            let setup = NodeSetup::public(g.frontend_ips[0]);
+            let id = sim.add_node(EcoActor::Frontend(Frontend::new(backends)), setup);
+            frontends.push(id);
+        }
+
+        // --- tools ------------------------------------------------------------
+        // Monitor: unbounded connectivity, logs Bitswap, reserved block
+        // 198.18.0.0/15 (excluded from all attribution databases).
+        let mut mon_cfg = NodeConfig::regular(0x4D4F4E17);
+        mon_cfg.bootstrap = bootstrap.clone();
+        mon_cfg.log_bitswap = true;
+        mon_cfg.unbounded_conns = true;
+        mon_cfg.conn_floor = usize::MAX / 2;
+        mon_cfg.max_dials_per_tick = 128;
+        mon_cfg.connmgr_interval = Dur::from_mins(2);
+        mon_cfg.refresh_interval = Dur::from_hours(1);
+        mon_cfg.agent = "monitor/1.0".to_string();
+        let monitor = sim.add_node(
+            EcoActor::Node(Box::new(IpfsNode::new(mon_cfg))),
+            NodeSetup::public(Ipv4Addr::new(198, 18, 0, 1)),
+        );
+
+        let crawler = sim.add_node(
+            EcoActor::Crawler(Box::new(Crawler::new(CrawlerConfig::default()))),
+            NodeSetup::public(Ipv4Addr::new(198, 18, 0, 2)),
+        );
+
+        let webuser = sim.add_node(
+            EcoActor::WebUser(WebUser::new()),
+            NodeSetup::public(Ipv4Addr::new(198, 18, 0, 3)),
+        );
+
+        let mut searcher_cfg = NodeConfig::regular(0x5EA4C4);
+        searcher_cfg.bootstrap = bootstrap.clone();
+        searcher_cfg.dht_server = Some(false);
+        searcher_cfg.record_events = true;
+        searcher_cfg.provide_on_fetch = false;
+        searcher_cfg.reprovide_interval = Dur::ZERO;
+        searcher_cfg.agent = "record-searcher/1.0".to_string();
+        let searcher = sim.add_node(
+            EcoActor::Node(Box::new(IpfsNode::new(searcher_cfg))),
+            NodeSetup::public(Ipv4Addr::new(198, 18, 0, 4)),
+        );
+
+        // --- workload -----------------------------------------------------------
+        if opts.with_workload {
+            for item in &scenario.content {
+                for &p in &item.publishers {
+                    sim.schedule_command(
+                        item.publish_at,
+                        node_ids[p],
+                        EcoCmd::Node(NodeCmd::Publish { cid: item.cid, size: item.size }),
+                    );
+                }
+            }
+            for req in &scenario.requests {
+                match *req {
+                    Request::Http { at, gateway, item, .. } => {
+                        if scenario.gateways[gateway].functional {
+                            sim.schedule_command(
+                                at,
+                                webuser,
+                                EcoCmd::WebGet {
+                                    frontend: frontends[gateway],
+                                    cid: scenario.content[item].cid,
+                                },
+                            );
+                        }
+                    }
+                    Request::Fetch { at, node, item } => {
+                        sim.schedule_command(
+                            at,
+                            node_ids[node],
+                            EcoCmd::Node(NodeCmd::Fetch { cid: scenario.content[item].cid }),
+                        );
+                    }
+                }
+            }
+        }
+
+        Campaign {
+            scenario,
+            sim,
+            node_ids,
+            frontends,
+            monitor,
+            crawler,
+            hydras,
+            webuser,
+            searcher,
+            crawl_seq: 0,
+            bootstrap,
+        }
+    }
+
+    /// Bootstrap pairs handed to tools.
+    pub fn bootstrap_pairs(&self) -> Vec<(PeerId, NodeId)> {
+        self.bootstrap.clone()
+    }
+
+    /// Advance virtual time.
+    pub fn run_for(&mut self, d: Dur) {
+        self.sim.run_for(d);
+    }
+
+    /// Run a full crawl right now, returning its snapshot index. The engine
+    /// advances until the crawl finishes (bounded by `max_wait`).
+    pub fn crawl(&mut self, max_wait: Dur) -> usize {
+        self.crawl_seq += 1;
+        let seeds = self.bootstrap_pairs();
+        self.sim.schedule_command(
+            self.sim.core().now(),
+            self.crawler,
+            EcoCmd::Crawler(CrawlerCmd::Start { id: self.crawl_seq, seeds }),
+        );
+        let deadline = self.sim.core().now() + max_wait;
+        loop {
+            self.sim.run_for(Dur::from_secs(10));
+            let done = !self.sim.actor(self.crawler).crawler().is_active();
+            if done || self.sim.core().now() >= deadline {
+                break;
+            }
+        }
+        self.sim.actor(self.crawler).crawler().snapshots.len() - 1
+    }
+
+    /// All crawl snapshots so far.
+    pub fn snapshots(&self) -> &[CrawlSnapshot] {
+        &self.sim.actor(self.crawler).crawler().snapshots
+    }
+
+    /// The monitor's Bitswap log.
+    pub fn monitor_log(&self) -> &[BitswapLogEntry] {
+        &self.sim.actor(self.monitor).node().bitswap_log
+    }
+
+    /// Merged Hydra logs (already time-sorted per host; merged stably).
+    pub fn hydra_log(&self) -> Vec<HydraLogEntry> {
+        let mut all: Vec<HydraLogEntry> = Vec::new();
+        for &h in &self.hydras {
+            all.extend(self.sim.actor(h).hydra().log.iter().cloned());
+        }
+        all.sort_by_key(|e| e.ts_ns);
+        all
+    }
+
+    /// Peer IDs of all hydra heads (the paper obtained this set to attribute
+    /// hydra traffic).
+    pub fn hydra_heads(&self) -> Vec<PeerId> {
+        let mut v: Vec<PeerId> = self
+            .hydras
+            .iter()
+            .flat_map(|&h| self.sim.actor(h).hydra().heads.iter().copied())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Resolve provider records for a batch of CIDs with the modified
+    /// (exhaustive) `FindProviders`, spacing lookups `spacing` apart.
+    /// Returns `(cid, records, contacted)` per resolved CID.
+    pub fn resolve_providers(
+        &mut self,
+        cids: &[Cid],
+        exhaustive: bool,
+        spacing: Dur,
+    ) -> Vec<(Cid, Vec<ProviderRecord>, usize)> {
+        let t0 = self.sim.core().now();
+        for (i, cid) in cids.iter().enumerate() {
+            self.sim.schedule_command(
+                t0 + spacing * (i as u64),
+                self.searcher,
+                EcoCmd::Node(NodeCmd::ResolveProviders { cid: *cid, exhaustive }),
+            );
+        }
+        self.sim
+            .run_for(spacing * (cids.len() as u64) + Dur::from_mins(3));
+        let node = self.sim.actor_mut(self.searcher).node_mut();
+        let mut out = Vec::new();
+        for ev in node.events.drain(..) {
+            if let NodeEvent::ProvidersResolved { cid, records, contacted } = ev {
+                out.push((cid, records, contacted));
+            }
+        }
+        out
+    }
+
+    /// Reachability check for a provider record, equivalent to the paper's
+    /// "verify the provider answers at retrieval time". The engine's dial
+    /// rules are deterministic, so this oracle gives exactly the answer a
+    /// real dial probe would.
+    pub fn record_reachable(&self, rec: &ProviderRecord) -> bool {
+        let core = self.sim.core();
+        if rec.endpoint.idx() >= core.node_count() {
+            return false;
+        }
+        if !core.is_online(rec.endpoint) {
+            return false;
+        }
+        if core.is_dialable(rec.endpoint) {
+            return true;
+        }
+        rec.relay_endpoint
+            .map(|r| r.idx() < core.node_count() && core.is_online(r))
+            .unwrap_or(false)
+    }
+
+    /// Engine-id → scenario-node-index reverse map.
+    pub fn index_of(&self) -> HashMap<NodeId, usize> {
+        self.node_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.core().now()
+    }
+}

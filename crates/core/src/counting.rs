@@ -1,0 +1,313 @@
+//! The paper's §3 "Counting Methodologies": G-IP vs A-N.
+//!
+//! * **G-IP** (Global, Unique IP): pool every IP observed across all crawls,
+//!   attribute each once — the Trautwein et al. approach. Over-counts
+//!   rotating and churning nodes.
+//! * **A-N** (Average over Crawls, Unique Nodes): per crawl, give every
+//!   *peer* one value by majority vote over its IPs, then average the
+//!   per-crawl counts — the paper's proposal.
+//!
+//! Both are generic over the attribution function so the same machinery
+//! serves cloud status (Fig. 3/4), provider (Fig. 5) and country (Fig. 6).
+
+use crate::crawler::CrawlSnapshot;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Peer-level cloud status, including the paper's BOTH label for peers
+/// announcing cloud and non-cloud addresses simultaneously.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CloudStatus {
+    /// All addresses attribute to cloud providers.
+    Cloud,
+    /// No address attributes to a cloud provider.
+    NonCloud,
+    /// Mixed addresses.
+    Both,
+}
+
+/// G-IP counting: label every unique IP across all snapshots.
+pub fn gip_count<L, F>(snapshots: &[CrawlSnapshot], mut label: F) -> BTreeMap<L, u64>
+where
+    L: Ord + Clone,
+    F: FnMut(Ipv4Addr) -> L,
+{
+    let mut seen: HashSet<Ipv4Addr> = HashSet::new();
+    let mut counts: BTreeMap<L, u64> = BTreeMap::new();
+    for snap in snapshots {
+        for peer in &snap.peers {
+            for &ip in &peer.ips {
+                if seen.insert(ip) {
+                    *counts.entry(label(ip)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Majority vote over a peer's IP labels (ties resolved towards the
+/// lexicographically smaller label, deterministically).
+pub fn majority_label<L: Ord + Clone + std::hash::Hash>(labels: &[L]) -> Option<L> {
+    if labels.is_empty() {
+        return None;
+    }
+    let mut counts: HashMap<&L, usize> = HashMap::new();
+    for l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+        .map(|(l, _)| l.clone())
+}
+
+/// A-N counting: per crawl, one label per peer (majority vote over its
+/// IPs), averaged over all crawls. Returns fractional average counts.
+pub fn an_count<L, F>(snapshots: &[CrawlSnapshot], mut label: F) -> BTreeMap<L, f64>
+where
+    L: Ord + Clone + std::hash::Hash,
+    F: FnMut(Ipv4Addr) -> L,
+{
+    let mut totals: BTreeMap<L, f64> = BTreeMap::new();
+    if snapshots.is_empty() {
+        return totals;
+    }
+    for snap in snapshots {
+        for peer in &snap.peers {
+            let labels: Vec<L> = peer.ips.iter().map(|&ip| label(ip)).collect();
+            if let Some(l) = majority_label(&labels) {
+                *totals.entry(l).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+    let n = snapshots.len() as f64;
+    for v in totals.values_mut() {
+        *v /= n;
+    }
+    totals
+}
+
+/// A-N counting with the BOTH rule for cloud status: a peer announcing both
+/// cloud and non-cloud addresses gets [`CloudStatus::Both`]; otherwise the
+/// unanimous label wins (§4 "Cloud Nodes").
+pub fn an_cloud_status<F>(snapshots: &[CrawlSnapshot], mut is_cloud: F) -> BTreeMap<CloudStatus, f64>
+where
+    F: FnMut(Ipv4Addr) -> bool,
+{
+    let mut totals: BTreeMap<CloudStatus, f64> = BTreeMap::new();
+    if snapshots.is_empty() {
+        return totals;
+    }
+    for snap in snapshots {
+        for peer in &snap.peers {
+            if peer.ips.is_empty() {
+                continue;
+            }
+            let cloud = peer.ips.iter().filter(|&&ip| is_cloud(ip)).count();
+            let status = if cloud == peer.ips.len() {
+                CloudStatus::Cloud
+            } else if cloud == 0 {
+                CloudStatus::NonCloud
+            } else {
+                CloudStatus::Both
+            };
+            *totals.entry(status).or_insert(0.0) += 1.0;
+        }
+    }
+    let n = snapshots.len() as f64;
+    for v in totals.values_mut() {
+        *v /= n;
+    }
+    totals
+}
+
+/// Numeric conversion for count values (u64 lacks `Into<f64>`).
+pub trait AsF64: Copy {
+    /// Lossy conversion to f64.
+    fn as_f64(self) -> f64;
+}
+
+impl AsF64 for u64 {
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl AsF64 for usize {
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl AsF64 for f64 {
+    fn as_f64(self) -> f64 {
+        self
+    }
+}
+
+/// Normalize a count map into shares.
+pub fn shares<L: Ord + Clone, V: AsF64>(counts: &BTreeMap<L, V>) -> BTreeMap<L, f64> {
+    let total: f64 = counts.values().map(|v| v.as_f64()).sum();
+    counts
+        .iter()
+        .map(|(k, v)| (k.clone(), if total > 0.0 { v.as_f64() / total } else { 0.0 }))
+        .collect()
+}
+
+/// Dataset-level statistics (§3/§4 headline numbers).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DatasetStats {
+    /// Number of crawls.
+    pub crawls: usize,
+    /// Average peers per crawl.
+    pub peers_per_crawl: f64,
+    /// Average crawlable peers per crawl.
+    pub crawlable_per_crawl: f64,
+    /// Unique peer IDs across all crawls.
+    pub unique_peer_ids: usize,
+    /// Unique IPs across all crawls (G-IP denominator).
+    pub unique_ips: usize,
+    /// Average advertised IPs per unique peer.
+    pub ips_per_peer: f64,
+    /// Average crawl duration in virtual seconds.
+    pub crawl_duration_secs: f64,
+}
+
+/// Compute the headline dataset statistics.
+pub fn dataset_stats(snapshots: &[CrawlSnapshot]) -> DatasetStats {
+    if snapshots.is_empty() {
+        return DatasetStats::default();
+    }
+    let mut peer_ips: HashMap<ipfs_types::PeerId, HashSet<Ipv4Addr>> = HashMap::new();
+    let mut total_peers = 0usize;
+    let mut total_crawlable = 0usize;
+    let mut total_dur = 0.0;
+    for snap in snapshots {
+        total_peers += snap.peer_count();
+        total_crawlable += snap.crawlable_count();
+        total_dur += snap.duration().as_secs_f64();
+        for p in &snap.peers {
+            peer_ips.entry(p.peer).or_default().extend(p.ips.iter().copied());
+        }
+    }
+    let unique_ips: HashSet<Ipv4Addr> =
+        peer_ips.values().flat_map(|s| s.iter().copied()).collect();
+    let n = snapshots.len() as f64;
+    let ip_count_sum: usize = peer_ips.values().map(|s| s.len()).sum();
+    DatasetStats {
+        crawls: snapshots.len(),
+        peers_per_crawl: total_peers as f64 / n,
+        crawlable_per_crawl: total_crawlable as f64 / n,
+        unique_peer_ids: peer_ips.len(),
+        unique_ips: unique_ips.len(),
+        ips_per_peer: ip_count_sum as f64 / peer_ips.len().max(1) as f64,
+        crawl_duration_secs: total_dur / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawler::CrawledPeer;
+    use ipfs_types::PeerId;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// The paper's Table 1 example: two crawls, peers p1/p2, addresses
+    /// a1,a2 (DE) and a3,a4 (US). Expected: G-IP ⇒ DE=2, US=2;
+    /// A-N ⇒ DE=0.5, US=1.
+    fn table1() -> Vec<CrawlSnapshot> {
+        let p1 = PeerId::from_seed(1);
+        let p2 = PeerId::from_seed(2);
+        let (a1, a2, a3, a4) = (ip("91.0.0.1"), ip("91.0.0.2"), ip("24.0.0.3"), ip("24.0.0.4"));
+        let peer = |p: PeerId, ips: Vec<Ipv4Addr>| CrawledPeer {
+            peer: p,
+            ips,
+            agent: String::new(),
+            crawlable: true,
+        };
+        vec![
+            CrawlSnapshot {
+                crawl_id: 1,
+                peers: vec![peer(p1, vec![a1, a2]), peer(p2, vec![a3])],
+                ..Default::default()
+            },
+            CrawlSnapshot {
+                crawl_id: 2,
+                peers: vec![peer(p2, vec![a2, a3, a4])],
+                ..Default::default()
+            },
+        ]
+    }
+
+    fn geo(ip: Ipv4Addr) -> &'static str {
+        if ip.octets()[0] == 91 {
+            "DE"
+        } else {
+            "US"
+        }
+    }
+
+    #[test]
+    fn table1_gip() {
+        let counts = gip_count(&table1(), geo);
+        assert_eq!(counts.get("DE"), Some(&2));
+        assert_eq!(counts.get("US"), Some(&2));
+    }
+
+    #[test]
+    fn table1_an() {
+        // Crawl 1: p1 majority DE, p2 US. Crawl 2: p2 has [DE, US, US] ⇒ US.
+        // Average: DE = 1/2, US = (1+1)/2 = 1.
+        let counts = an_count(&table1(), geo);
+        assert!((counts["DE"] - 0.5).abs() < 1e-9);
+        assert!((counts["US"] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn majority_vote_tie_is_deterministic() {
+        assert_eq!(majority_label(&["a", "b"]), Some("a"));
+        assert_eq!(majority_label(&["b", "a"]), Some("a"));
+        assert_eq!(majority_label(&["b", "b", "a"]), Some("b"));
+        assert_eq!(majority_label::<&str>(&[]), None);
+    }
+
+    #[test]
+    fn both_label_detection() {
+        let p = PeerId::from_seed(5);
+        let snap = CrawlSnapshot {
+            crawl_id: 1,
+            peers: vec![CrawledPeer {
+                peer: p,
+                ips: vec![ip("52.0.0.1"), ip("24.0.0.1")],
+                agent: String::new(),
+                crawlable: true,
+            }],
+            ..Default::default()
+        };
+        let counts = an_cloud_status(&[snap], |ip| ip.octets()[0] == 52);
+        assert_eq!(counts.get(&CloudStatus::Both), Some(&1.0));
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let counts = gip_count(&table1(), geo);
+        let s = shares(&counts);
+        let total: f64 = s.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dataset_stats_on_table1() {
+        let stats = dataset_stats(&table1());
+        assert_eq!(stats.crawls, 2);
+        assert_eq!(stats.unique_peer_ids, 2);
+        assert_eq!(stats.unique_ips, 4);
+        assert!((stats.peers_per_crawl - 1.5).abs() < 1e-9);
+        // p1 has 2 IPs, p2 has 3 ⇒ 2.5 per peer.
+        assert!((stats.ips_per_peer - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,420 @@
+//! The DHT crawler (§3 "Topology graph").
+//!
+//! Reimplementation of the Henningsen-style crawler the paper used: for
+//! every reachable DHT server, enumerate its k-buckets by sending crafted
+//! `FindNode` requests whose targets share an increasing common prefix with
+//! the server's own ID (`own key with bit cpl flipped`), until several
+//! consecutive sweeps stop yielding new peers. Newly learned peers join the
+//! frontier; the crawl ends when the frontier drains. Unresponsive peers
+//! (dial failure / RPC timeout) are recorded as un-crawlable leaves, exactly
+//! like the ~30% the paper reports.
+
+use ipfs_node::WireMsg;
+use ipfs_types::{Multiaddr, PeerId};
+use kademlia::{DhtBody, DhtMessage, DhtRequest, DhtResponse, PeerInfo};
+use serde::{Deserialize, Serialize};
+use simnet::{Ctx, Dur, NodeId, SimTime};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Crawler tuning.
+#[derive(Clone, Debug)]
+pub struct CrawlerConfig {
+    /// Per-request timeout.
+    pub rpc_timeout: Dur,
+    /// Bucket sweeps stop after this many consecutive queries with no new
+    /// peers for the target.
+    pub empty_streak: u32,
+    /// Hard cap on sweep depth per peer.
+    pub max_cpl: u32,
+    /// Identity seed for the crawler's own keypair.
+    pub identity_seed: u64,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> Self {
+        CrawlerConfig {
+            rpc_timeout: Dur::from_secs(10),
+            empty_streak: 3,
+            max_cpl: 24,
+            identity_seed: 0xC4A817,
+        }
+    }
+}
+
+/// One peer observed in a crawl.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CrawledPeer {
+    /// The peer's identity.
+    pub peer: PeerId,
+    /// IPv4 addresses the peer advertised (multiaddrs) plus the observed
+    /// connection address.
+    pub ips: Vec<Ipv4Addr>,
+    /// Agent string from identify (empty if never connected).
+    pub agent: String,
+    /// Whether the peer answered our queries.
+    pub crawlable: bool,
+}
+
+/// A finished crawl: the paper's `G_DHT` snapshot.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CrawlSnapshot {
+    /// Sequence number of the crawl.
+    pub crawl_id: u64,
+    /// Virtual start time (nanoseconds).
+    pub started_ns: u64,
+    /// Virtual end time (nanoseconds).
+    pub finished_ns: u64,
+    /// Every discovered peer.
+    pub peers: Vec<CrawledPeer>,
+    /// Directed edges `(from, to)`: `to` appeared in `from`'s buckets.
+    pub edges: Vec<(PeerId, PeerId)>,
+}
+
+impl CrawlSnapshot {
+    /// Number of discovered peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Number of crawlable peers.
+    pub fn crawlable_count(&self) -> usize {
+        self.peers.iter().filter(|p| p.crawlable).count()
+    }
+
+    /// Crawl duration.
+    pub fn duration(&self) -> Dur {
+        Dur(self.finished_ns.saturating_sub(self.started_ns))
+    }
+}
+
+#[derive(Debug)]
+struct TargetState {
+    info: PeerInfo,
+    next_cpl: u32,
+    empty_streak: u32,
+    outstanding: Option<u64>,
+    new_peers: usize,
+    crawlable: bool,
+    done: bool,
+    edges: Vec<PeerId>,
+    agent: String,
+    observed_ip: Option<Ipv4Addr>,
+}
+
+/// Crawler commands (scheduled by the experiment driver).
+#[derive(Clone, Debug)]
+pub enum CrawlerCmd {
+    /// Begin a crawl seeded with bootstrap peers.
+    Start {
+        /// Crawl sequence number.
+        id: u64,
+        /// Entry points.
+        seeds: Vec<(PeerId, NodeId)>,
+    },
+}
+
+/// The crawler actor.
+pub struct Crawler {
+    cfg: CrawlerConfig,
+    my_id: PeerId,
+    crawl_id: u64,
+    started: SimTime,
+    active: bool,
+    targets: HashMap<PeerId, TargetState>,
+    // Several peer IDs may share one endpoint (hydra heads, re-identified
+    // nodes); dials are deduplicated per endpoint.
+    by_endpoint: HashMap<NodeId, Vec<PeerId>>,
+    dialing: HashSet<NodeId>,
+    pending: HashMap<u64, PeerId>,
+    next_req: u64,
+    seen_addrs: HashMap<PeerId, HashSet<Ipv4Addr>>,
+    /// Finished snapshots, in order.
+    pub snapshots: Vec<CrawlSnapshot>,
+}
+
+impl Crawler {
+    /// Fresh crawler.
+    pub fn new(cfg: CrawlerConfig) -> Crawler {
+        let my_id = ipfs_types::Keypair::from_seed(cfg.identity_seed).peer_id();
+        Crawler {
+            cfg,
+            my_id,
+            crawl_id: 0,
+            started: SimTime::ZERO,
+            active: false,
+            targets: HashMap::new(),
+            by_endpoint: HashMap::new(),
+            dialing: HashSet::new(),
+            pending: HashMap::new(),
+            next_req: 1,
+            seen_addrs: HashMap::new(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Whether a crawl is currently running.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    fn my_info<C: std::fmt::Debug>(&self, ctx: &Ctx<'_, WireMsg, C>) -> PeerInfo {
+        PeerInfo { id: self.my_id, addrs: vec![], endpoint: ctx.me() }
+    }
+
+    /// Handle a crawler command.
+    pub fn handle_command<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        cmd: CrawlerCmd,
+    ) {
+        match cmd {
+            CrawlerCmd::Start { id, seeds } => {
+                // Abort any previous crawl silently (schedule drivers space
+                // crawls far enough apart that this is exceptional).
+                if self.active {
+                    self.finish(ctx.now());
+                }
+                self.crawl_id = id;
+                self.started = ctx.now();
+                self.active = true;
+                self.targets.clear();
+                self.by_endpoint.clear();
+                self.dialing.clear();
+                self.pending.clear();
+                self.seen_addrs.clear();
+                for (peer, ep) in seeds {
+                    self.add_target(
+                        ctx,
+                        PeerInfo { id: peer, addrs: vec![], endpoint: ep },
+                    );
+                }
+            }
+        }
+    }
+
+    fn add_target<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, info: PeerInfo) {
+        if info.id == self.my_id || self.targets.contains_key(&info.id) {
+            return;
+        }
+        self.record_addrs(&info);
+        self.by_endpoint.entry(info.endpoint).or_default().push(info.id);
+        self.targets.insert(
+            info.id,
+            TargetState {
+                info: info.clone(),
+                next_cpl: 0,
+                empty_streak: 0,
+                outstanding: None,
+                new_peers: 0,
+                crawlable: false,
+                done: false,
+                edges: Vec::new(),
+                agent: String::new(),
+                observed_ip: None,
+            },
+        );
+        if ctx.is_connected(info.endpoint) {
+            self.sweep_next(ctx, info.id);
+        } else if self.dialing.insert(info.endpoint) {
+            ctx.dial(info.endpoint);
+        }
+    }
+
+    fn record_addrs(&mut self, info: &PeerInfo) {
+        let set = self.seen_addrs.entry(info.id).or_default();
+        for a in &info.addrs {
+            if let Some(ip) = a.ip4() {
+                // For circuit addresses this records the relay IP, exactly
+                // like parsing real provider multiaddrs would.
+                if !a.is_circuit() {
+                    set.insert(ip);
+                }
+            }
+        }
+    }
+
+    fn sweep_next<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, peer: PeerId) {
+        let Some(t) = self.targets.get_mut(&peer) else {
+            return;
+        };
+        if t.done || t.outstanding.is_some() {
+            return;
+        }
+        if t.next_cpl > self.cfg.max_cpl || t.empty_streak >= self.cfg.empty_streak {
+            t.done = true;
+            self.check_done(ctx.now());
+            return;
+        }
+        let target_key = peer.key().with_bit_flipped(t.next_cpl.min(255));
+        t.next_cpl += 1;
+        let req_id = self.next_req;
+        self.next_req += 1;
+        t.outstanding = Some(req_id);
+        let endpoint = t.info.endpoint;
+        let msg = DhtMessage {
+            req_id,
+            sender: self.my_info(ctx),
+            sender_is_server: false,
+            body: DhtBody::Request(DhtRequest::FindNode { target: target_key }),
+        };
+        if ctx.send(endpoint, WireMsg::Dht(msg)) {
+            self.pending.insert(req_id, peer);
+            ctx.set_timer(self.cfg.rpc_timeout, req_id);
+        } else {
+            // Connection raced shut; retry via dial.
+            if let Some(t) = self.targets.get_mut(&peer) {
+                t.outstanding = None;
+            }
+            if self.dialing.insert(endpoint) {
+                ctx.dial(endpoint);
+            }
+        }
+    }
+
+    /// Dial outcome for a target endpoint.
+    pub fn handle_dial_result<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        target: NodeId,
+        ok: bool,
+    ) {
+        self.dialing.remove(&target);
+        if !self.active {
+            return;
+        }
+        let peers = self.by_endpoint.get(&target).cloned().unwrap_or_default();
+        for peer in peers {
+            if ok {
+                if let Some(t) = self.targets.get_mut(&peer) {
+                    t.observed_ip = ctx.addr_of(target).map(|a| *a.ip());
+                }
+                self.sweep_next(ctx, peer);
+            } else if let Some(t) = self.targets.get_mut(&peer) {
+                if !t.done {
+                    t.done = true;
+                    t.crawlable = false;
+                }
+            }
+        }
+        if !ok {
+            self.check_done(ctx.now());
+        }
+    }
+
+    /// Incoming message.
+    pub fn handle_message<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        from: NodeId,
+        msg: WireMsg,
+    ) {
+        match msg {
+            WireMsg::Identify { id, agent, .. } => {
+                if let Some(peers) = self.by_endpoint.get(&from) {
+                    if peers.contains(&id) {
+                        if let Some(t) = self.targets.get_mut(&id) {
+                            t.agent = agent;
+                        }
+                    }
+                }
+            }
+            WireMsg::Dht(DhtMessage { req_id, sender, body: DhtBody::Response(resp), .. }) => {
+                let Some(peer) = self.pending.remove(&req_id) else {
+                    return;
+                };
+                let _ = sender;
+                let closer = match resp {
+                    DhtResponse::Nodes { closer } => closer,
+                    DhtResponse::Providers { closer, .. } => closer,
+                    DhtResponse::Pong => vec![],
+                };
+                let mut new_count = 0;
+                if let Some(t) = self.targets.get_mut(&peer) {
+                    t.outstanding = None;
+                    t.crawlable = true;
+                    for info in &closer {
+                        t.edges.push(info.id);
+                    }
+                }
+                for info in closer {
+                    self.record_addrs(&info);
+                    if !self.targets.contains_key(&info.id) {
+                        new_count += 1;
+                        self.add_target(ctx, info);
+                    }
+                }
+                if let Some(t) = self.targets.get_mut(&peer) {
+                    if new_count == 0 {
+                        t.empty_streak += 1;
+                    } else {
+                        t.empty_streak = 0;
+                        t.new_peers += new_count;
+                    }
+                }
+                self.sweep_next(ctx, peer);
+            }
+            _ => {}
+        }
+    }
+
+    /// RPC timeout timer (token = req_id).
+    pub fn handle_timer<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, token: u64) {
+        if let Some(peer) = self.pending.remove(&token) {
+            if let Some(t) = self.targets.get_mut(&peer) {
+                t.outstanding = None;
+                // One timeout ends this peer's sweep: the paper treats
+                // unresponsive peers as un-crawlable leaves.
+                t.done = true;
+                self.check_done(ctx.now());
+            }
+        }
+    }
+
+    fn check_done(&mut self, now: SimTime) {
+        if self.active && self.targets.values().all(|t| t.done) {
+            self.finish(now);
+        }
+    }
+
+    fn finish(&mut self, now: SimTime) {
+        self.active = false;
+        let mut peers: Vec<CrawledPeer> = Vec::with_capacity(self.targets.len());
+        let mut edges = Vec::new();
+        let mut ordered: Vec<(&PeerId, &TargetState)> = self.targets.iter().collect();
+        ordered.sort_by_key(|(p, _)| **p);
+        for (peer, t) in ordered {
+            let mut ips: HashSet<Ipv4Addr> =
+                self.seen_addrs.get(peer).cloned().unwrap_or_default();
+            if let Some(ip) = t.observed_ip {
+                ips.insert(ip);
+            }
+            let mut ips: Vec<Ipv4Addr> = ips.into_iter().collect();
+            ips.sort();
+            peers.push(CrawledPeer {
+                peer: *peer,
+                ips,
+                agent: t.agent.clone(),
+                crawlable: t.crawlable,
+            });
+            let mut seen_edge = HashSet::new();
+            for to in &t.edges {
+                if seen_edge.insert(*to) {
+                    edges.push((*peer, *to));
+                }
+            }
+        }
+        self.snapshots.push(CrawlSnapshot {
+            crawl_id: self.crawl_id,
+            started_ns: self.started.0,
+            finished_ns: now.0,
+            peers,
+            edges,
+        });
+    }
+
+    /// Parse advertised multiaddrs into IPv4s (helper shared with analyses).
+    pub fn multiaddr_ips(addrs: &[Multiaddr]) -> Vec<Ipv4Addr> {
+        addrs.iter().filter(|a| !a.is_circuit()).filter_map(|a| a.ip4()).collect()
+    }
+}

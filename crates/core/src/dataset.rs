@@ -1,0 +1,162 @@
+//! Dataset persistence: JSON-lines serialization for the measurement
+//! artefacts (crawl snapshots, monitor and hydra logs), mirroring the
+//! published datasets of the paper's artifact repository.
+
+use crate::crawler::CrawlSnapshot;
+use crate::hydra::HydraLogEntry;
+use ipfs_node::BitswapLogEntry;
+use ipfs_types::Cid;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// Serializable form of one Bitswap log line (the in-memory form borrows
+/// engine types that do not need to round-trip).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct BitswapLogRecord {
+    /// Virtual timestamp (nanoseconds).
+    pub ts_ns: u64,
+    /// Sender peer ID (base58).
+    pub peer: String,
+    /// Sender IP.
+    pub ip: String,
+    /// Requested CIDs (canonical text).
+    pub cids: Vec<String>,
+    /// WantBlock vs WantHave.
+    pub want_block: bool,
+}
+
+impl From<&BitswapLogEntry> for BitswapLogRecord {
+    fn from(e: &BitswapLogEntry) -> Self {
+        BitswapLogRecord {
+            ts_ns: e.ts.0,
+            peer: e.peer.to_base58(),
+            ip: e.addr.ip().to_string(),
+            cids: e.cids.iter().map(Cid::to_string_canonical).collect(),
+            want_block: e.want_block,
+        }
+    }
+}
+
+/// Write any serializable items as JSON lines.
+pub fn write_jsonl<T: Serialize, W: Write>(
+    mut w: W,
+    items: impl IntoIterator<Item = T>,
+) -> std::io::Result<usize> {
+    let mut n = 0;
+    for item in items {
+        let line = serde_json::to_string(&item)?;
+        writeln!(w, "{line}")?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Read JSON lines back.
+pub fn read_jsonl<T: for<'de> Deserialize<'de>, R: BufRead>(r: R) -> std::io::Result<Vec<T>> {
+    let mut out = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(serde_json::from_str(&line)?);
+    }
+    Ok(out)
+}
+
+/// Persist crawl snapshots to a JSON-lines buffer.
+pub fn snapshots_to_jsonl(snaps: &[CrawlSnapshot]) -> std::io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, snaps)?;
+    Ok(buf)
+}
+
+/// Load crawl snapshots back.
+pub fn snapshots_from_jsonl(bytes: &[u8]) -> std::io::Result<Vec<CrawlSnapshot>> {
+    read_jsonl(bytes)
+}
+
+/// Persist hydra logs.
+pub fn hydra_log_to_jsonl(log: &[HydraLogEntry]) -> std::io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, log)?;
+    Ok(buf)
+}
+
+/// Persist a monitor log (converted to the text record form).
+pub fn bitswap_log_to_jsonl(log: &[BitswapLogEntry]) -> std::io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, log.iter().map(BitswapLogRecord::from))?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawler::CrawledPeer;
+    use ipfs_types::PeerId;
+    use simnet::SimTime;
+
+    #[test]
+    fn snapshots_roundtrip() {
+        let snaps = vec![CrawlSnapshot {
+            crawl_id: 7,
+            started_ns: 1,
+            finished_ns: 2,
+            peers: vec![CrawledPeer {
+                peer: PeerId::from_seed(1),
+                ips: vec!["10.0.0.1".parse().unwrap()],
+                agent: "go-ipfs/0.11".into(),
+                crawlable: true,
+            }],
+            edges: vec![(PeerId::from_seed(1), PeerId::from_seed(2))],
+        }];
+        let bytes = snapshots_to_jsonl(&snaps).unwrap();
+        let back = snapshots_from_jsonl(&bytes).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].crawl_id, 7);
+        assert_eq!(back[0].peers[0].peer, PeerId::from_seed(1));
+        assert_eq!(back[0].edges.len(), 1);
+    }
+
+    #[test]
+    fn bitswap_records_convert() {
+        let e = BitswapLogEntry {
+            ts: SimTime(5),
+            peer: PeerId::from_seed(3),
+            addr: "1.2.3.4:4001".parse().unwrap(),
+            cids: vec![Cid::from_seed(9)],
+            want_block: true,
+        };
+        let rec = BitswapLogRecord::from(&e);
+        assert_eq!(rec.ip, "1.2.3.4");
+        assert!(rec.want_block);
+        let bytes = bitswap_log_to_jsonl(&[e]).unwrap();
+        let back: Vec<BitswapLogRecord> = read_jsonl(&bytes[..]).unwrap();
+        assert_eq!(back[0], rec);
+    }
+
+    #[test]
+    fn hydra_log_serializes() {
+        let log = vec![HydraLogEntry {
+            ts_ns: 9,
+            peer: PeerId::from_seed(4),
+            addr: "9.9.9.9:1".parse().unwrap(),
+            class: kademlia::TrafficClass::Download,
+            target: Some(ipfs_types::Key256::from_seed(2)),
+            cid: Some(Cid::from_seed(1)),
+        }];
+        let bytes = hydra_log_to_jsonl(&log).unwrap();
+        let back: Vec<HydraLogEntry> = read_jsonl(&bytes[..]).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].peer, PeerId::from_seed(4));
+    }
+
+    #[test]
+    fn blank_lines_skipped_and_errors_surface() {
+        let back: Vec<BitswapLogRecord> = read_jsonl(&b"\n\n"[..]).unwrap();
+        assert!(back.is_empty());
+        let bad: std::io::Result<Vec<BitswapLogRecord>> = read_jsonl(&b"{not json}"[..]);
+        assert!(bad.is_err());
+    }
+}

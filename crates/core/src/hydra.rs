@@ -1,0 +1,370 @@
+//! The Hydra-booster actor (§3 "Hydra-booster logs").
+//!
+//! One host machine runs many virtual peer IDs ("heads") that act as DHT
+//! servers sharing a provider-record cache. The paper's modified build logs
+//! every incoming request (timestamp, sender peer ID and IP, request class,
+//! target key). Cache misses on `GetProviders` trigger a *proactive lookup*
+//! for the requested CID — the amplification behaviour the paper identifies
+//! as a DoS vector and as the reason Hydras dominate download traffic.
+
+use ipfs_node::WireMsg;
+use ipfs_types::{Cid, Key256, PeerId};
+use kademlia::{
+    DhtBody, DhtMessage, DhtRequest, DhtResponse, Lookup, LookupConfig, LookupKind, PeerInfo,
+    ProviderStore, ProviderStoreConfig, RoutingTable, TableConfig, TrafficClass,
+};
+use serde::{Deserialize, Serialize};
+use simnet::{Ctx, Dur, NodeId};
+use std::collections::HashMap;
+use std::net::SocketAddrV4;
+
+/// One Hydra log line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HydraLogEntry {
+    /// Virtual timestamp (nanoseconds).
+    pub ts_ns: u64,
+    /// Sender identity.
+    pub peer: PeerId,
+    /// Sender address observed on the connection.
+    pub addr: SocketAddrV4,
+    /// Paper's traffic classification.
+    pub class: TrafficClass,
+    /// Target key of the request (CID key or node key).
+    pub target: Option<Key256>,
+    /// CID for content requests.
+    pub cid: Option<Cid>,
+}
+
+/// Hydra configuration.
+#[derive(Clone, Debug)]
+pub struct HydraConfig {
+    /// Number of virtual heads.
+    pub heads: usize,
+    /// Identity seed base for the heads.
+    pub seed_base: u64,
+    /// Per-query timeout for proactive lookups.
+    pub rpc_timeout: Dur,
+    /// Cap on concurrently running proactive lookups.
+    pub max_proactive: usize,
+    /// Disable the proactive cache-fill (ablation knob).
+    pub proactive: bool,
+}
+
+impl Default for HydraConfig {
+    fn default() -> Self {
+        HydraConfig {
+            heads: 20,
+            seed_base: 0x1D7A_0000,
+            rpc_timeout: Dur::from_secs(10),
+            max_proactive: 64,
+            proactive: true,
+        }
+    }
+}
+
+/// The Hydra-booster actor.
+pub struct Hydra {
+    cfg: HydraConfig,
+    /// Virtual peer IDs.
+    pub heads: Vec<PeerId>,
+    table: RoutingTable,
+    cache: ProviderStore,
+    lookups: HashMap<u64, Lookup>,
+    pending: HashMap<u64, (u64, PeerInfo)>,
+    dial_queue: HashMap<NodeId, Vec<(u64, PeerInfo)>>,
+    next_id: u64,
+    bootstrap: Vec<(PeerId, NodeId)>,
+    /// The request log.
+    pub log: Vec<HydraLogEntry>,
+    /// Cache hits served.
+    pub cache_hits: u64,
+    /// Cache misses (each may trigger a proactive lookup).
+    pub cache_misses: u64,
+}
+
+impl Hydra {
+    /// Build a hydra host with `cfg.heads` virtual identities.
+    pub fn new(cfg: HydraConfig, bootstrap: Vec<(PeerId, NodeId)>) -> Hydra {
+        let heads: Vec<PeerId> = (0..cfg.heads)
+            .map(|i| ipfs_types::Keypair::from_seed(cfg.seed_base + i as u64).peer_id())
+            .collect();
+        let table = RoutingTable::new(heads[0].key(), TableConfig::default());
+        Hydra {
+            heads,
+            table,
+            cache: ProviderStore::new(ProviderStoreConfig {
+                ttl: Dur::from_hours(24),
+                max_per_key: 64,
+            }),
+            lookups: HashMap::new(),
+            pending: HashMap::new(),
+            dial_queue: HashMap::new(),
+            next_id: 1,
+            bootstrap,
+            log: Vec::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            cfg,
+        }
+    }
+
+    /// Actor start: dial bootstrap peers so the table fills.
+    pub fn handle_start<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>) {
+        for (peer, ep) in self.bootstrap.clone() {
+            self.table.try_insert(
+                PeerInfo { id: peer, addrs: vec![], endpoint: ep },
+                ctx.now(),
+            );
+            ctx.dial(ep);
+        }
+    }
+
+    fn head_info<C: std::fmt::Debug>(&self, ctx: &Ctx<'_, WireMsg, C>, which: usize) -> PeerInfo {
+        PeerInfo { id: self.heads[which % self.heads.len()], addrs: vec![], endpoint: ctx.me() }
+    }
+
+    /// Closest head to a key (the head that would own the request).
+    fn closest_head(&self, key: &Key256) -> usize {
+        self.heads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, h)| h.key().distance(key))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Inbound connection: identify ourselves (first head's identity — the
+    /// heads share the host connection, as on the real deployment's VM).
+    pub fn handle_inbound<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        from: NodeId,
+    ) {
+        let info = self.head_info(ctx, 0);
+        ctx.send(
+            from,
+            WireMsg::Identify {
+                id: info.id,
+                addrs: vec![],
+                dht_server: true,
+                agent: "hydra-booster/0.7".to_string(),
+            },
+        );
+    }
+
+    /// Dial results feed outstanding lookups (proactive cache fill).
+    pub fn handle_dial_result<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        target: NodeId,
+        ok: bool,
+    ) {
+        if ok {
+            self.handle_inbound(ctx, target);
+        }
+        // Flush lookup queries that were waiting on this dial.
+        for (lookup_id, info) in self.dial_queue.remove(&target).unwrap_or_default() {
+            if ok {
+                self.send_query(ctx, lookup_id, &info);
+            } else {
+                if let Some(l) = self.lookups.get_mut(&lookup_id) {
+                    l.on_failure(&info.id);
+                }
+                self.drive_lookup(ctx, lookup_id);
+            }
+        }
+    }
+
+    /// Incoming wire message.
+    pub fn handle_message<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        from: NodeId,
+        msg: WireMsg,
+    ) {
+        let WireMsg::Dht(m) = msg else {
+            return; // hydra speaks only the DHT
+        };
+        match m.body {
+            DhtBody::Request(req) => {
+                self.serve_request(ctx, from, m.req_id, &m.sender, m.sender_is_server, req)
+            }
+            DhtBody::Response(resp) => {
+                let Some((lookup_id, peer)) = self.pending.remove(&m.req_id) else {
+                    return;
+                };
+                let (closer, providers) = match resp {
+                    DhtResponse::Nodes { closer } => (closer, vec![]),
+                    DhtResponse::Providers { providers, closer } => (closer, providers),
+                    DhtResponse::Pong => (vec![], vec![]),
+                };
+                for info in &closer {
+                    self.table.try_insert(info.clone(), ctx.now());
+                }
+                if let Some(l) = self.lookups.get_mut(&lookup_id) {
+                    l.on_response(&peer.id, closer, providers);
+                }
+                self.drive_lookup(ctx, lookup_id);
+            }
+        }
+    }
+
+    fn serve_request<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        from: NodeId,
+        req_id: u64,
+        sender: &PeerInfo,
+        sender_is_server: bool,
+        req: DhtRequest,
+    ) {
+        let addr = ctx
+            .addr_of(from)
+            .unwrap_or_else(|| SocketAddrV4::new([0, 0, 0, 0].into(), 0));
+        let (cid, target) = match &req {
+            DhtRequest::GetProviders { cid } => (Some(*cid), Some(cid.dht_key())),
+            DhtRequest::AddProvider { record } => (Some(record.cid), Some(record.cid.dht_key())),
+            DhtRequest::FindNode { target } => (None, Some(*target)),
+            DhtRequest::Ping => (None, None),
+        };
+        self.log.push(HydraLogEntry {
+            ts_ns: ctx.now().0,
+            peer: sender.id,
+            addr,
+            class: req.traffic_class(),
+            target,
+            cid,
+        });
+        // Only DHT servers belong in routing tables — clients answering
+        // nothing must stay invisible (§2).
+        if sender_is_server {
+            self.table.try_insert(sender.clone(), ctx.now());
+        }
+
+        let head = self.closest_head(&target.unwrap_or(Key256::ZERO));
+        let reply_body = match req {
+            DhtRequest::Ping => Some(DhtResponse::Pong),
+            DhtRequest::FindNode { target } => Some(DhtResponse::Nodes {
+                closer: self.table.closest(&target, 20),
+            }),
+            DhtRequest::GetProviders { cid } => {
+                let now = ctx.now();
+                let cached = self.cache.get(&cid, now);
+                if cached.is_empty() {
+                    self.cache_misses += 1;
+                    // Proactive cache fill: the amplification behaviour.
+                    if self.cfg.proactive && self.lookups.len() < self.cfg.max_proactive {
+                        self.start_proactive(ctx, cid);
+                    }
+                } else {
+                    self.cache_hits += 1;
+                }
+                Some(DhtResponse::Providers {
+                    providers: cached,
+                    closer: self.table.closest(&cid.dht_key(), 20),
+                })
+            }
+            DhtRequest::AddProvider { record } => {
+                if record.provider == sender.id {
+                    self.cache.add(record, ctx.now());
+                }
+                None
+            }
+        };
+        if let Some(body) = reply_body {
+            let info = self.head_info(ctx, head);
+            ctx.send(
+                from,
+                WireMsg::Dht(DhtMessage {
+                    req_id,
+                    sender: info,
+                    sender_is_server: true,
+                    body: DhtBody::Response(body),
+                }),
+            );
+        }
+    }
+
+    fn start_proactive<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, cid: Cid) {
+        let seeds = self.table.closest(&cid.dht_key(), 20);
+        if seeds.is_empty() {
+            return;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let lookup = Lookup::new(
+            cid.dht_key(),
+            Some(cid),
+            LookupKind::FindProviders { exhaustive: false },
+            LookupConfig::default(),
+            seeds,
+        );
+        self.lookups.insert(id, lookup);
+        self.drive_lookup(ctx, id);
+    }
+
+    fn drive_lookup<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, id: u64) {
+        let Some(l) = self.lookups.get_mut(&id) else {
+            return;
+        };
+        let queries = l.next_queries();
+        for info in queries {
+            if ctx.is_connected(info.endpoint) {
+                self.send_query(ctx, id, &info);
+            } else {
+                let q = self.dial_queue.entry(info.endpoint).or_default();
+                let first = q.is_empty();
+                q.push((id, info.clone()));
+                if first {
+                    ctx.dial(info.endpoint);
+                }
+            }
+        }
+        let done = self.lookups.get(&id).map(|l| l.is_done()).unwrap_or(false);
+        if done {
+            if let Some(l) = self.lookups.remove(&id) {
+                let result = l.into_result();
+                let now = ctx.now();
+                for rec in result.providers {
+                    self.cache.add(rec, now);
+                }
+            }
+        }
+    }
+
+    fn send_query<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        lookup_id: u64,
+        info: &PeerInfo,
+    ) {
+        let Some(l) = self.lookups.get(&lookup_id) else {
+            return;
+        };
+        let cid = l.cid.expect("proactive lookups carry a cid");
+        let req_id = self.next_id;
+        self.next_id += 1;
+        let msg = DhtMessage {
+            req_id,
+            sender: self.head_info(ctx, 0),
+            sender_is_server: true,
+            body: DhtBody::Request(DhtRequest::GetProviders { cid }),
+        };
+        if ctx.send(info.endpoint, WireMsg::Dht(msg)) {
+            self.pending.insert(req_id, (lookup_id, info.clone()));
+            ctx.set_timer(self.cfg.rpc_timeout, req_id);
+        } else if let Some(l) = self.lookups.get_mut(&lookup_id) {
+            l.on_failure(&info.id);
+        }
+    }
+
+    /// Timer: proactive-lookup RPC timeout (token = req_id).
+    pub fn handle_timer<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, token: u64) {
+        if let Some((lookup_id, peer)) = self.pending.remove(&token) {
+            if let Some(l) = self.lookups.get_mut(&lookup_id) {
+                l.on_failure(&peer.id);
+            }
+            self.drive_lookup(ctx, lookup_id);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the counting methodologies and analyses.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use tcsb_core::{
+    an_count, dataset_stats, days_seen_histogram, gip_count, lorenz_curve, majority_label,
+    share_of_top, CrawlSnapshot, CrawledPeer, Graph, RemovalStrategy, UnionFind,
+};
+
+fn arb_snapshots() -> impl Strategy<Value = Vec<CrawlSnapshot>> {
+    // Small synthetic crawl sets: up to 6 crawls × 20 peers × 3 IPs.
+    proptest::collection::vec(
+        proptest::collection::vec((0u64..40, proptest::collection::vec(any::<u32>(), 1..4)), 1..20),
+        1..6,
+    )
+    .prop_map(|crawls| {
+        crawls
+            .into_iter()
+            .enumerate()
+            .map(|(i, peers)| CrawlSnapshot {
+                crawl_id: i as u64,
+                peers: peers
+                    .into_iter()
+                    .map(|(seed, ips)| CrawledPeer {
+                        peer: ipfs_types::PeerId::from_seed(seed),
+                        ips: ips.into_iter().map(Ipv4Addr::from).collect(),
+                        agent: String::new(),
+                        crawlable: true,
+                    })
+                    .collect(),
+                ..Default::default()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn an_total_equals_avg_peer_count(snaps in arb_snapshots()) {
+        // Sum of A-N counts = average number of (deduplicated) peers per crawl.
+        let label = |ip: Ipv4Addr| ip.octets()[0] % 3;
+        let an = an_count(&snaps, label);
+        let total: f64 = an.values().sum();
+        let avg: f64 = snaps
+            .iter()
+            .map(|s| {
+                let mut ids: Vec<_> = s.peers.iter().map(|p| p.peer).collect();
+                ids.sort(); ids.dedup();
+                // an_count counts duplicate peer entries too; our generator
+                // may duplicate seeds within a crawl.
+                s.peers.iter().filter(|p| !p.ips.is_empty()).count() as f64
+            })
+            .sum::<f64>() / snaps.len() as f64;
+        prop_assert!((total - avg).abs() < 1e-6, "{total} vs {avg}");
+    }
+
+    #[test]
+    fn gip_total_equals_unique_ips(snaps in arb_snapshots()) {
+        let gip = gip_count(&snaps, |ip| ip.octets()[0] % 5);
+        let total: u64 = gip.values().sum();
+        let mut ips: Vec<Ipv4Addr> = snaps
+            .iter()
+            .flat_map(|s| s.peers.iter().flat_map(|p| p.ips.iter().copied()))
+            .collect();
+        ips.sort(); ips.dedup();
+        prop_assert_eq!(total as usize, ips.len());
+    }
+
+    #[test]
+    fn dataset_stats_invariants(snaps in arb_snapshots()) {
+        let st = dataset_stats(&snaps);
+        prop_assert!(st.unique_peer_ids as f64 + 1e-9 >= st.peers_per_crawl / 2.0);
+        prop_assert!(st.ips_per_peer >= 1.0 - 1e-9 || st.unique_ips == 0);
+        prop_assert!(st.crawlable_per_crawl <= st.peers_per_crawl + 1e-9);
+    }
+
+    #[test]
+    fn majority_is_a_member(labels in proptest::collection::vec(0u8..5, 1..12)) {
+        let m = majority_label(&labels).unwrap();
+        prop_assert!(labels.contains(&m));
+    }
+
+    #[test]
+    fn lorenz_monotone_and_normalized(counts in proptest::collection::btree_map(any::<u32>(), 1u64..1000, 1..60)) {
+        let counts: BTreeMap<u32, u64> = counts;
+        let curve = lorenz_curve(&counts);
+        prop_assert!(!curve.is_empty());
+        for w in curve.windows(2) {
+            prop_assert!(w[1].y >= w[0].y - 1e-12);
+            prop_assert!(w[1].x > w[0].x);
+        }
+        prop_assert!((curve.last().unwrap().y - 1.0).abs() < 1e-9);
+        // share_of_top is monotone in x.
+        prop_assert!(share_of_top(&curve, 0.1) <= share_of_top(&curve, 0.9) + 1e-12);
+    }
+
+    #[test]
+    fn days_histogram_conserves_identifiers(obs in proptest::collection::vec((0u8..20, 0u64..10), 1..100)) {
+        let mut distinct: Vec<u8> = obs.iter().map(|(k, _)| *k).collect();
+        distinct.sort(); distinct.dedup();
+        let hist = days_seen_histogram(obs);
+        let total: u64 = hist.iter().sum();
+        prop_assert_eq!(total as usize, distinct.len());
+    }
+
+    #[test]
+    fn union_find_agrees_with_bfs(edges in proptest::collection::vec((0u32..30, 0u32..30), 0..60)) {
+        let n = 30usize;
+        let mut uf = UnionFind::new(n);
+        let mut adj = vec![Vec::new(); n];
+        for (a, b) in &edges {
+            uf.union(*a, *b);
+            adj[*a as usize].push(*b);
+            adj[*b as usize].push(*a);
+        }
+        // BFS component of node 0.
+        let mut seen = vec![false; n];
+        let mut queue = vec![0u32];
+        seen[0] = true;
+        let mut size = 1;
+        while let Some(x) = queue.pop() {
+            for &nb in &adj[x as usize] {
+                if !seen[nb as usize] {
+                    seen[nb as usize] = true;
+                    size += 1;
+                    queue.push(nb);
+                }
+            }
+        }
+        prop_assert_eq!(uf.component_size(0), size);
+    }
+
+    #[test]
+    fn resilience_curve_is_well_formed(edges in proptest::collection::vec((0u32..25, 0u32..25), 5..80)) {
+        let n = 25usize;
+        let mut adj = vec![Vec::new(); n];
+        for (a, b) in edges {
+            if a != b {
+                adj[a as usize].push(b);
+                adj[b as usize].push(a);
+            }
+        }
+        let g = Graph { adj };
+        for strat in [RemovalStrategy::Random { seed: 1 }, RemovalStrategy::TargetedByDegree] {
+            let c = g.resilience(strat, 10);
+            for (r, l) in &c.points {
+                prop_assert!((0.0..=1.0).contains(r));
+                prop_assert!((0.0..=1.0 + 1e-9).contains(l));
+            }
+            for w in c.points.windows(2) {
+                prop_assert!(w[1].0 >= w[0].0);
+            }
+        }
+    }
+}

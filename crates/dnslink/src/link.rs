@@ -1,0 +1,76 @@
+//! DNSLink TXT-record parsing (RFC 1464 style `<key>=<value>`).
+
+use ipfs_types::{Cid, Key256};
+
+/// A parsed DNSLink entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DnslinkEntry {
+    /// `dnslink=/ipfs/<CID>` — immutable content pointer.
+    Ipfs(Cid),
+    /// `dnslink=/ipns/<hash of public key>` — mutable pointer.
+    Ipns(Key256),
+}
+
+/// Parse the content of a TXT record into a DNSLink entry, if valid.
+///
+/// The paper's scanner verifies records are "properly formatted DNSLink
+/// entries"; anything else (typos, other keys, broken CIDs) is discarded.
+pub fn parse_dnslink(txt: &str) -> Option<DnslinkEntry> {
+    let value = txt.strip_prefix("dnslink=")?;
+    if let Some(cid_str) = value.strip_prefix("/ipfs/") {
+        let cid = Cid::parse(cid_str.trim_end_matches('/')).ok()?;
+        return Some(DnslinkEntry::Ipfs(cid));
+    }
+    if let Some(key_str) = value.strip_prefix("/ipns/") {
+        // IPNS names are multihashes of public keys; reuse the peer-ID text
+        // form (base58btc multihash).
+        let bytes = ipfs_types::base::base58btc_decode(key_str.trim_end_matches('/')).ok()?;
+        let mh = ipfs_types::Multihash::from_bytes(&bytes).ok()?;
+        return Some(DnslinkEntry::Ipns(Key256(mh.0)));
+    }
+    None
+}
+
+/// Render a DNSLink TXT value for a CID (generator side).
+pub fn format_ipfs_dnslink(cid: &Cid) -> String {
+    format!("dnslink=/ipfs/{}", cid.to_string_canonical())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipfs_types::PeerId;
+
+    #[test]
+    fn roundtrip_ipfs_entry() {
+        let cid = Cid::from_seed(1);
+        let txt = format_ipfs_dnslink(&cid);
+        assert_eq!(parse_dnslink(&txt), Some(DnslinkEntry::Ipfs(cid)));
+    }
+
+    #[test]
+    fn parses_v0_cids() {
+        let cid = Cid::new_v0(b"website");
+        let txt = format!("dnslink=/ipfs/{}", cid.to_string_canonical());
+        assert_eq!(parse_dnslink(&txt), Some(DnslinkEntry::Ipfs(cid)));
+    }
+
+    #[test]
+    fn parses_ipns_entry() {
+        let id = PeerId::from_seed(9);
+        let txt = format!("dnslink=/ipns/{}", id.to_base58());
+        match parse_dnslink(&txt) {
+            Some(DnslinkEntry::Ipns(k)) => assert_eq!(k, id.key()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(parse_dnslink("dnslink=/ipfs/notacid"), None);
+        assert_eq!(parse_dnslink("dnslink=/http/example.com"), None);
+        assert_eq!(parse_dnslink("v=spf1 include:_spf.google.com ~all"), None);
+        assert_eq!(parse_dnslink(""), None);
+        assert_eq!(parse_dnslink("dnslink="), None);
+    }
+}

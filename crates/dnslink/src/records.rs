@@ -1,0 +1,226 @@
+//! DNS records and the zone database.
+//!
+//! A deliberately small but semantically faithful DNS model: A/TXT/CNAME/
+//! ALIAS/SOA records, NXDOMAIN vs NODATA distinction, and CNAME/ALIAS
+//! chasing — everything the paper's active scans exercise (§3 "Active and
+//! Passive DNS").
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A DNS resource record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DnsRecord {
+    /// IPv4 address record.
+    A(Ipv4Addr),
+    /// Free-text record (DNSLink lives here).
+    Txt(String),
+    /// Canonical-name alias (subdomains).
+    Cname(String),
+    /// ALIAS/ANAME pseudo-record (apex domains pointing at gateways).
+    Alias(String),
+    /// Start-of-authority (marks a registered zone).
+    Soa,
+}
+
+impl DnsRecord {
+    /// The query type this record answers.
+    pub fn rtype(&self) -> RecordType {
+        match self {
+            DnsRecord::A(_) => RecordType::A,
+            DnsRecord::Txt(_) => RecordType::Txt,
+            DnsRecord::Cname(_) => RecordType::Cname,
+            DnsRecord::Alias(_) => RecordType::Alias,
+            DnsRecord::Soa => RecordType::Soa,
+        }
+    }
+}
+
+/// DNS query types used by the measurement pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecordType {
+    /// IPv4 address.
+    A,
+    /// Text.
+    Txt,
+    /// Canonical name.
+    Cname,
+    /// ALIAS pseudo-type.
+    Alias,
+    /// Start of authority.
+    Soa,
+}
+
+/// Outcome of a DNS query, mirroring response codes the scanner branches on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DnsAnswer {
+    /// Records of the requested type.
+    Records(Vec<DnsRecord>),
+    /// Name exists but holds no records of this type.
+    NoData,
+    /// Name does not exist at all.
+    NxDomain,
+}
+
+/// The authoritative zone database for the simulated DNS.
+#[derive(Clone, Debug, Default)]
+pub struct DnsZoneDb {
+    zones: HashMap<String, Vec<DnsRecord>>,
+}
+
+impl DnsZoneDb {
+    /// Empty database.
+    pub fn new() -> DnsZoneDb {
+        DnsZoneDb::default()
+    }
+
+    /// Add a record under `name` (lower-cased).
+    pub fn add(&mut self, name: &str, record: DnsRecord) {
+        self.zones.entry(name.to_ascii_lowercase()).or_default().push(record);
+    }
+
+    /// Whether the exact name exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.zones.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Number of names.
+    pub fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+
+    /// All registered names (scanner input; sorted for determinism).
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.zones.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Raw single-name, single-type query.
+    pub fn query(&self, name: &str, rtype: RecordType) -> DnsAnswer {
+        let Some(records) = self.zones.get(&name.to_ascii_lowercase()) else {
+            return DnsAnswer::NxDomain;
+        };
+        let matching: Vec<DnsRecord> =
+            records.iter().filter(|r| r.rtype() == rtype).cloned().collect();
+        if matching.is_empty() {
+            // A CNAME at the name answers any type by redirection.
+            let cname: Vec<DnsRecord> = records
+                .iter()
+                .filter(|r| matches!(r, DnsRecord::Cname(_)))
+                .cloned()
+                .collect();
+            if !cname.is_empty() && rtype != RecordType::Cname {
+                return DnsAnswer::Records(cname);
+            }
+            DnsAnswer::NoData
+        } else {
+            DnsAnswer::Records(matching)
+        }
+    }
+
+    /// Resolve a name to IPv4 addresses, chasing CNAME/ALIAS chains (up to
+    /// 8 hops, like real resolvers).
+    pub fn resolve_a(&self, name: &str) -> Vec<Ipv4Addr> {
+        let mut current = name.to_ascii_lowercase();
+        for _ in 0..8 {
+            match self.query(&current, RecordType::A) {
+                DnsAnswer::Records(recs) => {
+                    let ips: Vec<Ipv4Addr> = recs
+                        .iter()
+                        .filter_map(|r| match r {
+                            DnsRecord::A(ip) => Some(*ip),
+                            _ => None,
+                        })
+                        .collect();
+                    if !ips.is_empty() {
+                        return ips;
+                    }
+                    // CNAME redirection came back; chase it.
+                    if let Some(DnsRecord::Cname(next)) = recs.first() {
+                        current = next.to_ascii_lowercase();
+                        continue;
+                    }
+                    return vec![];
+                }
+                DnsAnswer::NoData => {
+                    // Try ALIAS at the apex.
+                    if let DnsAnswer::Records(recs) = self.query(&current, RecordType::Alias) {
+                        if let Some(DnsRecord::Alias(next)) = recs.first() {
+                            current = next.to_ascii_lowercase();
+                            continue;
+                        }
+                    }
+                    return vec![];
+                }
+                DnsAnswer::NxDomain => return vec![],
+            }
+        }
+        vec![] // loop guard exceeded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn nxdomain_vs_nodata() {
+        let mut db = DnsZoneDb::new();
+        db.add("example.com", DnsRecord::Soa);
+        assert_eq!(db.query("example.com", RecordType::A), DnsAnswer::NoData);
+        assert_eq!(db.query("missing.com", RecordType::A), DnsAnswer::NxDomain);
+    }
+
+    #[test]
+    fn direct_a_resolution() {
+        let mut db = DnsZoneDb::new();
+        db.add("example.com", DnsRecord::A(ip("1.2.3.4")));
+        assert_eq!(db.resolve_a("example.com"), vec![ip("1.2.3.4")]);
+        assert_eq!(db.resolve_a("EXAMPLE.COM"), vec![ip("1.2.3.4")], "case-insensitive");
+    }
+
+    #[test]
+    fn cname_chain_resolution() {
+        let mut db = DnsZoneDb::new();
+        db.add("www.example.com", DnsRecord::Cname("gw.cloudflare-ipfs.com".into()));
+        db.add("gw.cloudflare-ipfs.com", DnsRecord::A(ip("104.16.1.1")));
+        assert_eq!(db.resolve_a("www.example.com"), vec![ip("104.16.1.1")]);
+    }
+
+    #[test]
+    fn alias_at_apex() {
+        let mut db = DnsZoneDb::new();
+        db.add("example.com", DnsRecord::Soa);
+        db.add("example.com", DnsRecord::Alias("gateway.ipfs.io".into()));
+        db.add("gateway.ipfs.io", DnsRecord::A(ip("209.94.90.1")));
+        assert_eq!(db.resolve_a("example.com"), vec![ip("209.94.90.1")]);
+    }
+
+    #[test]
+    fn cname_loop_terminates() {
+        let mut db = DnsZoneDb::new();
+        db.add("a.com", DnsRecord::Cname("b.com".into()));
+        db.add("b.com", DnsRecord::Cname("a.com".into()));
+        assert_eq!(db.resolve_a("a.com"), Vec::<Ipv4Addr>::new());
+    }
+
+    #[test]
+    fn txt_query() {
+        let mut db = DnsZoneDb::new();
+        db.add("_dnslink.example.com", DnsRecord::Txt("dnslink=/ipfs/QmFoo".into()));
+        match db.query("_dnslink.example.com", RecordType::Txt) {
+            DnsAnswer::Records(r) => assert_eq!(r.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The zdns-style active scanning pipeline (§3 "Active and Passive DNS").
+//!
+//! Steps mirror the paper exactly:
+//! 1. collect candidate names from multiple sources, reduce to root domains
+//!    using a public-suffix list;
+//! 2. SOA scan — drop NXDOMAIN (unregistered) names;
+//! 3. for each registered root, query `_dnslink.<root>` TXT records and keep
+//!    properly formatted DNSLink entries;
+//! 4. for names with valid entries, resolve A records to find the gateway or
+//!    proxy IP the owner pointed the domain at.
+
+use crate::link::{parse_dnslink, DnslinkEntry};
+use crate::records::{DnsAnswer, DnsRecord, DnsZoneDb, RecordType};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// A minimal public-suffix list (the paper used Mozilla's). Multi-label
+/// suffixes must precede their parent TLD.
+pub const PUBLIC_SUFFIXES: &[&str] = &[
+    "co.uk", "org.uk", "com.au", "com.br", "co.jp",
+    "com", "org", "net", "io", "xyz", "se", "nu", "ch", "de", "fr", "uk", "us", "eth.link",
+    "app", "dev", "info", "biz", "eu", "nl", "jp", "au", "br", "link",
+];
+
+/// Reduce a hostname to its registrable root domain per the suffix list.
+/// Returns `None` for bare suffixes or unknown TLDs.
+pub fn root_domain(name: &str) -> Option<String> {
+    let name = name.trim_end_matches('.').to_ascii_lowercase();
+    for suffix in PUBLIC_SUFFIXES {
+        if let Some(prefix) = name.strip_suffix(&format!(".{suffix}")) {
+            let label = prefix.rsplit('.').next()?;
+            if label.is_empty() {
+                return None;
+            }
+            return Some(format!("{label}.{suffix}"));
+        }
+    }
+    None
+}
+
+/// One confirmed DNSLink deployment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DnslinkFinding {
+    /// The root domain.
+    pub domain: String,
+    /// The parsed DNSLink entry.
+    pub entry: DnslinkEntry,
+    /// IPs the domain resolves to (the gateway/proxy front).
+    pub gateway_ips: Vec<Ipv4Addr>,
+}
+
+/// Scan statistics, reported alongside findings.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Candidate names before root-domain reduction.
+    pub candidates: usize,
+    /// Distinct root domains after suffix filtering.
+    pub roots: usize,
+    /// Roots that answered the SOA probe (registered).
+    pub registered: usize,
+    /// Roots with a `_dnslink` TXT record of any content.
+    pub with_dnslink_txt: usize,
+    /// Roots with a *valid* DNSLink entry.
+    pub valid_dnslink: usize,
+}
+
+/// The scanner.
+pub struct ZdnsScanner<'a> {
+    db: &'a DnsZoneDb,
+}
+
+impl<'a> ZdnsScanner<'a> {
+    /// Scanner over the given zone database (stands in for Cloudflare
+    /// public DNS).
+    pub fn new(db: &'a DnsZoneDb) -> ZdnsScanner<'a> {
+        ZdnsScanner { db }
+    }
+
+    /// Run the full pipeline over candidate names.
+    pub fn scan<I: IntoIterator<Item = S>, S: AsRef<str>>(
+        &self,
+        candidates: I,
+    ) -> (Vec<DnslinkFinding>, ScanStats) {
+        let mut stats = ScanStats::default();
+        // Dedup roots via BTreeMap for deterministic order.
+        let mut roots: BTreeMap<String, ()> = BTreeMap::new();
+        for cand in candidates {
+            stats.candidates += 1;
+            if let Some(root) = root_domain(cand.as_ref()) {
+                roots.insert(root, ());
+            }
+        }
+        stats.roots = roots.len();
+        let mut findings = Vec::new();
+        for root in roots.keys() {
+            // SOA probe: drop NXDOMAIN.
+            match self.db.query(root, RecordType::Soa) {
+                DnsAnswer::NxDomain => continue,
+                _ => stats.registered += 1,
+            }
+            // _dnslink TXT probe.
+            let txt_name = format!("_dnslink.{root}");
+            let DnsAnswer::Records(recs) = self.db.query(&txt_name, RecordType::Txt) else {
+                continue;
+            };
+            stats.with_dnslink_txt += 1;
+            let Some(entry) = recs.iter().find_map(|r| match r {
+                DnsRecord::Txt(t) => parse_dnslink(t),
+                _ => None,
+            }) else {
+                continue;
+            };
+            stats.valid_dnslink += 1;
+            // A-record follow-up to find the configured gateway/proxy.
+            let gateway_ips = self.db.resolve_a(root);
+            findings.push(DnslinkFinding { domain: root.clone(), entry, gateway_ips });
+        }
+        (findings, stats)
+    }
+}
+
+/// A passive-DNS observation: `qname` was seen resolving to `ip`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PdnsObservation {
+    /// Queried name.
+    pub qname: String,
+    /// Observed answer.
+    pub ip: Ipv4Addr,
+}
+
+/// A passive DNS feed (SIE-Europe stand-in): observations collected at many
+/// vantage points, free of the single-vantage geo-DNS bias the paper warns
+/// about for active scans.
+#[derive(Clone, Debug, Default)]
+pub struct PassiveDnsFeed {
+    observations: Vec<PdnsObservation>,
+}
+
+impl PassiveDnsFeed {
+    /// Empty feed.
+    pub fn new() -> PassiveDnsFeed {
+        PassiveDnsFeed::default()
+    }
+
+    /// Record an observation.
+    pub fn observe(&mut self, qname: &str, ip: Ipv4Addr) {
+        self.observations
+            .push(PdnsObservation { qname: qname.to_ascii_lowercase(), ip });
+    }
+
+    /// All IPs ever observed for a name (deduplicated, sorted).
+    pub fn ips_for(&self, qname: &str) -> Vec<Ipv4Addr> {
+        let q = qname.to_ascii_lowercase();
+        let mut v: Vec<Ipv4Addr> = self
+            .observations
+            .iter()
+            .filter(|o| o.qname == q)
+            .map(|o| o.ip)
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether the feed is empty.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::format_ipfs_dnslink;
+    use ipfs_types::Cid;
+
+    #[test]
+    fn root_domain_reduction() {
+        assert_eq!(root_domain("www.example.com"), Some("example.com".into()));
+        assert_eq!(root_domain("a.b.c.example.co.uk"), Some("example.co.uk".into()));
+        assert_eq!(root_domain("example.com"), Some("example.com".into()));
+        assert_eq!(root_domain("com"), None);
+        assert_eq!(root_domain("example.unknown-tld"), None);
+        assert_eq!(root_domain("Example.COM."), Some("example.com".into()));
+    }
+
+    fn setup_zone() -> DnsZoneDb {
+        let mut db = DnsZoneDb::new();
+        let cid = Cid::from_seed(5);
+        // A valid DNSLink deployment.
+        db.add("site.com", DnsRecord::Soa);
+        db.add("site.com", DnsRecord::A("104.16.0.7".parse().unwrap()));
+        db.add("_dnslink.site.com", DnsRecord::Txt(format_ipfs_dnslink(&cid)));
+        // Registered, broken TXT.
+        db.add("broken.org", DnsRecord::Soa);
+        db.add("_dnslink.broken.org", DnsRecord::Txt("dnslink=/ipfs/zzz".into()));
+        // Registered, no dnslink.
+        db.add("plain.net", DnsRecord::Soa);
+        db
+    }
+
+    #[test]
+    fn full_pipeline() {
+        let db = setup_zone();
+        let scanner = ZdnsScanner::new(&db);
+        let (findings, stats) = scanner.scan([
+            "www.site.com",
+            "site.com",
+            "broken.org",
+            "plain.net",
+            "unregistered.io",
+            "junk.unknown",
+        ]);
+        assert_eq!(stats.candidates, 6);
+        assert_eq!(stats.roots, 4, "unknown TLD dropped, www collapsed");
+        assert_eq!(stats.registered, 3);
+        assert_eq!(stats.with_dnslink_txt, 2);
+        assert_eq!(stats.valid_dnslink, 1);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].domain, "site.com");
+        assert_eq!(findings[0].gateway_ips, vec!["104.16.0.7".parse::<Ipv4Addr>().unwrap()]);
+    }
+
+    #[test]
+    fn passive_feed_dedups() {
+        let mut feed = PassiveDnsFeed::new();
+        feed.observe("gw.ipfs.io", "1.1.1.1".parse().unwrap());
+        feed.observe("gw.ipfs.io", "1.1.1.1".parse().unwrap());
+        feed.observe("gw.ipfs.io", "2.2.2.2".parse().unwrap());
+        feed.observe("GW.IPFS.IO", "3.3.3.3".parse().unwrap());
+        assert_eq!(feed.ips_for("gw.ipfs.io").len(), 3);
+        assert_eq!(feed.len(), 4);
+    }
+}

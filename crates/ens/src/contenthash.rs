@@ -1,0 +1,117 @@
+//! EIP-1577 `contenthash` encoding.
+//!
+//! ENS resolver records store content pointers as
+//! `<protoCode varint><payload>`; for IPFS (`ipfs-ns`, 0xe3) the payload is
+//! the binary CID. The paper filters resolver event logs for exactly these
+//! records (§3 "Ethereum Name Service").
+
+use ipfs_types::base::{varint_decode, varint_encode, DecodeError};
+use ipfs_types::Cid;
+
+/// Multicodec namespace codes used in contenthash values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Namespace {
+    /// `ipfs-ns` (0xe3).
+    Ipfs,
+    /// `swarm-ns` (0xe4).
+    Swarm,
+    /// `ipns-ns` (0xe5).
+    Ipns,
+}
+
+impl Namespace {
+    /// Multicodec code.
+    pub fn code(self) -> u64 {
+        match self {
+            Namespace::Ipfs => 0xe3,
+            Namespace::Swarm => 0xe4,
+            Namespace::Ipns => 0xe5,
+        }
+    }
+
+    /// Reverse of [`Namespace::code`].
+    pub fn from_code(code: u64) -> Option<Namespace> {
+        match code {
+            0xe3 => Some(Namespace::Ipfs),
+            0xe4 => Some(Namespace::Swarm),
+            0xe5 => Some(Namespace::Ipns),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded contenthash value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ContentHash {
+    /// An IPFS CID.
+    Ipfs(Cid),
+    /// A Swarm reference (opaque).
+    Swarm(Vec<u8>),
+    /// An IPNS key (opaque multihash bytes).
+    Ipns(Vec<u8>),
+}
+
+/// Encode an IPFS CID as an EIP-1577 contenthash.
+pub fn encode_ipfs(cid: &Cid) -> Vec<u8> {
+    let mut out = Vec::new();
+    varint_encode(Namespace::Ipfs.code(), &mut out);
+    out.extend_from_slice(&cid.to_bytes());
+    out
+}
+
+/// Encode an opaque payload under a namespace (generator-side, for the
+/// non-IPFS records the extraction must skip).
+pub fn encode_other(ns: Namespace, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    varint_encode(ns.code(), &mut out);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decode a contenthash value.
+pub fn decode(bytes: &[u8]) -> Result<ContentHash, DecodeError> {
+    let (code, used) = varint_decode(bytes)?;
+    let ns = Namespace::from_code(code).ok_or(DecodeError::InvalidLength)?;
+    let payload = &bytes[used..];
+    match ns {
+        Namespace::Ipfs => Ok(ContentHash::Ipfs(Cid::from_bytes(payload)?)),
+        Namespace::Swarm => Ok(ContentHash::Swarm(payload.to_vec())),
+        Namespace::Ipns => Ok(ContentHash::Ipns(payload.to_vec())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipfs_roundtrip() {
+        let cid = Cid::from_seed(1);
+        let enc = encode_ipfs(&cid);
+        assert_eq!(decode(&enc), Ok(ContentHash::Ipfs(cid)));
+    }
+
+    #[test]
+    fn v0_cid_roundtrip() {
+        let cid = Cid::new_v0(b"legacy");
+        let enc = encode_ipfs(&cid);
+        assert_eq!(decode(&enc), Ok(ContentHash::Ipfs(cid)));
+    }
+
+    #[test]
+    fn swarm_and_ipns_pass_through() {
+        let enc = encode_other(Namespace::Swarm, b"bzz-ref");
+        assert_eq!(decode(&enc), Ok(ContentHash::Swarm(b"bzz-ref".to_vec())));
+        let enc = encode_other(Namespace::Ipns, b"key");
+        assert_eq!(decode(&enc), Ok(ContentHash::Ipns(b"key".to_vec())));
+    }
+
+    #[test]
+    fn rejects_unknown_namespace() {
+        let mut bytes = Vec::new();
+        varint_encode(0x42, &mut bytes);
+        bytes.extend_from_slice(b"junk");
+        assert!(decode(&bytes).is_err());
+        assert!(decode(&[]).is_err());
+    }
+}

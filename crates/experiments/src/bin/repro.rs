@@ -1,0 +1,101 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all   [--scale tiny|small|quick|paper] [--seed N] [--md PATH]
+//! repro table1|stats|fig03..fig08            # crawl-group artefacts
+//! repro fig09..fig16|fig17..fig20            # workload-group artefacts
+//! ```
+
+use experiments::{crawl_exp, entry_exp, traffic_exp, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <all|table1|stats|figNN> [--scale tiny|small|quick|paper] [--seed N] [--md PATH]");
+        std::process::exit(2);
+    }
+    let cmd = args[0].clone();
+    let mut scale = Scale::Small;
+    let mut seed = 42u64;
+    let mut md_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = Scale::parse(&args[i + 1]).unwrap_or_else(|| {
+                    eprintln!("unknown scale {:?}", args[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--seed" => {
+                seed = args[i + 1].parse().expect("seed must be a u64");
+                i += 2;
+            }
+            "--md" => {
+                md_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match cmd.as_str() {
+        "all" => {
+            let reports = experiments::run_all(scale, seed);
+            for r in &reports {
+                println!("{r}");
+            }
+            if let Some(path) = md_path {
+                let md = experiments::to_markdown(&reports, scale, seed);
+                std::fs::write(&path, md).expect("write markdown");
+                eprintln!("[repro] wrote {path}");
+            }
+        }
+        "table1" => println!("{}", crawl_exp::table1()),
+        "stats" | "fig03" | "fig04" | "fig05" | "fig06" | "fig07" | "fig08" => {
+            let data = crawl_exp::collect(scale.config(seed), scale.crawls());
+            let r = match cmd.as_str() {
+                "stats" => crawl_exp::stats(&data),
+                "fig03" => crawl_exp::fig03(&data),
+                "fig04" => crawl_exp::fig04(&data),
+                "fig05" => crawl_exp::fig05(&data),
+                "fig06" => crawl_exp::fig06(&data),
+                "fig07" => crawl_exp::fig07(&data),
+                _ => crawl_exp::fig08(&data),
+            };
+            println!("{r}");
+        }
+        "fig09" | "fig10" | "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16"
+        | "fig17" | "fig18" | "fig19" | "fig20" => {
+            let mut wl = traffic_exp::run_workload(scale.config(seed ^ 0xBEEF));
+            let r = match cmd.as_str() {
+                "fig09" => traffic_exp::fig09(&wl),
+                "fig10" => traffic_exp::fig10(&wl),
+                "fig11" => traffic_exp::fig11(&wl),
+                "fig12" => traffic_exp::fig12(&wl),
+                "fig13" => traffic_exp::fig13(&wl),
+                "fig17" => entry_exp::fig17(&wl.campaign.scenario),
+                "fig18" => traffic_exp::fig18_19(&wl).0,
+                "fig19" => traffic_exp::fig18_19(&wl).1,
+                "fig20" => traffic_exp::fig20(&mut wl, scale.ens_sample()),
+                _ => {
+                    let ds = traffic_exp::collect_providers(&mut wl, scale.provider_sample());
+                    match cmd.as_str() {
+                        "fig14" => traffic_exp::fig14(&wl, &ds),
+                        "fig15" => traffic_exp::fig15(&wl, &ds),
+                        _ => traffic_exp::fig16(&wl, &ds),
+                    }
+                }
+            };
+            println!("{r}");
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            std::process::exit(2);
+        }
+    }
+}

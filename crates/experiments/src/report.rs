@@ -1,0 +1,143 @@
+//! Report structures: paper-vs-measured tables for every experiment.
+
+use std::fmt;
+
+/// One comparison row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Metric name.
+    pub metric: String,
+    /// The paper's published value (None for context-only rows).
+    pub paper: Option<f64>,
+    /// The value measured in this reproduction.
+    pub measured: f64,
+    /// Formatting hint.
+    pub unit: Unit,
+}
+
+/// Value formatting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unit {
+    /// Percentage (value is a 0..1 share).
+    Pct,
+    /// Plain count.
+    Count,
+    /// Seconds.
+    Secs,
+    /// Raw ratio.
+    Ratio,
+}
+
+impl Unit {
+    fn fmt_val(&self, v: f64) -> String {
+        match self {
+            Unit::Pct => format!("{:.1}%", v * 100.0),
+            Unit::Count => {
+                if v >= 1000.0 {
+                    format!("{:.1}", v)
+                } else {
+                    format!("{:.1}", v)
+                }
+            }
+            Unit::Secs => format!("{v:.1}s"),
+            Unit::Ratio => format!("{v:.3}"),
+        }
+    }
+}
+
+/// One experiment's result table.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment id (e.g. `"fig03"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Comparison rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (series excerpts, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// New empty report.
+    pub fn new(id: &str, title: &str) -> Report {
+        Report { id: id.to_string(), title: title.to_string(), rows: vec![], notes: vec![] }
+    }
+
+    /// Add a paper-vs-measured row.
+    pub fn cmp(&mut self, metric: &str, paper: f64, measured: f64, unit: Unit) -> &mut Self {
+        self.rows.push(Row { metric: metric.to_string(), paper: Some(paper), measured, unit });
+        self
+    }
+
+    /// Add a measured-only row.
+    pub fn val(&mut self, metric: &str, measured: f64, unit: Unit) -> &mut Self {
+        self.rows.push(Row { metric: metric.to_string(), paper: None, measured, unit });
+        self
+    }
+
+    /// Add a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Render as a Markdown section (EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str("| metric | paper | measured |\n|---|---|---|\n");
+        for r in &self.rows {
+            let paper = r.paper.map(|p| r.unit.fmt_val(p)).unwrap_or_else(|| "—".into());
+            out.push_str(&format!(
+                "| {} | {} | {} |\n",
+                r.metric,
+                paper,
+                r.unit.fmt_val(r.measured)
+            ));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "==== {} — {} ====", self.id, self.title)?;
+        for r in &self.rows {
+            let paper = r.paper.map(|p| r.unit.fmt_val(p)).unwrap_or_else(|| "      —".into());
+            writeln!(
+                f,
+                "  {:<52} paper {:>9}   measured {:>9}",
+                r.metric,
+                paper,
+                r.unit.fmt_val(r.measured)
+            )?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  · {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_text_and_markdown() {
+        let mut r = Report::new("fig99", "Test");
+        r.cmp("cloud share", 0.796, 0.81, Unit::Pct);
+        r.val("events", 1234.0, Unit::Count);
+        r.note("context");
+        let txt = r.to_string();
+        assert!(txt.contains("79.6%"));
+        assert!(txt.contains("81.0%"));
+        let md = r.to_markdown();
+        assert!(md.contains("| cloud share | 79.6% | 81.0% |"));
+        assert!(md.contains("> context"));
+    }
+}

@@ -1,0 +1,16 @@
+//! # ipfs-node — the composed IPFS node actor
+//!
+//! Glues the sans-io `kademlia` and `bitswap` engines to the `simnet`
+//! event loop: connection management with watermarks, identify exchange,
+//! circuit-relay reservations for NAT-ed nodes (with DCUtR-style hole
+//! punching on circuit dials), the two-phase retrieval pipeline (1-hop
+//! Bitswap broadcast, then DHT provider resolution), content advertisement
+//! with reproviding, and HTTP-gateway behaviour.
+
+pub mod actor;
+pub mod node;
+pub mod wire;
+
+pub use actor::NodeActor;
+pub use node::{IpfsNode, NodeConfig};
+pub use wire::{BitswapLogEntry, NodeCmd, NodeEvent, WireMsg};

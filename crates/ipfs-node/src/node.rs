@@ -1,0 +1,1170 @@
+//! The composed IPFS node: DHT + Bitswap + blockstore + connection manager +
+//! circuit relay + gateway behaviour + reprovider.
+//!
+//! One [`IpfsNode`] is the state of one network participant. Its methods are
+//! callback handlers matching `simnet::Actor`, but generic over the harness
+//! command type so higher layers can wrap nodes into richer actor enums
+//! (monitors, Hydra boosters and crawlers live in `tcsb-core`).
+
+use crate::wire::{BitswapLogEntry, NodeCmd, NodeEvent, WireMsg};
+use bitswap::{Bitswap, BitswapMessage, Block, BsOutput, MemoryBlockstore};
+use ipfs_types::{Cid, Keypair, Multiaddr, PeerId};
+use kademlia::{
+    Dht, DhtBody, DhtConfig, DhtMessage, DhtMode, DhtRequest, DhtResponse, LookupKind, PeerInfo,
+    ProviderRecord,
+};
+use rand::seq::SliceRandom;
+use rand::RngExt;
+use simnet::{Ctx, Dur, NodeId};
+use std::collections::{HashMap, HashSet};
+use std::net::SocketAddrV4;
+
+/// Timer token kinds (top 4 bits of the token).
+mod tok {
+    pub const RPC: u64 = 1;
+    pub const FETCH_BS: u64 = 2;
+    pub const FETCH_ALL: u64 = 3;
+    pub const REPROVIDE: u64 = 4;
+    pub const CONNMGR: u64 = 5;
+    pub const REFRESH: u64 = 6;
+    pub const RELAY: u64 = 7;
+
+    pub fn pack(kind: u64, epoch: u8, low: u64) -> u64 {
+        (kind << 60) | ((epoch as u64) << 52) | (low & 0xF_FFFF_FFFF_FFFF)
+    }
+
+    pub fn unpack(token: u64) -> (u64, u8, u64) {
+        (token >> 60, ((token >> 52) & 0xFF) as u8, token & 0xF_FFFF_FFFF_FFFF)
+    }
+}
+
+/// Node configuration. Defaults mirror the go-ipfs v0.11-era behaviour the
+/// paper measured, scaled knobs are overridden by `netgen`.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Identity seed (keypair derivation).
+    pub identity_seed: u64,
+    /// Force DHT server (`Some(true)`), client (`Some(false)`), or decide
+    /// from reachability like the real software (`None`).
+    pub dht_server: Option<bool>,
+    /// Agent string reported via identify.
+    pub agent: String,
+    /// Bootstrap peers `(peer, endpoint)` dialled on every start.
+    pub bootstrap: Vec<(PeerId, NodeId)>,
+    /// Connection-manager low watermark (trim target).
+    pub conn_low: usize,
+    /// Connection-manager high watermark (trim trigger).
+    pub conn_high: usize,
+    /// Proactively dial random table peers below this connection count
+    /// (drives Bitswap broadcast fan-out).
+    pub conn_floor: usize,
+    /// Never trim connections (the paper's monitoring nodes).
+    pub unbounded_conns: bool,
+    /// Cap on proactive dials per connection-manager tick (monitors use a
+    /// high value to reach the whole network quickly).
+    pub max_dials_per_tick: usize,
+    /// Become a provider for every fetched block (IPFS default).
+    pub provide_on_fetch: bool,
+    /// Reprovide interval (12 h in go-ipfs; `Dur::ZERO` disables).
+    pub reprovide_interval: Dur,
+    /// CIDs re-advertised per reprovide burst.
+    pub reprovide_batch: usize,
+    /// Per-RPC timeout.
+    pub rpc_timeout: Dur,
+    /// How long to wait on the Bitswap 1-hop broadcast before falling back
+    /// to the DHT.
+    pub bitswap_phase_timeout: Dur,
+    /// Overall fetch deadline.
+    pub fetch_timeout: Dur,
+    /// Bucket-refresh cadence (`Dur::ZERO` disables).
+    pub refresh_interval: Dur,
+    /// Routing-table usefulness timeout: entries silent for longer are
+    /// evicted on the connection-manager tick (`Dur::ZERO` disables).
+    pub table_entry_ttl: Dur,
+    /// Connection-manager cadence.
+    pub connmgr_interval: Dur,
+    /// Serve circuit-relay reservations (public nodes).
+    pub relay_server: bool,
+    /// Gateway overlay node (serves `HttpRequest`).
+    pub is_gateway: bool,
+    /// Log incoming Bitswap wantlists (monitor behaviour).
+    pub log_bitswap: bool,
+    /// Record [`NodeEvent`]s (tests/tools; off for bulk population).
+    pub record_events: bool,
+    /// Providers dialled per DHT-resolved fetch.
+    pub max_fetch_providers: usize,
+    /// Extra addresses announced besides the primary (multihoming).
+    pub extra_addrs: Vec<SocketAddrV4>,
+    /// DHT parameters.
+    pub dht: DhtConfig,
+}
+
+impl NodeConfig {
+    /// A regular node with the given identity seed.
+    pub fn regular(identity_seed: u64) -> NodeConfig {
+        NodeConfig {
+            identity_seed,
+            dht_server: None,
+            agent: "go-ipfs/0.11".to_string(),
+            bootstrap: Vec::new(),
+            conn_low: 600,
+            conn_high: 900,
+            conn_floor: 0,
+            unbounded_conns: false,
+            max_dials_per_tick: 8,
+            provide_on_fetch: true,
+            reprovide_interval: Dur::from_hours(12),
+            reprovide_batch: 16,
+            rpc_timeout: Dur::from_secs(10),
+            bitswap_phase_timeout: Dur::from_secs(2),
+            fetch_timeout: Dur::from_mins(2),
+            refresh_interval: Dur::from_hours(2),
+            table_entry_ttl: Dur::from_hours(2),
+            connmgr_interval: Dur::from_mins(5),
+            relay_server: true,
+            is_gateway: false,
+            log_bitswap: false,
+            record_events: false,
+            max_fetch_providers: 3,
+            extra_addrs: Vec::new(),
+            dht: DhtConfig::server(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct RemotePeer {
+    id: Option<PeerId>,
+    server: bool,
+    agent: String,
+    relayed: bool,
+}
+
+#[derive(Clone, Debug)]
+enum PostDial {
+    LookupQuery { lookup: u64, info: PeerInfo },
+    AddProvider { record: ProviderRecord },
+    RequestBlock { cid: Cid, peer: PeerId },
+    RelayReserve,
+    HttpRequest { req_id: u64, cid: Cid },
+    /// Once connected to the relay, launch the circuit dial to `target`.
+    CircuitDial { target: NodeId },
+}
+
+#[derive(Clone, Debug)]
+struct PendingRpc {
+    peer: PeerInfo,
+    lookup: u64,
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Provide { cid: Cid },
+    Fetch { cid: Cid, reply: Option<(NodeId, u64)>, via_dht: bool },
+    Resolve { cid: Cid },
+}
+
+/// The state of one simulated IPFS node.
+pub struct IpfsNode {
+    /// Static configuration.
+    pub cfg: NodeConfig,
+    keypair: Keypair,
+    id: PeerId,
+    dht: Dht,
+    bitswap: Bitswap,
+    store: MemoryBlockstore,
+    /// CIDs we published ourselves (always reprovided, survive restarts).
+    published: Vec<Cid>,
+
+    // --- connection/session state (reset on stop) ---
+    peers: HashMap<NodeId, RemotePeer>,
+    conn_by_peer: HashMap<PeerId, NodeId>,
+    dialing: HashMap<NodeId, Vec<PostDial>>,
+    pending: HashMap<u64, PendingRpc>,
+    next_req: u64,
+    ops: HashMap<u64, Op>,
+    lookup_to_op: HashMap<u64, u64>,
+    fetch_by_cid: HashMap<Cid, u64>,
+    relay: Option<(PeerId, NodeId, SocketAddrV4)>,
+    relay_clients: HashSet<NodeId>,
+    epoch: u8,
+    bootstrapped: bool,
+
+    // --- observability ---
+    /// Recorded events (when `record_events`).
+    pub events: Vec<NodeEvent>,
+    /// Bitswap monitor log (when `log_bitswap`).
+    pub bitswap_log: Vec<BitswapLogEntry>,
+    /// Count of DHT requests served, by class.
+    pub dht_requests_served: u64,
+}
+
+impl IpfsNode {
+    /// Build a node from config.
+    pub fn new(cfg: NodeConfig) -> IpfsNode {
+        let keypair = Keypair::from_seed(cfg.identity_seed);
+        let id = keypair.peer_id();
+        let dht = Dht::new(id, cfg.dht);
+        IpfsNode {
+            keypair,
+            id,
+            dht,
+            bitswap: Bitswap::new(),
+            store: MemoryBlockstore::new(),
+            published: Vec::new(),
+            peers: HashMap::new(),
+            conn_by_peer: HashMap::new(),
+            dialing: HashMap::new(),
+            pending: HashMap::new(),
+            next_req: 1,
+            ops: HashMap::new(),
+            lookup_to_op: HashMap::new(),
+            fetch_by_cid: HashMap::new(),
+            relay: None,
+            relay_clients: HashSet::new(),
+            epoch: 0,
+            bootstrapped: false,
+            events: Vec::new(),
+            bitswap_log: Vec::new(),
+            dht_requests_served: 0,
+            cfg,
+        }
+    }
+
+    /// Our peer ID.
+    pub fn peer_id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The keypair (tests).
+    pub fn keypair(&self) -> &Keypair {
+        &self.keypair
+    }
+
+    /// DHT accessor.
+    pub fn dht(&self) -> &Dht {
+        &self.dht
+    }
+
+    /// Blockstore accessor.
+    pub fn store(&self) -> &MemoryBlockstore {
+        &self.store
+    }
+
+    /// Bitswap accessor.
+    pub fn bitswap(&self) -> &Bitswap {
+        &self.bitswap
+    }
+
+    /// Our current relay, if NAT-ed and reserved.
+    pub fn relay(&self) -> Option<PeerId> {
+        self.relay.as_ref().map(|(p, _, _)| *p)
+    }
+
+    /// CIDs we have published.
+    pub fn published(&self) -> &[Cid] {
+        &self.published
+    }
+
+    /// Snapshot of identified connected peers:
+    /// `(endpoint, peer, is_dht_server, agent)`. Sorted by endpoint.
+    pub fn connected_peers(&self) -> Vec<(NodeId, PeerId, bool, &str)> {
+        let mut v: Vec<(NodeId, PeerId, bool, &str)> = self
+            .peers
+            .iter()
+            .filter_map(|(ep, p)| p.id.map(|id| (*ep, id, p.server, p.agent.as_str())))
+            .collect();
+        v.sort_by_key(|(ep, ..)| *ep);
+        v
+    }
+
+    /// Whether the connection to `peer` came in through a relay circuit.
+    pub fn peer_was_relayed(&self, ep: NodeId) -> bool {
+        self.peers.get(&ep).map(|p| p.relayed).unwrap_or(false)
+    }
+
+    fn record(&mut self, ev: NodeEvent) {
+        if self.cfg.record_events {
+            self.events.push(ev);
+        }
+    }
+
+    /// The addresses we announce: direct when dialable, circuit via relay
+    /// when NAT-ed, plus configured extras.
+    pub fn advertised_addrs<C: std::fmt::Debug>(&self, ctx: &Ctx<'_, WireMsg, C>) -> Vec<Multiaddr> {
+        let mut out = Vec::new();
+        let my = ctx.my_addr();
+        if ctx.i_am_dialable() {
+            out.push(Multiaddr::ip4_tcp_p2p(*my.ip(), my.port(), self.id));
+            for extra in &self.cfg.extra_addrs {
+                out.push(Multiaddr::ip4_tcp_p2p(*extra.ip(), extra.port(), self.id));
+            }
+        } else if let Some((relay_id, _, relay_addr)) = &self.relay {
+            out.push(Multiaddr::circuit(*relay_addr.ip(), relay_addr.port(), *relay_id, self.id));
+        }
+        out
+    }
+
+    fn my_info<C: std::fmt::Debug>(&self, ctx: &Ctx<'_, WireMsg, C>) -> PeerInfo {
+        PeerInfo { id: self.id, addrs: self.advertised_addrs(ctx), endpoint: ctx.me() }
+    }
+
+    fn provider_record<C: std::fmt::Debug>(
+        &self,
+        ctx: &Ctx<'_, WireMsg, C>,
+        cid: Cid,
+    ) -> ProviderRecord {
+        ProviderRecord {
+            cid,
+            provider: self.id,
+            addrs: self.advertised_addrs(ctx),
+            endpoint: ctx.me(),
+            relay_endpoint: if ctx.i_am_dialable() {
+                None
+            } else {
+                self.relay.as_ref().map(|(_, ep, _)| *ep)
+            },
+            stored_at: ctx.now(),
+        }
+    }
+
+    fn set_timer<C: std::fmt::Debug>(
+        &self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        delay: Dur,
+        kind: u64,
+        low: u64,
+    ) {
+        ctx.set_timer(delay, tok::pack(kind, self.epoch, low));
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// `Actor::on_start`.
+    pub fn handle_start<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>) {
+        self.epoch = self.epoch.wrapping_add(1);
+        // Reachability decides server/client mode unless forced.
+        let server = self.cfg.dht_server.unwrap_or_else(|| ctx.i_am_dialable());
+        self.dht.set_mode(if server { DhtMode::Server } else { DhtMode::Client });
+        // Fresh session: routing table and connection state are in-memory.
+        self.dht.reset_table();
+        self.peers.clear();
+        self.conn_by_peer.clear();
+        self.dialing.clear();
+        self.pending.clear();
+        self.ops.clear();
+        self.lookup_to_op.clear();
+        self.fetch_by_cid.clear();
+        self.relay = None;
+        self.relay_clients.clear();
+        self.bitswap = Bitswap::new();
+        self.bootstrapped = false;
+
+        if !self.cfg.bootstrap.is_empty() {
+            let seeds = self.cfg.bootstrap.clone();
+            self.do_bootstrap(ctx, &seeds);
+        }
+        if self.cfg.connmgr_interval > Dur::ZERO {
+            let jitter = Dur(ctx.rng().random_range(0..=self.cfg.connmgr_interval.0));
+            self.set_timer(ctx, self.cfg.connmgr_interval + jitter, tok::CONNMGR, 0);
+        }
+        if self.cfg.refresh_interval > Dur::ZERO {
+            let jitter = Dur(ctx.rng().random_range(0..=self.cfg.refresh_interval.0));
+            self.set_timer(ctx, self.cfg.refresh_interval + jitter, tok::REFRESH, 0);
+        }
+        if self.cfg.reprovide_interval > Dur::ZERO {
+            let jitter = Dur(ctx.rng().random_range(0..=self.cfg.reprovide_interval.0));
+            self.set_timer(ctx, jitter, tok::REPROVIDE, 0);
+        }
+    }
+
+    /// `Actor::on_stop`.
+    pub fn handle_stop<C: std::fmt::Debug>(&mut self, _ctx: &mut Ctx<'_, WireMsg, C>) {
+        // Connection-bound state dies with the session; published content
+        // and the blockstore persist (datastore on disk).
+    }
+
+    fn do_bootstrap<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        seeds: &[(PeerId, NodeId)],
+    ) {
+        for (peer, ep) in seeds {
+            if *ep == ctx.me() {
+                continue;
+            }
+            self.dht.observe_peer(
+                &PeerInfo { id: *peer, addrs: vec![], endpoint: *ep },
+                true,
+                ctx.now(),
+            );
+            self.ensure_dial(ctx, *ep, None);
+        }
+        // Self-lookup fills nearby buckets and announces us to the network.
+        let lookup = self.dht.start_lookup(self.id.key(), None, LookupKind::GetClosestPeers);
+        self.drive_lookup(ctx, lookup);
+    }
+
+    // ------------------------------------------------------------------
+    // Connections
+    // ------------------------------------------------------------------
+
+    fn ensure_dial<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        target: NodeId,
+        action: Option<PostDial>,
+    ) {
+        if target == ctx.me() {
+            return;
+        }
+        if ctx.is_connected(target) {
+            if let Some(a) = action {
+                self.run_post_dial(ctx, target, a);
+            }
+            return;
+        }
+        let in_flight = self.dialing.contains_key(&target);
+        let entry = self.dialing.entry(target).or_default();
+        if let Some(a) = action {
+            entry.push(a);
+        }
+        if !in_flight {
+            ctx.dial(target);
+        }
+    }
+
+    fn ensure_dial_via<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        relay: NodeId,
+        target: NodeId,
+        action: PostDial,
+    ) {
+        if ctx.is_connected(target) {
+            self.run_post_dial(ctx, target, action);
+            return;
+        }
+        let in_flight = self.dialing.contains_key(&target);
+        self.dialing.entry(target).or_default().push(action);
+        if in_flight {
+            return;
+        }
+        if ctx.is_connected(relay) {
+            ctx.dial_via(relay, target);
+        } else {
+            // Dial the relay first; the circuit dial fires once it lands.
+            self.ensure_dial(ctx, relay, Some(PostDial::CircuitDial { target }));
+        }
+    }
+
+    /// `Actor::on_inbound_connection`.
+    pub fn handle_inbound<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        from: NodeId,
+        relayed: bool,
+    ) {
+        self.peers.insert(
+            from,
+            RemotePeer { id: None, server: false, agent: String::new(), relayed },
+        );
+        self.send_identify(ctx, from);
+    }
+
+    /// `Actor::on_dial_result`.
+    pub fn handle_dial_result<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        target: NodeId,
+        ok: bool,
+        relayed: bool,
+    ) {
+        let actions = self.dialing.remove(&target).unwrap_or_default();
+        if ok {
+            self.peers
+                .entry(target)
+                .or_insert(RemotePeer { id: None, server: false, agent: String::new(), relayed });
+            self.send_identify(ctx, target);
+            for a in actions {
+                self.run_post_dial(ctx, target, a);
+            }
+        } else {
+            for a in actions {
+                self.fail_post_dial(ctx, target, a);
+            }
+        }
+    }
+
+    fn run_post_dial<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        target: NodeId,
+        action: PostDial,
+    ) {
+        match action {
+            PostDial::LookupQuery { lookup, info } => self.send_query(ctx, lookup, &info),
+            PostDial::AddProvider { record } => {
+                let msg = self.dht_request_msg(ctx, DhtRequest::AddProvider { record });
+                ctx.send(target, WireMsg::Dht(msg));
+            }
+            PostDial::RequestBlock { cid, peer } => {
+                // Identify may still be in flight; bind the peer to the
+                // endpoint we just dialed so the request can go out now.
+                self.conn_by_peer.entry(peer).or_insert(target);
+                let out = self.bitswap.request_block_from(cid, peer, ctx.now());
+                self.flush_bitswap(ctx, out);
+            }
+            PostDial::RelayReserve => {
+                ctx.send(target, WireMsg::RelayReserve { from: self.id });
+            }
+            PostDial::HttpRequest { req_id, cid } => {
+                ctx.send(target, WireMsg::HttpRequest { req_id, cid });
+            }
+            PostDial::CircuitDial { target: circuit_target } => {
+                // `target` here is the relay that just connected.
+                if !ctx.is_connected(circuit_target) {
+                    ctx.dial_via(target, circuit_target);
+                }
+            }
+        }
+    }
+
+    fn fail_post_dial<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        target: NodeId,
+        action: PostDial,
+    ) {
+        match action {
+            PostDial::LookupQuery { lookup, info } => {
+                self.dht.lookup_failure(lookup, &info.id);
+                self.drive_lookup(ctx, lookup);
+            }
+            PostDial::AddProvider { .. } => {}
+            PostDial::RequestBlock { .. } => {
+                // Overall fetch timeout will clean up.
+            }
+            PostDial::RelayReserve => {
+                let _ = target;
+                self.set_timer(ctx, Dur::from_secs(30), tok::RELAY, 0);
+            }
+            PostDial::HttpRequest { .. } => {}
+            PostDial::CircuitDial { target: circuit_target } => {
+                // Relay unreachable: fail everything queued on the target.
+                for a in self.dialing.remove(&circuit_target).unwrap_or_default() {
+                    self.fail_post_dial(ctx, circuit_target, a);
+                }
+            }
+        }
+    }
+
+    fn send_identify<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, to: NodeId) {
+        let msg = WireMsg::Identify {
+            id: self.id,
+            addrs: self.advertised_addrs(ctx),
+            dht_server: self.dht.is_server(),
+            agent: self.cfg.agent.clone(),
+        };
+        ctx.send(to, msg);
+    }
+
+    /// `Actor::on_connection_closed`.
+    pub fn handle_connection_closed<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        peer: NodeId,
+    ) {
+        if let Some(p) = self.peers.remove(&peer) {
+            if let Some(id) = p.id {
+                self.conn_by_peer.remove(&id);
+                self.bitswap.peer_disconnected(&id);
+            }
+        }
+        self.relay_clients.remove(&peer);
+        if let Some((_, ep, _)) = &self.relay {
+            if *ep == peer {
+                self.relay = None;
+                self.set_timer(ctx, Dur::from_secs(10), tok::RELAY, 0);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commands
+    // ------------------------------------------------------------------
+
+    /// Dispatch a harness command.
+    pub fn handle_command<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        cmd: NodeCmd,
+    ) {
+        match cmd {
+            NodeCmd::Bootstrap { seeds } => {
+                self.cfg.bootstrap = seeds.clone();
+                self.do_bootstrap(ctx, &seeds);
+            }
+            NodeCmd::Publish { cid, size } => {
+                self.store.put(Block { cid, size });
+                if !self.published.contains(&cid) {
+                    self.published.push(cid);
+                }
+                self.start_provide(ctx, cid);
+            }
+            NodeCmd::Provide { cid } => {
+                self.start_provide(ctx, cid);
+            }
+            NodeCmd::Fetch { cid } => {
+                self.start_fetch(ctx, cid, None);
+            }
+            NodeCmd::HttpGet { frontend, cid } => {
+                let req_id = self.next_req;
+                self.next_req += 1;
+                self.ensure_dial(ctx, frontend, Some(PostDial::HttpRequest { req_id, cid }));
+            }
+            NodeCmd::AdoptIdentity { seed } => {
+                self.adopt_identity(ctx, seed);
+            }
+            NodeCmd::ResolveProviders { cid, exhaustive } => {
+                let op_id = self.next_req;
+                self.next_req += 1;
+                let lookup = self.dht.start_lookup(
+                    cid.dht_key(),
+                    Some(cid),
+                    LookupKind::FindProviders { exhaustive },
+                );
+                self.ops.insert(op_id, Op::Resolve { cid });
+                self.lookup_to_op.insert(lookup, op_id);
+                self.drive_lookup(ctx, lookup);
+            }
+        }
+    }
+
+    fn adopt_identity<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, seed: u64) {
+        for peer in ctx.connections() {
+            ctx.disconnect(peer);
+        }
+        self.cfg.identity_seed = seed;
+        self.keypair = Keypair::from_seed(seed);
+        self.id = self.keypair.peer_id();
+        self.dht = Dht::new(self.id, self.cfg.dht);
+        self.store = MemoryBlockstore::new();
+        self.published.clear();
+        // Simulate a process restart with the new identity.
+        self.handle_start(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // DHT request plumbing
+    // ------------------------------------------------------------------
+
+    fn dht_request_msg<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &Ctx<'_, WireMsg, C>,
+        req: DhtRequest,
+    ) -> DhtMessage {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        DhtMessage {
+            req_id,
+            sender: self.my_info(ctx),
+            sender_is_server: self.dht.is_server(),
+            body: DhtBody::Request(req),
+        }
+    }
+
+    fn send_query<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        lookup: u64,
+        info: &PeerInfo,
+    ) {
+        let Some((target, cid, kind)) = self.dht.lookup_meta(lookup) else {
+            return;
+        };
+        let req = match kind {
+            LookupKind::GetClosestPeers => DhtRequest::FindNode { target },
+            LookupKind::FindProviders { .. } => DhtRequest::GetProviders {
+                cid: cid.expect("provider lookup carries cid"),
+            },
+        };
+        let msg = self.dht_request_msg(ctx, req);
+        let req_id = msg.req_id;
+        if ctx.send(info.endpoint, WireMsg::Dht(msg)) {
+            self.pending.insert(req_id, PendingRpc { peer: info.clone(), lookup });
+            self.set_timer(ctx, self.cfg.rpc_timeout, tok::RPC, req_id);
+        } else {
+            self.dht.lookup_failure(lookup, &info.id);
+            self.drive_lookup(ctx, lookup);
+        }
+    }
+
+    fn drive_lookup<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, lookup: u64) {
+        let queries = self.dht.lookup_next_queries(lookup);
+        for info in queries {
+            if ctx.is_connected(info.endpoint) {
+                self.send_query(ctx, lookup, &info);
+            } else {
+                self.ensure_dial(ctx, info.endpoint, Some(PostDial::LookupQuery { lookup, info }));
+            }
+        }
+        if let Some(result) = self.dht.lookup_take_result(lookup) {
+            self.finish_lookup(ctx, lookup, result);
+        }
+    }
+
+    fn finish_lookup<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        lookup: u64,
+        result: kademlia::LookupResult,
+    ) {
+        let Some(op_id) = self.lookup_to_op.remove(&lookup) else {
+            // Maintenance lookup (bootstrap/refresh) — table already updated.
+            if !self.bootstrapped {
+                self.bootstrapped = true;
+                self.record(NodeEvent::Bootstrapped);
+                self.after_bootstrap(ctx);
+            }
+            return;
+        };
+        let Some(op) = self.ops.remove(&op_id) else {
+            return;
+        };
+        match op {
+            Op::Provide { cid } => {
+                let record = self.provider_record(ctx, cid);
+                let resolvers = result.closest.len();
+                for peer in result.closest {
+                    if ctx.is_connected(peer.endpoint) {
+                        let msg = self
+                            .dht_request_msg(ctx, DhtRequest::AddProvider { record: record.clone() });
+                        ctx.send(peer.endpoint, WireMsg::Dht(msg));
+                    } else {
+                        self.ensure_dial(
+                            ctx,
+                            peer.endpoint,
+                            Some(PostDial::AddProvider { record: record.clone() }),
+                        );
+                    }
+                }
+                self.record(NodeEvent::Provided { cid, resolvers });
+            }
+            Op::Fetch { cid, reply, via_dht } => {
+                // DHT resolution finished: dial providers, request the block.
+                self.ops.insert(op_id, Op::Fetch { cid, reply, via_dht });
+                let mut dialled = 0;
+                for rec in &result.providers {
+                    if rec.provider == self.id || dialled >= self.cfg.max_fetch_providers {
+                        continue;
+                    }
+                    dialled += 1;
+                    let action = PostDial::RequestBlock { cid, peer: rec.provider };
+                    match rec.relay_endpoint {
+                        Some(relay_ep) if rec.endpoint != ctx.me() => {
+                            self.ensure_dial_via(ctx, relay_ep, rec.endpoint, action);
+                        }
+                        _ => self.ensure_dial(ctx, rec.endpoint, Some(action)),
+                    }
+                }
+                if dialled == 0 {
+                    self.fail_fetch(ctx, op_id);
+                }
+            }
+            Op::Resolve { cid } => {
+                self.record(NodeEvent::ProvidersResolved {
+                    cid,
+                    records: result.providers.clone(),
+                    contacted: result.contacted,
+                });
+            }
+        }
+    }
+
+    fn after_bootstrap<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>) {
+        // NAT-ed nodes acquire a relay once they know some servers.
+        if !ctx.i_am_dialable() && self.relay.is_none() {
+            self.acquire_relay(ctx);
+        }
+    }
+
+    fn acquire_relay<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>) {
+        // Pick a random DHT server from the routing table (§2: "a random DHT
+        // server supporting the relay protocol").
+        let candidates: Vec<PeerInfo> = self
+            .dht
+            .table()
+            .entries()
+            .map(|e| e.info.clone())
+            .collect();
+        if candidates.is_empty() {
+            self.set_timer(ctx, Dur::from_secs(30), tok::RELAY, 0);
+            return;
+        }
+        let pick = candidates[ctx.rng().random_range(0..candidates.len())].clone();
+        self.ensure_dial(ctx, pick.endpoint, Some(PostDial::RelayReserve));
+    }
+
+    // ------------------------------------------------------------------
+    // Operations
+    // ------------------------------------------------------------------
+
+    fn start_provide<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, cid: Cid) {
+        let op_id = self.next_req;
+        self.next_req += 1;
+        let lookup = self.dht.start_lookup(cid.dht_key(), None, LookupKind::GetClosestPeers);
+        self.ops.insert(op_id, Op::Provide { cid });
+        self.lookup_to_op.insert(lookup, op_id);
+        self.drive_lookup(ctx, lookup);
+    }
+
+    /// Begin the two-phase retrieval pipeline. `reply` routes gateway
+    /// responses back to the HTTP side.
+    pub fn start_fetch<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        cid: Cid,
+        reply: Option<(NodeId, u64)>,
+    ) {
+        if self.store.has(&cid) {
+            self.record(NodeEvent::FetchCompleted { cid, from: self.id, via_dht: false });
+            if let Some((to, req_id)) = reply {
+                ctx.send(to, WireMsg::HttpResponse { req_id, found: true });
+                self.record(NodeEvent::HttpServed { req_id, found: true, cache_hit: true });
+            }
+            return;
+        }
+        if self.fetch_by_cid.contains_key(&cid) {
+            return; // already fetching
+        }
+        let op_id = self.next_req;
+        self.next_req += 1;
+        self.ops.insert(op_id, Op::Fetch { cid, reply, via_dht: false });
+        self.fetch_by_cid.insert(cid, op_id);
+        // Phase 1: 1-hop Bitswap broadcast to identified neighbours.
+        let mut neighbors: Vec<PeerId> = self.peers.values().filter_map(|p| p.id).collect();
+        neighbors.sort();
+        let out = self.bitswap.start_fetch(cid, &neighbors, ctx.now());
+        self.flush_bitswap(ctx, out);
+        self.set_timer(ctx, self.cfg.bitswap_phase_timeout, tok::FETCH_BS, op_id);
+        self.set_timer(ctx, self.cfg.fetch_timeout, tok::FETCH_ALL, op_id);
+    }
+
+    fn fail_fetch<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, op_id: u64) {
+        let Some(Op::Fetch { cid, reply, .. }) = self.ops.remove(&op_id) else {
+            return;
+        };
+        self.fetch_by_cid.remove(&cid);
+        let out = self.bitswap.cancel_fetch(&cid);
+        self.flush_bitswap(ctx, out);
+        self.record(NodeEvent::FetchFailed { cid });
+        if let Some((to, req_id)) = reply {
+            ctx.send(to, WireMsg::HttpResponse { req_id, found: false });
+            self.record(NodeEvent::HttpServed { req_id, found: false, cache_hit: false });
+        }
+    }
+
+    fn complete_fetch<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        cid: Cid,
+        from: PeerId,
+    ) {
+        let Some(op_id) = self.fetch_by_cid.remove(&cid) else {
+            return;
+        };
+        let Some(Op::Fetch { reply, via_dht, .. }) = self.ops.remove(&op_id) else {
+            return;
+        };
+        self.record(NodeEvent::FetchCompleted { cid, from, via_dht });
+        if let Some((to, req_id)) = reply {
+            ctx.send(to, WireMsg::HttpResponse { req_id, found: true });
+            self.record(NodeEvent::HttpServed { req_id, found: true, cache_hit: false });
+        }
+        if self.cfg.provide_on_fetch {
+            self.start_provide(ctx, cid);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Messages
+    // ------------------------------------------------------------------
+
+    /// `Actor::on_message`.
+    pub fn handle_message<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        from: NodeId,
+        msg: WireMsg,
+    ) {
+        match msg {
+            WireMsg::Identify { id, addrs, dht_server, agent } => {
+                self.peers.insert(
+                    from,
+                    RemotePeer {
+                        id: Some(id),
+                        server: dht_server,
+                        agent,
+                        relayed: ctx.is_relayed(from),
+                    },
+                );
+                self.conn_by_peer.insert(id, from);
+                self.dht.observe_peer(
+                    &PeerInfo { id, addrs, endpoint: from },
+                    dht_server,
+                    ctx.now(),
+                );
+            }
+            WireMsg::Dht(m) => self.handle_dht(ctx, from, m),
+            WireMsg::Bitswap { from: peer, msg } => {
+                if self.cfg.log_bitswap {
+                    if let BitswapMessage::Wantlist { entries, .. } = &msg {
+                        let addr = ctx
+                            .addr_of(from)
+                            .unwrap_or_else(|| SocketAddrV4::new([0, 0, 0, 0].into(), 0));
+                        let want_block =
+                            entries.iter().any(|e| !e.cancel && e.ty == bitswap::WantType::Block);
+                        let cids: Vec<Cid> =
+                            entries.iter().filter(|e| !e.cancel).map(|e| e.cid).collect();
+                        if !cids.is_empty() {
+                            self.bitswap_log.push(BitswapLogEntry {
+                                ts: ctx.now(),
+                                peer,
+                                addr,
+                                cids,
+                                want_block,
+                            });
+                        }
+                    }
+                }
+                let out = self.bitswap.handle_message(ctx.now(), peer, msg, &mut self.store);
+                self.flush_bitswap(ctx, out);
+            }
+            WireMsg::RelayReserve { from: peer } => {
+                let accepted = self.cfg.relay_server && self.dht.is_server();
+                if accepted {
+                    self.relay_clients.insert(from);
+                }
+                let _ = peer;
+                ctx.send(from, WireMsg::RelayReserveOk { accepted });
+            }
+            WireMsg::RelayReserveOk { accepted } => {
+                if accepted && !ctx.i_am_dialable() {
+                    if let Some(p) = self.peers.get(&from) {
+                        if let (Some(id), Some(addr)) = (p.id, ctx.addr_of(from)) {
+                            self.relay = Some((id, from, addr));
+                            self.record(NodeEvent::RelayAcquired { relay: id });
+                        }
+                    }
+                } else if !accepted {
+                    self.set_timer(ctx, Dur::from_secs(10), tok::RELAY, 0);
+                }
+            }
+            WireMsg::HttpRequest { req_id, cid } => {
+                if self.cfg.is_gateway {
+                    self.start_fetch(ctx, cid, Some((from, req_id)));
+                } else {
+                    ctx.send(from, WireMsg::HttpResponse { req_id, found: false });
+                }
+            }
+            WireMsg::HttpResponse { .. } => {
+                // Plain nodes issue HTTP requests only as HTTP clients; the
+                // richer client actor in tcsb-core records outcomes.
+            }
+        }
+    }
+
+    fn handle_dht<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        from: NodeId,
+        msg: DhtMessage,
+    ) {
+        match msg.body {
+            DhtBody::Request(req) => {
+                self.dht_requests_served += 1;
+                let resp =
+                    self.dht
+                        .handle_request(ctx.now(), &msg.sender, msg.sender_is_server, &req);
+                if let Some(body) = resp {
+                    let reply = DhtMessage {
+                        req_id: msg.req_id,
+                        sender: self.my_info(ctx),
+                        sender_is_server: self.dht.is_server(),
+                        body: DhtBody::Response(body),
+                    };
+                    ctx.send(from, WireMsg::Dht(reply));
+                }
+            }
+            DhtBody::Response(resp) => {
+                let Some(rpc) = self.pending.remove(&msg.req_id) else {
+                    return; // late or unsolicited
+                };
+                let lookup = rpc.lookup;
+                match resp {
+                    DhtResponse::Nodes { closer } => {
+                        self.dht.lookup_response(lookup, &rpc.peer, closer, vec![], ctx.now());
+                    }
+                    DhtResponse::Providers { providers, closer } => {
+                        self.dht
+                            .lookup_response(lookup, &rpc.peer, closer, providers, ctx.now());
+                    }
+                    DhtResponse::Pong => {}
+                }
+                self.drive_lookup(ctx, lookup);
+            }
+        }
+    }
+
+    fn flush_bitswap<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, out: BsOutput) {
+        for (peer, msg) in out.sends {
+            if let Some(&ep) = self.conn_by_peer.get(&peer) {
+                ctx.send(ep, WireMsg::Bitswap { from: self.id, msg });
+            }
+        }
+        for (cid, from) in out.received {
+            self.complete_fetch(ctx, cid, from);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// `Actor::on_timer`.
+    pub fn handle_timer<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, token: u64) {
+        let (kind, epoch, low) = tok::unpack(token);
+        if epoch != self.epoch {
+            return; // stale timer from a previous session
+        }
+        match kind {
+            tok::RPC => {
+                if let Some(rpc) = self.pending.remove(&low) {
+                    self.dht.lookup_failure(rpc.lookup, &rpc.peer.id);
+                    self.drive_lookup(ctx, rpc.lookup);
+                }
+            }
+            tok::FETCH_BS => {
+                // Bitswap phase expired without the block: fall back to DHT.
+                if let Some(Op::Fetch { cid, reply, .. }) = self.ops.get(&low).cloned() {
+                    if self.store.has(&cid) {
+                        return;
+                    }
+                    self.ops.insert(low, Op::Fetch { cid, reply, via_dht: true });
+                    let lookup = self.dht.start_lookup(
+                        cid.dht_key(),
+                        Some(cid),
+                        LookupKind::FindProviders { exhaustive: false },
+                    );
+                    self.lookup_to_op.insert(lookup, low);
+                    self.drive_lookup(ctx, lookup);
+                }
+            }
+            tok::FETCH_ALL => {
+                if matches!(self.ops.get(&low), Some(Op::Fetch { .. })) {
+                    self.fail_fetch(ctx, low);
+                }
+            }
+            tok::REPROVIDE => {
+                self.reprovide_tick(ctx, low as usize);
+            }
+            tok::CONNMGR => {
+                self.connmgr_tick(ctx);
+                self.set_timer(ctx, self.cfg.connmgr_interval, tok::CONNMGR, 0);
+            }
+            tok::REFRESH => {
+                self.refresh_tick(ctx);
+                self.set_timer(ctx, self.cfg.refresh_interval, tok::REFRESH, 0);
+            }
+            tok::RELAY => {
+                if !ctx.i_am_dialable() && self.relay.is_none() {
+                    self.acquire_relay(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn reprovide_tick<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, cursor: usize) {
+        let mut cids: Vec<Cid> = self.store.cids().copied().collect();
+        cids.sort();
+        if cids.is_empty() {
+            self.set_timer(ctx, self.cfg.reprovide_interval, tok::REPROVIDE, 0);
+            return;
+        }
+        let end = (cursor + self.cfg.reprovide_batch).min(cids.len());
+        for cid in &cids[cursor.min(cids.len())..end] {
+            self.start_provide(ctx, *cid);
+        }
+        if end < cids.len() {
+            self.set_timer(ctx, Dur::from_secs(30), tok::REPROVIDE, end as u64);
+        } else {
+            self.set_timer(ctx, self.cfg.reprovide_interval, tok::REPROVIDE, 0);
+        }
+    }
+
+    fn connmgr_tick<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>) {
+        self.dht.providers_mut().cleanup(ctx.now());
+        if self.cfg.table_entry_ttl > Dur::ZERO {
+            // Live connections count as usefulness: refresh their entries
+            // before pruning (go-ipfs v0.11 kept connected peers in the
+            // table unconditionally).
+            let connected: Vec<PeerId> = self.peers.values().filter_map(|p| p.id).collect();
+            let now = ctx.now();
+            for id in connected {
+                self.dht.table_mut().touch(&id, now);
+            }
+            let ttl = self.cfg.table_entry_ttl;
+            self.dht.table_mut().prune_stale(now, ttl);
+        }
+        let conns = ctx.connections();
+        if !self.cfg.unbounded_conns && conns.len() > self.cfg.conn_high {
+            let mut protected: HashSet<NodeId> = self.relay_clients.clone();
+            if let Some((_, ep, _)) = &self.relay {
+                protected.insert(*ep);
+            }
+            for rpc in self.pending.values() {
+                protected.insert(rpc.peer.endpoint);
+            }
+            let mut victims: Vec<NodeId> =
+                conns.iter().copied().filter(|c| !protected.contains(c)).collect();
+            victims.shuffle(ctx.rng());
+            let excess = conns.len() - self.cfg.conn_low;
+            for v in victims.into_iter().take(excess) {
+                ctx.disconnect(v);
+                self.handle_connection_closed(ctx, v);
+            }
+        } else if conns.len() < self.cfg.conn_floor {
+            let connected: HashSet<NodeId> = conns.iter().copied().collect();
+            let mut candidates: Vec<NodeId> = self
+                .dht
+                .table()
+                .entries()
+                .map(|e| e.info.endpoint)
+                .filter(|ep| !connected.contains(ep) && *ep != ctx.me())
+                .collect();
+            candidates.sort();
+            candidates.dedup();
+            candidates.shuffle(ctx.rng());
+            let need = (self.cfg.conn_floor - conns.len()).min(self.cfg.max_dials_per_tick);
+            for ep in candidates.into_iter().take(need) {
+                self.ensure_dial(ctx, ep, None);
+            }
+        }
+    }
+
+    fn refresh_tick<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>) {
+        // Refresh one random bucket per tick (cheap approximation of the
+        // go-ipfs refresh cycle; tables stay warm through traffic anyway).
+        let targets = self.dht.refresh_targets();
+        if targets.is_empty() {
+            return;
+        }
+        let t = targets[ctx.rng().random_range(0..targets.len())];
+        let lookup = self.dht.start_lookup(t, None, LookupKind::GetClosestPeers);
+        self.drive_lookup(ctx, lookup);
+    }
+}

@@ -1,0 +1,242 @@
+//! Multibase-style text encodings used by IPFS identifiers.
+//!
+//! * base58btc — the Bitcoin alphabet, used for legacy (CIDv0) content
+//!   identifiers and the canonical text form of peer IDs;
+//! * base32 lower-case without padding (RFC 4648) — used for CIDv1, prefixed
+//!   with the multibase code `b`.
+//!
+//! Both codecs are implemented from scratch and round-trip-tested.
+
+/// The Bitcoin base58 alphabet (no `0`, `O`, `I`, `l`).
+const B58_ALPHABET: &[u8; 58] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+/// RFC 4648 base32 alphabet, lower case (the multibase `b` flavour).
+const B32_ALPHABET: &[u8; 32] = b"abcdefghijklmnopqrstuvwxyz234567";
+
+/// Errors arising while decoding a textual identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A character outside the codec alphabet was found.
+    InvalidChar(char),
+    /// The input length is impossible for this codec.
+    InvalidLength,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::InvalidChar(c) => write!(f, "invalid character {c:?}"),
+            DecodeError::InvalidLength => write!(f, "invalid input length"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode `input` as base58btc.
+pub fn base58btc_encode(input: &[u8]) -> String {
+    // Count leading zero bytes: each encodes as '1'.
+    let zeros = input.iter().take_while(|&&b| b == 0).count();
+    // Big-number division in base 58 over the remaining bytes.
+    let mut digits: Vec<u8> = Vec::with_capacity(input.len() * 138 / 100 + 1);
+    for &byte in &input[zeros..] {
+        let mut carry = byte as u32;
+        for d in digits.iter_mut() {
+            carry += (*d as u32) << 8;
+            *d = (carry % 58) as u8;
+            carry /= 58;
+        }
+        while carry > 0 {
+            digits.push((carry % 58) as u8);
+            carry /= 58;
+        }
+    }
+    let mut out = String::with_capacity(zeros + digits.len());
+    for _ in 0..zeros {
+        out.push('1');
+    }
+    for &d in digits.iter().rev() {
+        out.push(B58_ALPHABET[d as usize] as char);
+    }
+    out
+}
+
+/// Decode a base58btc string.
+pub fn base58btc_decode(input: &str) -> Result<Vec<u8>, DecodeError> {
+    let mut index = [255u8; 128];
+    for (i, &c) in B58_ALPHABET.iter().enumerate() {
+        index[c as usize] = i as u8;
+    }
+    let zeros = input.chars().take_while(|&c| c == '1').count();
+    let mut bytes: Vec<u8> = Vec::with_capacity(input.len() * 733 / 1000 + 1);
+    for c in input.chars().skip(zeros) {
+        if !c.is_ascii() {
+            return Err(DecodeError::InvalidChar(c));
+        }
+        let v = index[c as usize as usize];
+        if v == 255 {
+            return Err(DecodeError::InvalidChar(c));
+        }
+        let mut carry = v as u32;
+        for b in bytes.iter_mut() {
+            carry += (*b as u32) * 58;
+            *b = (carry & 0xff) as u8;
+            carry >>= 8;
+        }
+        while carry > 0 {
+            bytes.push((carry & 0xff) as u8);
+            carry >>= 8;
+        }
+    }
+    let mut out = vec![0u8; zeros];
+    out.extend(bytes.iter().rev());
+    Ok(out)
+}
+
+/// Encode `input` as unpadded lower-case base32.
+pub fn base32_encode(input: &[u8]) -> String {
+    let mut out = String::with_capacity(input.len().div_ceil(5) * 8);
+    let mut acc: u64 = 0;
+    let mut bits = 0u32;
+    for &b in input {
+        acc = (acc << 8) | b as u64;
+        bits += 8;
+        while bits >= 5 {
+            bits -= 5;
+            out.push(B32_ALPHABET[((acc >> bits) & 0x1f) as usize] as char);
+        }
+    }
+    if bits > 0 {
+        out.push(B32_ALPHABET[((acc << (5 - bits)) & 0x1f) as usize] as char);
+    }
+    out
+}
+
+/// Decode unpadded lower-case base32.
+pub fn base32_decode(input: &str) -> Result<Vec<u8>, DecodeError> {
+    let mut index = [255u8; 128];
+    for (i, &c) in B32_ALPHABET.iter().enumerate() {
+        index[c as usize] = i as u8;
+    }
+    // Reject lengths that cannot result from unpadded encoding (1, 3, 6 mod 8).
+    if matches!(input.len() % 8, 1 | 3 | 6) {
+        return Err(DecodeError::InvalidLength);
+    }
+    let mut out = Vec::with_capacity(input.len() * 5 / 8);
+    let mut acc: u64 = 0;
+    let mut bits = 0u32;
+    for c in input.chars() {
+        if !c.is_ascii() {
+            return Err(DecodeError::InvalidChar(c));
+        }
+        let v = index[c as usize];
+        if v == 255 {
+            return Err(DecodeError::InvalidChar(c));
+        }
+        acc = (acc << 5) | v as u64;
+        bits += 5;
+        if bits >= 8 {
+            bits -= 8;
+            out.push(((acc >> bits) & 0xff) as u8);
+        }
+    }
+    // Trailing bits must be zero (canonical encoding).
+    if bits > 0 && (acc & ((1 << bits) - 1)) != 0 {
+        return Err(DecodeError::InvalidLength);
+    }
+    Ok(out)
+}
+
+/// Encode a u64 as an unsigned varint (LEB128), the framing integer used in
+/// multihash/CID/multiaddr binary forms.
+pub fn varint_encode(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode an unsigned varint, returning the value and bytes consumed.
+pub fn varint_decode(input: &[u8]) -> Result<(u64, usize), DecodeError> {
+    let mut v: u64 = 0;
+    for (i, &b) in input.iter().enumerate() {
+        if i >= 10 {
+            return Err(DecodeError::InvalidLength);
+        }
+        v |= ((b & 0x7f) as u64) << (7 * i);
+        if b & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+    }
+    Err(DecodeError::InvalidLength)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b58_known_vectors() {
+        assert_eq!(base58btc_encode(b""), "");
+        assert_eq!(base58btc_encode(b"hello world"), "StV1DL6CwTryKyV");
+        assert_eq!(base58btc_encode(&[0, 0, 40, 127, 180, 205]), "11233QC4");
+        assert_eq!(base58btc_decode("StV1DL6CwTryKyV").unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn b58_leading_zeros() {
+        let data = [0u8, 0, 0, 1, 2, 3];
+        let enc = base58btc_encode(&data);
+        assert!(enc.starts_with("111"));
+        assert_eq!(base58btc_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn b58_rejects_invalid() {
+        assert!(base58btc_decode("0").is_err());
+        assert!(base58btc_decode("O0Il").is_err());
+        assert!(base58btc_decode("abcé").is_err());
+    }
+
+    #[test]
+    fn b32_known_vectors() {
+        // RFC 4648 vectors, lower-cased, unpadded.
+        assert_eq!(base32_encode(b""), "");
+        assert_eq!(base32_encode(b"f"), "my");
+        assert_eq!(base32_encode(b"fo"), "mzxq");
+        assert_eq!(base32_encode(b"foo"), "mzxw6");
+        assert_eq!(base32_encode(b"foob"), "mzxw6yq");
+        assert_eq!(base32_encode(b"fooba"), "mzxw6ytb");
+        assert_eq!(base32_encode(b"foobar"), "mzxw6ytboi");
+        assert_eq!(base32_decode("mzxw6ytboi").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn b32_rejects_invalid() {
+        assert!(base32_decode("a").is_err()); // impossible length
+        assert!(base32_decode("a1").is_err()); // '1' not in alphabet
+        assert!(base32_decode("MZ").is_err()); // upper case not accepted
+    }
+
+    #[test]
+    fn varint_roundtrip_vectors() {
+        for v in [0u64, 1, 127, 128, 300, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            varint_encode(v, &mut buf);
+            let (back, used) = varint_decode(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated() {
+        assert!(varint_decode(&[0x80]).is_err());
+        assert!(varint_decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the identifier primitives.
+
+use ipfs_types::base::{
+    base32_decode, base32_encode, base58btc_decode, base58btc_encode, varint_decode, varint_encode,
+};
+use ipfs_types::{Cid, Codec, Key256, Multiaddr, PeerId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn base58_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let enc = base58btc_encode(&data);
+        prop_assert_eq!(base58btc_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn base32_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let enc = base32_encode(&data);
+        prop_assert_eq!(base32_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint_encode(v, &mut buf);
+        let (back, used) = varint_decode(&buf).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn sha256_matches_incremental(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                  split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = ipfs_types::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), ipfs_types::sha256(&data));
+    }
+
+    #[test]
+    fn xor_metric_axioms(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (ka, kb, kc) = (Key256::from_seed(a), Key256::from_seed(b), Key256::from_seed(c));
+        // identity
+        prop_assert_eq!(ka.distance(&ka).leading_zeros(), 256);
+        // symmetry
+        prop_assert_eq!(ka.distance(&kb), kb.distance(&ka));
+        // XOR relation: d(a,c) = d(a,b) ^ d(b,c)
+        let mut x = [0u8; 32];
+        let (dab, dbc) = (ka.distance(&kb), kb.distance(&kc));
+        for i in 0..32 { x[i] = dab.0[i] ^ dbc.0[i]; }
+        prop_assert_eq!(ipfs_types::Distance(x), ka.distance(&kc));
+    }
+
+    #[test]
+    fn unidirectionality_unique_closest(seed in any::<u64>()) {
+        // For any target, sorting a fixed peer set by XOR distance yields a
+        // strict total order (no ties) — the property Kademlia routing relies on.
+        let target = Key256::from_seed(seed);
+        let mut peers: Vec<Key256> = (0..64u64).map(|i| Key256::from_seed(i.wrapping_add(seed))).collect();
+        peers.sort();
+        peers.dedup();
+        let mut ds: Vec<_> = peers.iter().map(|p| p.distance(&target)).collect();
+        ds.sort();
+        let before = ds.len();
+        ds.dedup();
+        prop_assert_eq!(before, ds.len());
+    }
+
+    #[test]
+    fn cid_text_roundtrip(seed in any::<u64>(), v0 in any::<bool>()) {
+        let cid = if v0 {
+            Cid::new_v0(&seed.to_be_bytes())
+        } else {
+            Cid::new_v1(Codec::Raw, &seed.to_be_bytes())
+        };
+        prop_assert_eq!(Cid::parse(&cid.to_string_canonical()).unwrap(), cid);
+        prop_assert_eq!(Cid::from_bytes(&cid.to_bytes()).unwrap(), cid);
+    }
+
+    #[test]
+    fn multiaddr_text_roundtrip(a in any::<u32>(), port in any::<u16>(), seed in any::<u64>()) {
+        let ip = std::net::Ipv4Addr::from(a);
+        let ma = Multiaddr::ip4_tcp_p2p(ip, port, PeerId::from_seed(seed));
+        prop_assert_eq!(Multiaddr::parse(&ma.to_string()).unwrap(), ma);
+    }
+
+    #[test]
+    fn circuit_addr_semantics(a in any::<u32>(), r in any::<u64>(), t in any::<u64>()) {
+        let relay = PeerId::from_seed(r);
+        let target = PeerId::from_seed(t);
+        let ma = Multiaddr::circuit(std::net::Ipv4Addr::from(a), 4001, relay, target);
+        prop_assert!(ma.is_circuit());
+        prop_assert_eq!(ma.relay_peer(), Some(relay));
+        prop_assert_eq!(ma.target_peer(), Some(target));
+        prop_assert_eq!(Multiaddr::parse(&ma.to_string()).unwrap(), ma);
+    }
+}

@@ -1,0 +1,183 @@
+//! DHT wire messages.
+//!
+//! Mirrors the go-libp2p-kad-dht RPC surface the paper's tools speak:
+//! `FIND_NODE`, `GET_PROVIDERS`, `ADD_PROVIDER` and `PING`. Each message
+//! carries the sender's [`PeerInfo`] (in the real protocol this arrives via
+//! the identify exchange on connection setup) plus a flag telling whether the
+//! sender operates in DHT *server* mode — only servers are eligible for
+//! routing tables.
+
+use ipfs_types::{Cid, Key256, Multiaddr, PeerId};
+use serde::{Deserialize, Serialize};
+use simnet::{NodeId, SimTime};
+
+/// What a node knows about a peer: identity, advertised addresses, and the
+/// simulation endpoint handle used to dial it (stand-in for "the IP inside
+/// the multiaddr", see DESIGN.md §4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerInfo {
+    /// The peer's identity.
+    pub id: PeerId,
+    /// Advertised multiaddresses (relay addresses for NAT-ed providers).
+    pub addrs: Vec<Multiaddr>,
+    /// Simulation endpoint for dialing.
+    pub endpoint: NodeId,
+}
+
+/// A provider record: the DHT value mapping a CID to a provider's contact
+/// information (§2 "Content Advertisement").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProviderRecord {
+    /// The advertised content.
+    pub cid: Cid,
+    /// The providing peer.
+    pub provider: PeerId,
+    /// The provider's advertised addresses; a `/p2p-circuit` address here
+    /// means the provider is NAT-ed and reachable via its relay.
+    pub addrs: Vec<Multiaddr>,
+    /// Endpoint handle of the provider itself.
+    pub endpoint: NodeId,
+    /// For NAT-ed providers publishing a `/p2p-circuit` address: the relay's
+    /// endpoint, which the downloader must dial through.
+    pub relay_endpoint: Option<NodeId>,
+    /// When the record was stored (receiver-side bookkeeping).
+    pub stored_at: SimTime,
+}
+
+impl ProviderRecord {
+    /// Whether the provider can only be reached through a relay.
+    pub fn is_relayed(&self) -> bool {
+        self.relay_endpoint.is_some() || self.addrs.iter().any(|a| a.is_circuit())
+    }
+}
+
+/// DHT request bodies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DhtRequest {
+    /// Liveness probe.
+    Ping,
+    /// Return the k closest known peers to `target`.
+    FindNode {
+        /// Lookup target key.
+        target: Key256,
+    },
+    /// Return provider records for `cid` plus closer peers.
+    GetProviders {
+        /// The content being resolved.
+        cid: Cid,
+    },
+    /// Store a provider record (no response in the real protocol).
+    AddProvider {
+        /// The record to store.
+        record: ProviderRecord,
+    },
+}
+
+impl DhtRequest {
+    /// The keyspace target this request routes towards.
+    pub fn target(&self) -> Option<Key256> {
+        match self {
+            DhtRequest::Ping => None,
+            DhtRequest::FindNode { target } => Some(*target),
+            DhtRequest::GetProviders { cid } => Some(cid.dht_key()),
+            DhtRequest::AddProvider { record } => Some(record.cid.dht_key()),
+        }
+    }
+
+    /// Traffic classification used throughout §5 of the paper.
+    pub fn traffic_class(&self) -> TrafficClass {
+        match self {
+            DhtRequest::Ping => TrafficClass::Other,
+            DhtRequest::FindNode { .. } => TrafficClass::Other,
+            DhtRequest::GetProviders { .. } => TrafficClass::Download,
+            DhtRequest::AddProvider { .. } => TrafficClass::Advertise,
+        }
+    }
+}
+
+/// The paper's §5 classification of DHT traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Content-related downloads (provider resolution).
+    Download,
+    /// Content advertisement.
+    Advertise,
+    /// Everything else (joins, pings, FindNode walks).
+    Other,
+}
+
+/// DHT response bodies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DhtResponse {
+    /// Ping reply.
+    Pong,
+    /// Closest known peers to the requested target.
+    Nodes {
+        /// Peers closer to the target, from the responder's table.
+        closer: Vec<PeerInfo>,
+    },
+    /// Provider records plus closer peers.
+    Providers {
+        /// Matching provider records (may be empty).
+        providers: Vec<ProviderRecord>,
+        /// Peers closer to the target, for continuing the walk.
+        closer: Vec<PeerInfo>,
+    },
+}
+
+/// A framed DHT message as delivered by the simulator.
+#[derive(Clone, Debug)]
+pub struct DhtMessage {
+    /// Request/response correlation id (unique per sender).
+    pub req_id: u64,
+    /// The sender's self-description (identify exchange).
+    pub sender: PeerInfo,
+    /// Whether the sender runs in DHT server mode.
+    pub sender_is_server: bool,
+    /// Payload.
+    pub body: DhtBody,
+}
+
+/// Request or response payload.
+#[derive(Clone, Debug)]
+pub enum DhtBody {
+    /// A request expecting a response (except `AddProvider`).
+    Request(DhtRequest),
+    /// A response to an earlier request.
+    Response(DhtResponse),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipfs_types::Codec;
+
+    #[test]
+    fn traffic_classes_match_paper_taxonomy() {
+        let cid = Cid::new_v1(Codec::Raw, b"x");
+        let rec = ProviderRecord {
+            cid,
+            provider: PeerId::from_seed(1),
+            addrs: vec![],
+            endpoint: NodeId(0),
+            relay_endpoint: None,
+            stored_at: SimTime::ZERO,
+        };
+        assert_eq!(DhtRequest::GetProviders { cid }.traffic_class(), TrafficClass::Download);
+        assert_eq!(DhtRequest::AddProvider { record: rec }.traffic_class(), TrafficClass::Advertise);
+        assert_eq!(DhtRequest::Ping.traffic_class(), TrafficClass::Other);
+        assert_eq!(
+            DhtRequest::FindNode { target: Key256::ZERO }.traffic_class(),
+            TrafficClass::Other
+        );
+    }
+
+    #[test]
+    fn request_targets() {
+        let cid = Cid::new_v1(Codec::Raw, b"y");
+        assert_eq!(DhtRequest::GetProviders { cid }.target(), Some(cid.dht_key()));
+        assert_eq!(DhtRequest::Ping.target(), None);
+        let t = Key256::from_seed(9);
+        assert_eq!(DhtRequest::FindNode { target: t }.target(), Some(t));
+    }
+}

@@ -1,0 +1,427 @@
+//! The Kademlia routing table: k-buckets indexed by common prefix length.
+//!
+//! Follows go-libp2p-kbucket's "unfolding" scheme: the table starts with a
+//! single bucket; when the *last* bucket overflows it is split, entries with
+//! a strictly larger common prefix length moving into the new bucket. Peers
+//! whose cpl exceeds the last bucket index live in the last bucket. This
+//! keeps memory proportional to the population while preserving the paper's
+//! observation that "the first, furthest buckets are filled completely,
+//! whereas buckets closer to the own ID contain fewer and fewer connections".
+
+use crate::messages::PeerInfo;
+use ipfs_types::{Key256, PeerId};
+use simnet::{Dur, SimTime};
+
+/// One routing-table entry.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// The peer's contact info.
+    pub info: PeerInfo,
+    /// Last time we heard from this peer.
+    pub last_seen: SimTime,
+    /// When the entry was first added.
+    pub added_at: SimTime,
+}
+
+/// A k-bucket.
+#[derive(Clone, Debug, Default)]
+pub struct Bucket {
+    entries: Vec<Entry>,
+}
+
+impl Bucket {
+    /// Entries in the bucket.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bucket holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn position(&self, id: &PeerId) -> Option<usize> {
+        self.entries.iter().position(|e| e.info.id == *id)
+    }
+}
+
+/// Routing-table configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TableConfig {
+    /// Bucket capacity (the paper's k = 20).
+    pub k: usize,
+    /// An entry not heard from for this long may be replaced by a newcomer
+    /// (stand-in for the ping-evict liveness check).
+    pub stale_after: Dur,
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        TableConfig { k: 20, stale_after: Dur::from_mins(30) }
+    }
+}
+
+/// The routing table of one DHT node.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    local: Key256,
+    cfg: TableConfig,
+    buckets: Vec<Bucket>,
+}
+
+impl RoutingTable {
+    /// New table for a node whose ID hashes to `local`.
+    pub fn new(local: Key256, cfg: TableConfig) -> RoutingTable {
+        RoutingTable { local, cfg, buckets: vec![Bucket::default()] }
+    }
+
+    /// The local key this table is centred on.
+    pub fn local_key(&self) -> Key256 {
+        self.local
+    }
+
+    /// Bucket index a peer with `cpl` lives in right now.
+    fn bucket_index(&self, cpl: u32) -> usize {
+        (cpl as usize).min(self.buckets.len() - 1)
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of buckets currently unfolded.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Iterate buckets (index = cpl, except the last which also holds
+    /// higher-cpl entries).
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// All entries (unordered).
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> {
+        self.buckets.iter().flat_map(|b| b.entries.iter())
+    }
+
+    /// Look up a peer's entry.
+    pub fn get(&self, id: &PeerId) -> Option<&Entry> {
+        let cpl = self.local.common_prefix_len(&id.key());
+        if cpl == 256 {
+            return None;
+        }
+        let b = &self.buckets[self.bucket_index(cpl)];
+        b.position(id).map(|i| &b.entries[i])
+    }
+
+    /// Record activity from a peer already in the table.
+    pub fn touch(&mut self, id: &PeerId, now: SimTime) {
+        let cpl = self.local.common_prefix_len(&id.key());
+        if cpl == 256 {
+            return;
+        }
+        let idx = self.bucket_index(cpl);
+        if let Some(i) = self.buckets[idx].position(id) {
+            self.buckets[idx].entries[i].last_seen = now;
+        }
+    }
+
+    /// Try to insert (or refresh) a peer. Returns `true` if the peer is in
+    /// the table afterwards.
+    ///
+    /// Insertion policy: refresh existing entries in place; fill free slots;
+    /// when the destination bucket is full, unfold the last bucket while that
+    /// helps, then evict the stalest entry if it exceeded `stale_after`
+    /// (liveness replacement), otherwise reject the newcomer — plain
+    /// Kademlia's "old contacts stay" rule, which is what makes stable
+    /// cloud nodes accumulate in-degree (paper §4, node degree).
+    pub fn try_insert(&mut self, info: PeerInfo, now: SimTime) -> bool {
+        let cpl = self.local.common_prefix_len(&info.id.key());
+        if cpl == 256 {
+            return false; // never insert self
+        }
+        loop {
+            let idx = self.bucket_index(cpl as u32);
+            let is_last = idx == self.buckets.len() - 1;
+            let can_unfold = is_last && self.buckets.len() < 256;
+            let bucket = &mut self.buckets[idx];
+            if let Some(i) = bucket.position(&info.id) {
+                bucket.entries[i].last_seen = now;
+                bucket.entries[i].info = info;
+                return true;
+            }
+            if bucket.len() < self.cfg.k {
+                bucket.entries.push(Entry { info, last_seen: now, added_at: now });
+                return true;
+            }
+            // Bucket full. If it is the last bucket we can unfold it.
+            if can_unfold {
+                self.unfold_last();
+                continue;
+            }
+            // Liveness replacement of the stalest entry.
+            let (stalest_i, stalest_seen) = bucket
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_seen)
+                .map(|(i, e)| (i, e.last_seen))
+                .expect("full bucket is non-empty");
+            if now.since(stalest_seen) > self.cfg.stale_after {
+                bucket.entries[stalest_i] = Entry { info, last_seen: now, added_at: now };
+                return true;
+            }
+            return false;
+        }
+    }
+
+    fn unfold_last(&mut self) {
+        let last_idx = self.buckets.len() - 1;
+        let moved: Vec<Entry>;
+        {
+            let last = &mut self.buckets[last_idx];
+            let (stay, go): (Vec<Entry>, Vec<Entry>) = last.entries.drain(..).partition(|e| {
+                self.local.common_prefix_len(&e.info.id.key()) as usize == last_idx
+            });
+            last.entries = stay;
+            moved = go;
+        }
+        self.buckets.push(Bucket { entries: moved });
+    }
+
+    /// Remove a peer (e.g. after a failed liveness check).
+    pub fn remove(&mut self, id: &PeerId) -> bool {
+        let cpl = self.local.common_prefix_len(&id.key());
+        if cpl == 256 {
+            return false;
+        }
+        let idx = self.bucket_index(cpl);
+        if let Some(i) = self.buckets[idx].position(id) {
+            self.buckets[idx].entries.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The `count` known peers closest to `target` by XOR distance — the
+    /// response set for `FIND_NODE`.
+    pub fn closest(&self, target: &Key256, count: usize) -> Vec<PeerInfo> {
+        let mut all: Vec<(&Entry, ipfs_types::Distance)> = self
+            .entries()
+            .map(|e| (e, e.info.id.key().distance(target)))
+            .collect();
+        all.sort_by(|a, b| a.1.cmp(&b.1));
+        all.into_iter().take(count).map(|(e, _)| e.info.clone()).collect()
+    }
+
+    /// Evict entries not heard from within `max_age` (kubo's usefulness
+    /// eviction: peers that neither answered nor sent anything recently are
+    /// dropped and re-learned through lookups if still alive). Returns the
+    /// number of evicted entries.
+    pub fn prune_stale(&mut self, now: SimTime, max_age: Dur) -> usize {
+        let mut removed = 0;
+        for b in &mut self.buckets {
+            let before = b.entries.len();
+            b.entries.retain(|e| now.since(e.last_seen) <= max_age);
+            removed += before - b.entries.len();
+        }
+        removed
+    }
+
+    /// Refresh targets: for every bucket index, a key that lands in that
+    /// bucket (local key with bit `cpl` flipped). Used for periodic bucket
+    /// refresh and by the crawler's enumeration sweep.
+    pub fn refresh_targets(&self) -> Vec<Key256> {
+        (0..self.buckets.len() as u32)
+            .map(|cpl| self.local.with_bit_flipped(cpl.min(255)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NodeId;
+
+    fn info(seed: u64) -> PeerInfo {
+        PeerInfo { id: PeerId::from_seed(seed), addrs: vec![], endpoint: NodeId(seed as u32) }
+    }
+
+    fn table() -> RoutingTable {
+        RoutingTable::new(PeerId::from_seed(0).key(), TableConfig::default())
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = table();
+        assert!(t.try_insert(info(1), SimTime::ZERO));
+        assert!(t.get(&PeerId::from_seed(1)).is_some());
+        assert!(t.get(&PeerId::from_seed(2)).is_none());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn never_inserts_self() {
+        let mut t = table();
+        assert!(!t.try_insert(info(0), SimTime::ZERO));
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn buckets_never_exceed_k() {
+        let mut t = table();
+        for s in 1..2000u64 {
+            t.try_insert(info(s), SimTime::ZERO);
+        }
+        for b in t.buckets() {
+            assert!(b.len() <= 20, "bucket overflow: {}", b.len());
+        }
+        // Far buckets (low cpl) fill completely; close buckets stay sparse —
+        // the shape the paper describes.
+        assert_eq!(t.buckets()[0].len(), 20);
+        assert_eq!(t.buckets()[1].len(), 20);
+        let last = t.buckets().last().unwrap();
+        assert!(last.len() < 20, "closest bucket unexpectedly full");
+    }
+
+    #[test]
+    fn entries_land_in_cpl_bucket() {
+        let mut t = table();
+        for s in 1..3000u64 {
+            t.try_insert(info(s), SimTime::ZERO);
+        }
+        let local = t.local_key();
+        let n_buckets = t.bucket_count();
+        for (i, b) in t.buckets().iter().enumerate() {
+            for e in b.entries() {
+                let cpl = local.common_prefix_len(&e.info.id.key()) as usize;
+                if i < n_buckets - 1 {
+                    assert_eq!(cpl, i, "entry in wrong bucket");
+                } else {
+                    assert!(cpl >= i, "last-bucket entry with too-small cpl");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_bucket_rejects_fresh_newcomer_keeps_old() {
+        let mut t = RoutingTable::new(
+            PeerId::from_seed(0).key(),
+            TableConfig { k: 20, stale_after: Dur::from_mins(30) },
+        );
+        // Fill bucket 0 (half the keyspace — easy to fill).
+        let mut inserted = 0;
+        let mut s = 1u64;
+        while inserted < 20 {
+            let i = info(s);
+            if t.local_key().common_prefix_len(&i.id.key()) == 0 && t.try_insert(i, SimTime::ZERO) {
+                inserted += 1;
+            }
+            s += 1;
+        }
+        // A newcomer with cpl 0 while everyone is fresh: rejected (old
+        // contacts preferred) — unless the bucket can still unfold, which
+        // bucket 0 cannot once more buckets exist.
+        for s2 in s..s + 500 {
+            let i = info(s2);
+            if t.local_key().common_prefix_len(&i.id.key()) == 0 {
+                // May trigger unfolding the (single) last bucket first.
+                t.try_insert(i.clone(), SimTime::ZERO + Dur::from_secs(1));
+            }
+        }
+        assert_eq!(t.buckets()[0].len(), 20);
+    }
+
+    #[test]
+    fn stale_entries_are_replaced() {
+        let mut t = RoutingTable::new(
+            PeerId::from_seed(0).key(),
+            TableConfig { k: 2, stale_after: Dur::from_mins(30) },
+        );
+        // Two cpl-0 peers at t=0.
+        let mut zeros = vec![];
+        let mut s = 1u64;
+        while zeros.len() < 3 {
+            let i = info(s);
+            if t.local_key().common_prefix_len(&i.id.key()) == 0 {
+                zeros.push(i);
+            }
+            s += 1;
+        }
+        // Force multiple buckets so bucket 0 is not the last (no unfolding).
+        let mut high = vec![];
+        while high.len() < 5 {
+            let i = info(s);
+            if t.local_key().common_prefix_len(&i.id.key()) >= 1 {
+                high.push(i);
+            }
+            s += 1;
+        }
+        for h in high {
+            t.try_insert(h, SimTime::ZERO);
+        }
+        assert!(t.try_insert(zeros[0].clone(), SimTime::ZERO));
+        assert!(t.try_insert(zeros[1].clone(), SimTime::ZERO));
+        // Fresh: newcomer rejected.
+        assert!(!t.try_insert(zeros[2].clone(), SimTime::ZERO + Dur::from_mins(1)));
+        // Stale: newcomer replaces the LRU entry.
+        assert!(t.try_insert(zeros[2].clone(), SimTime::ZERO + Dur::from_hours(2)));
+        assert!(t.get(&zeros[2].id).is_some());
+    }
+
+    #[test]
+    fn closest_returns_sorted_k() {
+        let mut t = table();
+        for s in 1..500u64 {
+            t.try_insert(info(s), SimTime::ZERO);
+        }
+        let target = Key256::from_seed(777);
+        let c = t.closest(&target, 20);
+        assert_eq!(c.len(), 20);
+        for w in c.windows(2) {
+            assert!(w[0].id.key().distance(&target) <= w[1].id.key().distance(&target));
+        }
+        // And they are the global minimum over the table.
+        let best = t
+            .entries()
+            .map(|e| e.info.id.key().distance(&target))
+            .min()
+            .unwrap();
+        assert_eq!(c[0].id.key().distance(&target), best);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut t = table();
+        t.try_insert(info(1), SimTime::ZERO);
+        assert!(t.remove(&PeerId::from_seed(1)));
+        assert!(!t.remove(&PeerId::from_seed(1)));
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn refresh_targets_hit_their_buckets() {
+        let mut t = table();
+        for s in 1..200u64 {
+            t.try_insert(info(s), SimTime::ZERO);
+        }
+        let local = t.local_key();
+        for (i, target) in t.refresh_targets().iter().enumerate() {
+            assert_eq!(local.common_prefix_len(target) as usize, i);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for routing-table invariants and lookup convergence.
+
+use ipfs_types::{Key256, PeerId};
+use kademlia::{
+    Lookup, LookupConfig, LookupKind, PeerInfo, RoutingTable, TableConfig,
+};
+use proptest::prelude::*;
+use simnet::{Dur, NodeId, SimTime};
+
+fn info(seed: u64) -> PeerInfo {
+    PeerInfo { id: PeerId::from_seed(seed), addrs: vec![], endpoint: NodeId(seed as u32) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn table_invariants_hold_under_any_insert_sequence(
+        local in any::<u64>(),
+        seeds in proptest::collection::vec(any::<u64>(), 1..400),
+    ) {
+        let local_key = PeerId::from_seed(local).key();
+        let mut t = RoutingTable::new(local_key, TableConfig::default());
+        for (i, s) in seeds.iter().enumerate() {
+            t.try_insert(info(*s), SimTime::ZERO + Dur::from_secs(i as u64));
+        }
+        let n_buckets = t.bucket_count();
+        let mut total = 0;
+        for (i, b) in t.buckets().iter().enumerate() {
+            prop_assert!(b.len() <= 20, "bucket {} overflows: {}", i, b.len());
+            for e in b.entries() {
+                prop_assert_ne!(e.info.id.key(), local_key, "self in table");
+                let cpl = local_key.common_prefix_len(&e.info.id.key()) as usize;
+                if i < n_buckets - 1 {
+                    prop_assert_eq!(cpl, i);
+                } else {
+                    prop_assert!(cpl >= i);
+                }
+                total += 1;
+            }
+        }
+        prop_assert_eq!(total, t.len());
+        // No duplicate peers.
+        let mut ids: Vec<PeerId> = t.entries().map(|e| e.info.id).collect();
+        ids.sort();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(before, ids.len());
+    }
+
+    #[test]
+    fn closest_is_truly_closest(
+        local in any::<u64>(),
+        seeds in proptest::collection::vec(any::<u64>(), 30..200),
+        target in any::<u64>(),
+    ) {
+        let local_key = PeerId::from_seed(local).key();
+        let mut t = RoutingTable::new(local_key, TableConfig::default());
+        for s in &seeds {
+            t.try_insert(info(*s), SimTime::ZERO);
+        }
+        let target = Key256::from_seed(target);
+        let got = t.closest(&target, 20);
+        // Compare against a full sort of the table contents.
+        let mut all: Vec<PeerId> = t.entries().map(|e| e.info.id).collect();
+        all.sort_by_key(|p| p.key().distance(&target));
+        let want: Vec<PeerId> = all.into_iter().take(got.len()).collect();
+        let got_ids: Vec<PeerId> = got.iter().map(|p| p.id).collect();
+        prop_assert_eq!(got_ids, want);
+    }
+
+    #[test]
+    fn lookup_finds_true_k_closest_on_full_knowledge(
+        target in any::<u64>(),
+        population in 30usize..120,
+    ) {
+        // Omniscient responders: every queried peer returns the true k
+        // closest peers to the target. The lookup must converge to exactly
+        // that set regardless of seeds.
+        let target = Key256::from_seed(target);
+        let all: Vec<PeerInfo> = (1..=population as u64).map(info).collect();
+        let mut truth = all.clone();
+        truth.sort_by_key(|p| p.id.key().distance(&target));
+        let cfg = LookupConfig { alpha: 3, k: 8, max_providers: 20 };
+        let mut l = Lookup::new(target, None, LookupKind::GetClosestPeers, cfg,
+                                all[..3.min(all.len())].to_vec());
+        let mut guard = 0;
+        while !l.is_done() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "no convergence");
+            let qs = l.next_queries();
+            prop_assert!(!qs.is_empty() || l.is_done(), "stall");
+            for q in qs {
+                let mut resp = all.clone();
+                resp.sort_by_key(|p| p.id.key().distance(&target));
+                resp.truncate(8);
+                l.on_response(&q.id, resp, vec![]);
+            }
+        }
+        let res = l.into_result();
+        let got: Vec<PeerId> = res.closest.iter().map(|p| p.id).collect();
+        let want: Vec<PeerId> = truth.iter().take(8).map(|p| p.id).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lookup_terminates_under_random_failures(
+        target in any::<u64>(),
+        fail_mask in any::<u64>(),
+    ) {
+        let target = Key256::from_seed(target);
+        let all: Vec<PeerInfo> = (1..=60).map(info).collect();
+        let cfg = LookupConfig { alpha: 4, k: 6, max_providers: 20 };
+        let mut l = Lookup::new(target, None, LookupKind::GetClosestPeers, cfg, all[..6].to_vec());
+        let mut step = 0u32;
+        let mut guard = 0;
+        while !l.is_done() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "no termination");
+            let qs = l.next_queries();
+            if qs.is_empty() && !l.is_done() {
+                // All in-flight; resolve one arbitrarily — but our driver
+                // resolves everything each round, so this cannot happen.
+                prop_assert!(false, "stall with {} in flight", qs.len());
+            }
+            for q in qs {
+                step = step.wrapping_add(1);
+                if (fail_mask >> (step % 64)) & 1 == 1 {
+                    l.on_failure(&q.id);
+                } else {
+                    l.on_response(&q.id, all.clone(), vec![]);
+                }
+            }
+        }
+        // Result closest set contains only responded peers and is sorted.
+        let res = l.into_result();
+        for w in res.closest.windows(2) {
+            prop_assert!(
+                w[0].id.key().distance(&target) <= w[1].id.key().distance(&target)
+            );
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # netgen — calibrated synthetic IPFS ecosystem generator
+//!
+//! Produces deterministic [`Scenario`]s — populations, churn schedules, the
+//! content catalog, request workloads, gateway fleets, DNS zones and ENS
+//! logs — calibrated to the quantitative findings of the paper (constants
+//! in [`paper::PAPER`]). Pure data: the simulation and measurement layers
+//! live in `tcsb-core`.
+
+pub mod build;
+pub mod paper;
+pub mod plan;
+pub mod scenario;
+
+pub use build::build;
+pub use paper::{PaperTargets, PAPER};
+pub use plan::{build_databases, provider_plan, IpAllocator, ProviderPlan, CLOUDFLARE, CLOUD_PROVIDERS, DATACAMP, RESIDENTIAL_BLOCKS};
+pub use scenario::{
+    region_of, ContentItem, GatewaySpec, NodeSpec, Platform, Request, Scenario, ScenarioConfig,
+    Segment, Session,
+};

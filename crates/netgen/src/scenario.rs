@@ -1,0 +1,281 @@
+//! Scenario data model: the full description of one synthetic IPFS
+//! ecosystem, consumed by `tcsb-core`'s campaign driver.
+//!
+//! A scenario is *pure data* — node specs, churn schedules, content catalog,
+//! request traces, DNS zones, ENS logs — produced deterministically from a
+//! [`ScenarioConfig`] and a seed. The simulation layer instantiates actors
+//! from it; the measurement layer never reads it (except in tests that
+//! validate the tools against planted ground truth).
+
+use clouddb::CountryCode;
+use dnslink::{DnsZoneDb, PassiveDnsFeed};
+use ens::ResolverContract;
+use ipfs_types::Cid;
+use simnet::{Dur, SimTime};
+use std::net::Ipv4Addr;
+
+/// Population segment a node belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Segment {
+    /// Cloud-hosted DHT server, stable, rarely rotates IPs.
+    CloudStable,
+    /// Non-cloud node with a public IP: churns and rotates.
+    PublicFringe,
+    /// NAT-ed DHT client (invisible to crawls, publishes via relays).
+    NatClient,
+    /// Single-interaction user: short sessions, fresh identity each time.
+    Ephemeral,
+    /// Platform-operated node (storage service, gateway, hydra host).
+    Platform,
+}
+
+/// Known platforms (Fig. 13's reverse-DNS attribution buckets).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// web3.storage — bulk persistent storage, dominates advertise traffic.
+    Web3Storage,
+    /// nft.storage — same operator class.
+    NftStorage,
+    /// Pinata pinning service.
+    Pinata,
+    /// ipfs-bank HTTP gateway platform — dominates Bitswap traffic.
+    IpfsBank,
+    /// Filebase modified clients (top in-degree nodes in Fig. 7).
+    Filebase,
+    /// Protocol Labs Hydra booster host (20 virtual heads each).
+    Hydra,
+    /// Gateway operator overlay node (Cloudflare, ipfs.io, …).
+    Gateway,
+}
+
+impl Platform {
+    /// Reverse-DNS suffix used for attribution.
+    pub fn rdns_suffix(self) -> &'static str {
+        match self {
+            Platform::Web3Storage => "web3.storage",
+            Platform::NftStorage => "nft.storage",
+            Platform::Pinata => "pinata.cloud",
+            Platform::IpfsBank => "ipfs-bank.net",
+            Platform::Filebase => "filebase.com",
+            Platform::Hydra => "hydra.amazonaws.com",
+            Platform::Gateway => "gateway.net",
+        }
+    }
+}
+
+/// One online session of a node.
+#[derive(Clone, Copy, Debug)]
+pub struct Session {
+    /// Going online.
+    pub up: SimTime,
+    /// Going offline.
+    pub down: SimTime,
+    /// Index into the node's IP pool for this session.
+    pub ip_idx: usize,
+    /// Fresh identity seed adopted for this session, if any.
+    pub new_identity: Option<u64>,
+}
+
+/// Full specification of one node.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// Initial identity seed.
+    pub identity_seed: u64,
+    /// Population segment.
+    pub segment: Segment,
+    /// Cloud provider name, `None` for residential.
+    pub provider: Option<&'static str>,
+    /// Geolocation of the primary address.
+    pub country: CountryCode,
+    /// Latency region.
+    pub region: u16,
+    /// Behind NAT.
+    pub nat: bool,
+    /// Addresses this node rotates through (index 0 first).
+    pub ips: Vec<Ipv4Addr>,
+    /// Churn schedule (sorted by time; sessions never overlap).
+    pub sessions: Vec<Session>,
+    /// Platform membership.
+    pub platform: Option<Platform>,
+    /// Identify agent string.
+    pub agent: String,
+    /// PTR record, if any.
+    pub rdns: Option<String>,
+    /// Gateway overlay node (serves HTTP).
+    pub gateway: bool,
+    /// Additional announced address (multihoming / hybrid peers).
+    pub extra_addr: Option<Ipv4Addr>,
+}
+
+/// One content item in the catalog.
+#[derive(Clone, Debug)]
+pub struct ContentItem {
+    /// The content identifier.
+    pub cid: Cid,
+    /// Payload size in bytes.
+    pub size: u32,
+    /// Node indices that publish it (at `publish_at`).
+    pub publishers: Vec<usize>,
+    /// When publishing happens.
+    pub publish_at: SimTime,
+    /// Popularity window `[start, end]` in virtual days — most CIDs are
+    /// requested on 1–3 distinct days only (Fig. 9).
+    pub window: (u64, u64),
+    /// Zipf popularity weight.
+    pub weight: f64,
+}
+
+/// One workload request.
+#[derive(Clone, Copy, Debug)]
+pub enum Request {
+    /// HTTP GET through a gateway frontend.
+    Http {
+        /// When.
+        at: SimTime,
+        /// Issuing node index (an ephemeral/NAT user).
+        client: usize,
+        /// Gateway index into [`Scenario::gateways`].
+        gateway: usize,
+        /// Content item index.
+        item: usize,
+    },
+    /// Direct P2P fetch.
+    Fetch {
+        /// When.
+        at: SimTime,
+        /// Node index performing the fetch.
+        node: usize,
+        /// Content item index.
+        item: usize,
+    },
+}
+
+impl Request {
+    /// The request timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            Request::Http { at, .. } | Request::Fetch { at, .. } => *at,
+        }
+    }
+}
+
+/// A public gateway (HTTP endpoint + overlay backends).
+#[derive(Clone, Debug)]
+pub struct GatewaySpec {
+    /// Public hostname (e.g. `cloudflare-ipfs.com`).
+    pub host: String,
+    /// Listed in the public gateway register.
+    pub listed: bool,
+    /// Actually works (22 of the 83 listed did).
+    pub functional: bool,
+    /// HTTP frontend addresses (anycast ⇒ several).
+    pub frontend_ips: Vec<Ipv4Addr>,
+    /// Overlay node indices serving this gateway.
+    pub overlay_nodes: Vec<usize>,
+    /// Hosting provider of the frontends (`None` = non-cloud).
+    pub provider: Option<&'static str>,
+    /// Relative share of HTTP workload routed here.
+    pub traffic_weight: f64,
+}
+
+/// Size/shape knobs for scenario generation. See `paper.rs` for presets.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Virtual campaign length.
+    pub duration: Dur,
+    /// Cloud-hosted DHT servers.
+    pub n_cloud: usize,
+    /// Public non-cloud servers.
+    pub n_fringe: usize,
+    /// NAT-ed clients.
+    pub n_nat: usize,
+    /// Ephemeral single-interaction users.
+    pub n_ephemeral: usize,
+    /// Catalog size (regular items).
+    pub n_content: usize,
+    /// Total workload requests across the run.
+    pub n_requests: usize,
+    /// CIDs per storage platform (web3.storage / nft.storage / pinata).
+    pub platform_cids: usize,
+    /// Nodes per storage platform cluster.
+    pub platform_nodes: usize,
+    /// Hydra booster hosts (each runs 20 virtual heads).
+    pub hydra_hosts: usize,
+    /// Virtual peer IDs per hydra host.
+    pub hydra_heads: usize,
+    /// Listed gateway endpoints (83 in the paper).
+    pub n_gateways_listed: usize,
+    /// Functional gateways (22 in the paper).
+    pub n_gateways_functional: usize,
+    /// Root-domain universe for the DNS scan.
+    pub n_domains: usize,
+    /// Domains with DNSLink records.
+    pub n_dnslink: usize,
+    /// ENS `ipfs_ns` records (20.6k in the paper).
+    pub n_ens_records: usize,
+    /// Connection floor for regular nodes (Bitswap fan-out driver).
+    pub conn_floor: usize,
+    /// Share of requests served via HTTP gateways (vs direct fetch).
+    pub http_share: f64,
+    /// Fraction of publisher nodes announcing a second address of the
+    /// opposite cloudness (the hybrid/BOTH populations).
+    pub hybrid_fraction: f64,
+}
+
+/// A fully generated scenario.
+#[derive(Debug)]
+pub struct Scenario {
+    /// The generating config.
+    pub cfg: ScenarioConfig,
+    /// Measurement-side IP databases.
+    pub dbs: clouddb::IpDatabases,
+    /// All nodes. The first [`Scenario::bootstrap_count`] are always-on
+    /// bootstrap servers.
+    pub nodes: Vec<NodeSpec>,
+    /// Content catalog (regular + platform items).
+    pub content: Vec<ContentItem>,
+    /// Workload, sorted by time.
+    pub requests: Vec<Request>,
+    /// Gateways.
+    pub gateways: Vec<GatewaySpec>,
+    /// DNS zones (domain universe + DNSLink + gateway hosts).
+    pub dns: DnsZoneDb,
+    /// Scan candidate list (pre-reduction).
+    pub dns_candidates: Vec<String>,
+    /// Passive DNS feed covering gateway hostnames.
+    pub pdns: PassiveDnsFeed,
+    /// ENS resolver contracts with their event logs.
+    pub ens_resolvers: Vec<ResolverContract>,
+    /// Number of dedicated bootstrap nodes at the head of `nodes`.
+    pub bootstrap_count: usize,
+}
+
+impl Scenario {
+    /// Nodes belonging to a platform.
+    pub fn platform_nodes(&self, p: Platform) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.platform == Some(p))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Ground-truth count of nodes in a segment (tests/calibration only).
+    pub fn segment_count(&self, s: Segment) -> usize {
+        self.nodes.iter().filter(|n| n.segment == s).count()
+    }
+}
+
+/// Map a country to a coarse latency region.
+pub fn region_of(country: CountryCode) -> u16 {
+    match country.as_str() {
+        "US" | "CA" => 0,
+        "DE" | "FR" | "GB" | "NL" | "PL" | "UA" | "RU" | "FI" | "SE" => 1,
+        "KR" | "JP" | "CN" | "SG" | "IN" | "AU" => 2,
+        "BR" => 3,
+        _ => 1,
+    }
+}

@@ -1,0 +1,149 @@
+//! Scenario-generation validation: calibration sanity and determinism.
+
+use netgen::{build, Platform, ScenarioConfig, Segment};
+
+#[test]
+fn tiny_scenario_builds_with_expected_populations() {
+    let s = build(ScenarioConfig::tiny(1));
+    assert_eq!(s.segment_count(Segment::CloudStable), 130);
+    assert!(s.segment_count(Segment::PublicFringe) >= 160);
+    assert_eq!(s.segment_count(Segment::NatClient), 90);
+    assert!(s.bootstrap_count >= 1);
+    assert!(!s.content.is_empty());
+    assert!(!s.requests.is_empty());
+    for w in s.requests.windows(2) {
+        assert!(w[0].at() <= w[1].at());
+    }
+}
+
+#[test]
+fn sessions_are_ordered_and_within_duration() {
+    let s = build(ScenarioConfig::tiny(3));
+    for n in &s.nodes {
+        let mut last = simnet::SimTime::ZERO;
+        for sess in &n.sessions {
+            assert!(sess.up >= last, "overlapping sessions");
+            assert!(sess.down > sess.up);
+            assert!(sess.down <= simnet::SimTime::ZERO + s.cfg.duration + netgen::build::MEASUREMENT_TAIL);
+            assert!(sess.ip_idx < n.ips.len(), "session ip outside pool");
+            last = sess.down;
+        }
+    }
+}
+
+#[test]
+fn cloud_nodes_rotate_less_than_fringe() {
+    let s = build(ScenarioConfig::tiny(4));
+    let avg_ips = |seg: Segment| {
+        let v: Vec<usize> = s
+            .nodes
+            .iter()
+            .filter(|n| n.segment == seg)
+            .map(|n| n.ips.len())
+            .collect();
+        v.iter().sum::<usize>() as f64 / v.len().max(1) as f64
+    };
+    assert!(avg_ips(Segment::CloudStable) < 1.2);
+    assert!(avg_ips(Segment::PublicFringe) > 1.5);
+}
+
+#[test]
+fn databases_attribute_planted_nodes() {
+    let s = build(ScenarioConfig::tiny(5));
+    let mut hits = 0;
+    let mut total = 0;
+    for n in s.nodes.iter().filter(|n| n.segment == Segment::CloudStable) {
+        total += 1;
+        if let Some(pid) = s.dbs.cloud.lookup(n.ips[0]) {
+            assert_eq!(Some(s.dbs.cloud.name(pid)), n.provider, "provider mismatch");
+            hits += 1;
+        }
+    }
+    assert!(hits as f64 / total as f64 > 0.9, "{hits}/{total}");
+    for n in s.nodes.iter().filter(|n| n.segment == Segment::NatClient).take(50) {
+        assert_eq!(s.dbs.cloud.lookup(n.ips[0]), None);
+    }
+}
+
+#[test]
+fn platforms_are_present_and_always_on() {
+    let s = build(ScenarioConfig::tiny(6));
+    for p in [
+        Platform::Web3Storage,
+        Platform::NftStorage,
+        Platform::Pinata,
+        Platform::Filebase,
+        Platform::Hydra,
+        Platform::IpfsBank,
+    ] {
+        let nodes = s.platform_nodes(p);
+        assert!(!nodes.is_empty(), "{p:?} missing");
+        for &i in &nodes {
+            assert_eq!(s.nodes[i].sessions.len(), 1, "{p:?} churns");
+            assert!(s.nodes[i].rdns.is_some());
+        }
+    }
+}
+
+#[test]
+fn gateways_counts_and_shape() {
+    let s = build(ScenarioConfig::tiny(7));
+    assert_eq!(s.gateways.len(), s.cfg.n_gateways_listed);
+    let functional = s.gateways.iter().filter(|g| g.functional).count();
+    assert_eq!(functional, s.cfg.n_gateways_functional);
+    for g in &s.gateways {
+        assert!(!g.frontend_ips.is_empty());
+        if g.functional {
+            assert!(!g.overlay_nodes.is_empty());
+            for &i in &g.overlay_nodes {
+                assert!(s.nodes[i].gateway, "overlay node not flagged");
+            }
+        } else {
+            assert!(g.overlay_nodes.is_empty());
+        }
+    }
+    let cf = s.gateways.iter().find(|g| g.host == "cloudflare-ipfs.com").unwrap();
+    for ip in &cf.frontend_ips {
+        let p = s.dbs.cloud.lookup(*ip).map(|id| s.dbs.cloud.name(id).to_string());
+        assert_eq!(p.as_deref(), Some("cloudflare_inc"));
+    }
+}
+
+#[test]
+fn dns_universe_contains_valid_dnslink() {
+    let s = build(ScenarioConfig::tiny(8));
+    let scanner = dnslink::ZdnsScanner::new(&s.dns);
+    let (findings, stats) = scanner.scan(s.dns_candidates.iter());
+    assert!(stats.registered > 0);
+    assert!(
+        findings.len() >= (s.cfg.n_dnslink as f64 * 0.80) as usize,
+        "too few valid DNSLink deployments: {} vs {}",
+        findings.len(),
+        s.cfg.n_dnslink
+    );
+    assert!(stats.with_dnslink_txt > stats.valid_dnslink);
+}
+
+#[test]
+fn ens_extraction_recovers_records() {
+    let s = build(ScenarioConfig::tiny(9));
+    let (records, stats) = ens::extract_ipfs_records(&s.ens_resolvers, 1000);
+    assert_eq!(stats.domains, s.cfg.n_ens_records);
+    assert_eq!(records.len(), s.cfg.n_ens_records);
+    assert!(stats.contenthash_events > stats.ipfs_ns_events, "swarm noise must exist");
+}
+
+#[test]
+fn deterministic_generation() {
+    let a = build(ScenarioConfig::tiny(42));
+    let b = build(ScenarioConfig::tiny(42));
+    assert_eq!(a.nodes.len(), b.nodes.len());
+    for (x, y) in a.nodes.iter().zip(&b.nodes) {
+        assert_eq!(x.identity_seed, y.identity_seed);
+        assert_eq!(x.ips, y.ips);
+        assert_eq!(x.sessions.len(), y.sessions.len());
+    }
+    assert_eq!(a.requests.len(), b.requests.len());
+    let c = build(ScenarioConfig::tiny(43));
+    assert_ne!(a.nodes[10].ips, c.nodes[10].ips, "different seeds must differ");
+}

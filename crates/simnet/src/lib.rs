@@ -1,0 +1,22 @@
+//! # simnet — deterministic discrete-event network simulator
+//!
+//! The substitution substrate for the live IPFS network (see DESIGN.md §2):
+//! virtual time, a seeded event queue, a connection fabric with NAT and
+//! circuit-relay dialing rules, node lifecycle (churn), and a latency model.
+//! Protocol logic lives in `kademlia`/`bitswap`/`ipfs-node`, which implement
+//! the [`Actor`] trait; measurement tools are actors too, exactly as the
+//! paper's tools were ordinary participants of the real network.
+//!
+//! Design follows the sans-io idiom of the session guides (smoltcp, Tokio
+//! tutorial): no I/O and no wall clock inside protocol state machines,
+//! `Dur`-based timeouts, cancellation-safe callback boundaries.
+
+pub mod churn;
+pub mod engine;
+pub mod latency;
+pub mod time;
+
+pub use churn::{ChurnModel, LogNormal};
+pub use engine::{Actor, Ctx, NodeId, NodeSetup, Sim, SimConfig, SimCore, SimStats};
+pub use latency::{LatencyModel, RegionId};
+pub use time::{Dur, SimTime};

@@ -1,0 +1,47 @@
+//! The paper's headline methodological finding, as a runnable scenario:
+//! the *same* crawl dataset yields opposite conclusions about cloud
+//! dominance depending on the counting methodology (§3, Figs. 3–4).
+//!
+//! ```sh
+//! cargo run --release --example methodology_flip
+//! ```
+
+use netgen::ScenarioConfig;
+use simnet::Dur;
+use tcsb_core::{an_cloud_status, gip_count, shares, Campaign, CampaignOptions, CloudStatus};
+
+fn main() {
+    let scenario = netgen::build(ScenarioConfig::tiny(21));
+    let mut campaign = Campaign::new(
+        scenario,
+        CampaignOptions { with_workload: false, ..Default::default() },
+    );
+    campaign.run_for(Dur::from_hours(4));
+
+    // Crawl twice a day for three virtual days.
+    for _ in 0..6 {
+        campaign.crawl(Dur::from_mins(30));
+        campaign.run_for(Dur::from_hours(12));
+    }
+    let snaps = campaign.snapshots().to_vec();
+    let dbs = &campaign.scenario.dbs;
+    let is_cloud = |ip: std::net::Ipv4Addr| dbs.cloud.lookup(ip).is_some();
+
+    println!("crawls | A-N cloud share | G-IP cloud share");
+    for k in 1..=snaps.len() {
+        let an = shares(&an_cloud_status(&snaps[..k], is_cloud));
+        let gip = shares(&gip_count(&snaps[..k], is_cloud));
+        println!(
+            "{:>6} | {:>14.1}% | {:>15.1}%",
+            k,
+            an.get(&CloudStatus::Cloud).copied().unwrap_or(0.0) * 100.0,
+            gip.get(&true).copied().unwrap_or(0.0) * 100.0
+        );
+    }
+    println!();
+    println!("A-N stays flat: it describes the *typical* network snapshot.");
+    println!("G-IP keeps sliding towards non-cloud as crawls accumulate, because");
+    println!("churning fringe nodes rotate IPs and every fresh address counts");
+    println!("again — the discrepancy the paper identified between its own");
+    println!("results (79.6% cloud) and the earlier study's (<3% cloud).");
+}

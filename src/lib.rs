@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the whole workspace public API.
+pub use bitswap;
+pub use clouddb;
+pub use dnslink;
+pub use ens;
+pub use experiments;
+pub use ipfs_node;
+pub use ipfs_types;
+pub use kademlia;
+pub use netgen;
+pub use simnet;
+pub use tcsb_core as core;

@@ -1,0 +1,115 @@
+//! Workspace integration tests: generator → simulation → measurement →
+//! analysis, spanning every crate through the umbrella API.
+
+use tcsb::core::{
+    an_cloud_status, gip_count, shares, Campaign, CampaignOptions, CloudStatus, Graph,
+    RemovalStrategy,
+};
+use tcsb::netgen::{self, ScenarioConfig};
+use tcsb::simnet::Dur;
+
+#[test]
+fn full_pipeline_reproduces_methodology_flip() {
+    let scenario = netgen::build(ScenarioConfig::tiny(101));
+    let mut c = Campaign::new(
+        scenario,
+        CampaignOptions { with_workload: false, ..Default::default() },
+    );
+    c.run_for(Dur::from_hours(4));
+    for _ in 0..5 {
+        c.crawl(Dur::from_mins(30));
+        c.run_for(Dur::from_hours(10));
+    }
+    let snaps = c.snapshots().to_vec();
+    assert_eq!(snaps.len(), 5);
+    let dbs = &c.scenario.dbs;
+    let is_cloud = |ip: std::net::Ipv4Addr| dbs.cloud.lookup(ip).is_some();
+    let an = shares(&an_cloud_status(&snaps, is_cloud));
+    let gip = shares(&gip_count(&snaps, is_cloud));
+    let an_cloud = an.get(&CloudStatus::Cloud).copied().unwrap_or(0.0);
+    let gip_cloud = gip.get(&true).copied().unwrap_or(0.0);
+    // The paper's central claim, as an invariant: the typical snapshot is
+    // cloud-dominated, and unique-IP pooling deflates that share.
+    assert!(an_cloud > 0.5, "A-N cloud {an_cloud}");
+    assert!(gip_cloud < an_cloud, "gip {gip_cloud} !< an {an_cloud}");
+}
+
+#[test]
+fn crawl_graph_is_robust_to_random_removal() {
+    let scenario = netgen::build(ScenarioConfig::tiny(102));
+    let mut c = Campaign::new(
+        scenario,
+        CampaignOptions { with_workload: false, ..Default::default() },
+    );
+    c.run_for(Dur::from_hours(6));
+    let idx = c.crawl(Dur::from_mins(30));
+    let g = Graph::from_snapshot(&c.snapshots()[idx]);
+    assert!(g.len() > 100, "graph too small: {}", g.len());
+    let random = g.resilience(RemovalStrategy::Random { seed: 1 }, 20);
+    let targeted = g.resilience(RemovalStrategy::TargetedByDegree, 20);
+    // Fig. 8 shape: random removal barely dents the LCC at 50% removed;
+    // targeted removal partitions strictly earlier than random.
+    assert!(random.lcc_at(0.5) > 0.85, "random lcc@0.5 {}", random.lcc_at(0.5));
+    assert!(
+        targeted.partition_point(0.05) <= random.partition_point(0.05),
+        "targeted must partition no later than random"
+    );
+}
+
+#[test]
+fn workload_feeds_every_measurement_modality() {
+    let scenario = netgen::build(ScenarioConfig::tiny(103));
+    let mut c = Campaign::new(scenario, CampaignOptions::default());
+    c.run_for(Dur::from_hours(36));
+    // Bitswap monitoring.
+    assert!(!c.monitor_log().is_empty(), "monitor log empty");
+    // Hydra logging with traffic-class tagging.
+    let hydra = c.hydra_log();
+    assert!(!hydra.is_empty(), "hydra log empty");
+    let classes: std::collections::HashSet<_> = hydra.iter().map(|e| e.class).collect();
+    assert!(classes.len() >= 2, "expected multiple traffic classes: {classes:?}");
+    // Provider records resolvable for recently requested CIDs.
+    let last_ts = c.monitor_log().last().unwrap().ts;
+    let recent: Vec<_> = {
+        let mut s = std::collections::BTreeSet::new();
+        for e in c.monitor_log() {
+            if last_ts.0 - e.ts.0 < Dur::from_hours(12).0 {
+                s.extend(e.cids.iter().copied());
+            }
+        }
+        s.into_iter().take(10).collect()
+    };
+    if !recent.is_empty() {
+        let resolved = c.resolve_providers(&recent, true, Dur::from_secs(15));
+        let with_records = resolved.iter().filter(|(_, r, _)| !r.is_empty()).count();
+        assert!(with_records > 0, "no provider records for recent CIDs");
+    }
+}
+
+#[test]
+fn dns_and_ens_substrates_feed_entry_point_analyses() {
+    let scenario = netgen::build(ScenarioConfig::tiny(104));
+    // DNSLink scan.
+    let scanner = tcsb::dnslink::ZdnsScanner::new(&scenario.dns);
+    let (findings, stats) = scanner.scan(scenario.dns_candidates.iter());
+    assert!(stats.valid_dnslink > 0);
+    assert!(!findings.is_empty());
+    // Every finding resolves to at least one IP or aliases a gateway.
+    let with_ips = findings.iter().filter(|f| !f.gateway_ips.is_empty()).count();
+    assert!(with_ips as f64 > findings.len() as f64 * 0.9);
+    // ENS extraction.
+    let (records, estats) = tcsb::ens::extract_ipfs_records(&scenario.ens_resolvers, 500);
+    assert_eq!(estats.domains, records.len());
+    assert!(records.len() >= scenario.cfg.n_ens_records);
+}
+
+#[test]
+fn umbrella_reexports_are_usable() {
+    // Spot-check that the umbrella crate exposes the full stack.
+    let cid = tcsb::ipfs_types::Cid::from_seed(1);
+    assert!(cid.to_string_canonical().starts_with('b'));
+    let key = tcsb::ipfs_types::Key256::from_seed(2);
+    assert_eq!(key.distance(&key).leading_zeros(), 256);
+    let _cfg = tcsb::ipfs_node::NodeConfig::regular(1);
+    let _targets = tcsb::netgen::PAPER;
+}
