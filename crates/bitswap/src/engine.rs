@@ -125,7 +125,10 @@ impl Bitswap {
             session.asked.insert(p);
             out.push(
                 p,
-                BitswapMessage::Wantlist { entries: vec![WantEntry::have(cid)], full: false },
+                BitswapMessage::Wantlist {
+                    entries: vec![WantEntry::have(cid)],
+                    full: false,
+                },
             );
         }
         self.sessions.insert(cid, session);
@@ -152,7 +155,10 @@ impl Bitswap {
         session.requested_from = Some(peer);
         out.push(
             peer,
-            BitswapMessage::Wantlist { entries: vec![WantEntry::block(cid)], full: false },
+            BitswapMessage::Wantlist {
+                entries: vec![WantEntry::block(cid)],
+                full: false,
+            },
         );
         out
     }
@@ -166,7 +172,10 @@ impl Bitswap {
             for p in &asked {
                 out.push(
                     *p,
-                    BitswapMessage::Wantlist { entries: vec![WantEntry::cancel(*cid)], full: false },
+                    BitswapMessage::Wantlist {
+                        entries: vec![WantEntry::cancel(*cid)],
+                        full: false,
+                    },
                 );
             }
         }
@@ -312,7 +321,10 @@ impl Bitswap {
                         l.wants.remove(&b.cid);
                         out.push(
                             p,
-                            BitswapMessage::Presence { have: vec![b.cid], dont_have: vec![] },
+                            BitswapMessage::Presence {
+                                have: vec![b.cid],
+                                dont_have: vec![],
+                            },
                         );
                     }
                 }
@@ -427,11 +439,16 @@ mod tests {
         let mut a = Bitswap::new();
         let mut store_a = MemoryBlockstore::new();
         let c = cid(1);
-        let want = BitswapMessage::Wantlist { entries: vec![WantEntry::block(c)], full: false };
+        let want = BitswapMessage::Wantlist {
+            entries: vec![WantEntry::block(c)],
+            full: false,
+        };
         let out = a.handle_message(SimTime::ZERO, peer(2), want, &mut store_a);
         // DontHave response, want registered.
         assert_eq!(out.sends.len(), 1);
-        let blocks = BitswapMessage::Blocks { blocks: vec![Block { cid: c, size: 10 }] };
+        let blocks = BitswapMessage::Blocks {
+            blocks: vec![Block { cid: c, size: 10 }],
+        };
         let out = a.handle_message(SimTime::ZERO, peer(3), blocks, &mut store_a);
         let forwarded: Vec<&PeerId> = out
             .sends
@@ -447,9 +464,14 @@ mod tests {
         let mut a = Bitswap::new();
         let mut store_a = MemoryBlockstore::new();
         let c = cid(1);
-        let probe = BitswapMessage::Wantlist { entries: vec![WantEntry::have(c)], full: false };
+        let probe = BitswapMessage::Wantlist {
+            entries: vec![WantEntry::have(c)],
+            full: false,
+        };
         a.handle_message(SimTime::ZERO, peer(2), probe, &mut store_a);
-        let blocks = BitswapMessage::Blocks { blocks: vec![Block { cid: c, size: 10 }] };
+        let blocks = BitswapMessage::Blocks {
+            blocks: vec![Block { cid: c, size: 10 }],
+        };
         let out = a.handle_message(SimTime::ZERO, peer(3), blocks, &mut store_a);
         assert!(out.sends.iter().any(|(p, m)| {
             *p == peer(2) && matches!(m, BitswapMessage::Presence { have, .. } if have == &vec![c])
@@ -462,11 +484,16 @@ mod tests {
         let mut store_a = MemoryBlockstore::new();
         let c = cid(1);
         a.start_fetch(c, &[peer(2), peer(3)], SimTime::ZERO);
-        let blocks = BitswapMessage::Blocks { blocks: vec![Block { cid: c, size: 10 }] };
+        let blocks = BitswapMessage::Blocks {
+            blocks: vec![Block { cid: c, size: 10 }],
+        };
         let out1 = a.handle_message(SimTime::ZERO, peer(2), blocks.clone(), &mut store_a);
         let out2 = a.handle_message(SimTime::ZERO, peer(3), blocks, &mut store_a);
         assert_eq!(out1.received.len(), 1);
-        assert!(out2.received.is_empty(), "second delivery must not re-complete");
+        assert!(
+            out2.received.is_empty(),
+            "second delivery must not re-complete"
+        );
         // Cancel sent to the other asked peer.
         assert!(out1.sends.iter().any(|(p, m)| {
             *p == peer(3)
@@ -490,11 +517,17 @@ mod tests {
         let mut store_a = MemoryBlockstore::new();
         let c = cid(1);
         a.start_fetch(c, &[peer(2), peer(3)], SimTime::ZERO);
-        let have = BitswapMessage::Presence { have: vec![c], dont_have: vec![] };
+        let have = BitswapMessage::Presence {
+            have: vec![c],
+            dont_have: vec![],
+        };
         let out1 = a.handle_message(SimTime::ZERO, peer(3), have.clone(), &mut store_a);
         assert_eq!(out1.sends.len(), 1, "WantBlock to first responder");
         let out2 = a.handle_message(SimTime::ZERO, peer(2), have, &mut store_a);
-        assert!(out2.sends.is_empty(), "second Have does not trigger another request");
+        assert!(
+            out2.sends.is_empty(),
+            "second Have does not trigger another request"
+        );
         assert_eq!(a.session(&c).unwrap().haves.len(), 2);
     }
 
@@ -506,16 +539,27 @@ mod tests {
         a.handle_message(
             SimTime::ZERO,
             peer(2),
-            BitswapMessage::Wantlist { entries: vec![WantEntry::block(c1)], full: false },
+            BitswapMessage::Wantlist {
+                entries: vec![WantEntry::block(c1)],
+                full: false,
+            },
             &mut store,
         );
         a.handle_message(
             SimTime::ZERO,
             peer(2),
-            BitswapMessage::Wantlist { entries: vec![WantEntry::block(c2)], full: true },
+            BitswapMessage::Wantlist {
+                entries: vec![WantEntry::block(c2)],
+                full: true,
+            },
             &mut store,
         );
-        let wants: Vec<Cid> = a.ledger(&peer(2)).unwrap().wants().map(|(c, _)| *c).collect();
+        let wants: Vec<Cid> = a
+            .ledger(&peer(2))
+            .unwrap()
+            .wants()
+            .map(|(c, _)| *c)
+            .collect();
         assert_eq!(wants, vec![c2]);
     }
 }

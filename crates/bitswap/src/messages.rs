@@ -44,17 +44,32 @@ pub struct WantEntry {
 impl WantEntry {
     /// A discovery probe (`WantHave` + `send_dont_have`).
     pub fn have(cid: Cid) -> WantEntry {
-        WantEntry { cid, ty: WantType::Have, cancel: false, send_dont_have: true }
+        WantEntry {
+            cid,
+            ty: WantType::Have,
+            cancel: false,
+            send_dont_have: true,
+        }
     }
 
     /// A block request.
     pub fn block(cid: Cid) -> WantEntry {
-        WantEntry { cid, ty: WantType::Block, cancel: false, send_dont_have: true }
+        WantEntry {
+            cid,
+            ty: WantType::Block,
+            cancel: false,
+            send_dont_have: true,
+        }
     }
 
     /// A cancellation.
     pub fn cancel(cid: Cid) -> WantEntry {
-        WantEntry { cid, ty: WantType::Block, cancel: true, send_dont_have: false }
+        WantEntry {
+            cid,
+            ty: WantType::Block,
+            cancel: true,
+            send_dont_have: false,
+        }
     }
 }
 
@@ -86,9 +101,11 @@ impl BitswapMessage {
     /// CIDs referenced by this message (for monitor logging).
     pub fn cids(&self) -> Vec<Cid> {
         match self {
-            BitswapMessage::Wantlist { entries, .. } => {
-                entries.iter().filter(|e| !e.cancel).map(|e| e.cid).collect()
-            }
+            BitswapMessage::Wantlist { entries, .. } => entries
+                .iter()
+                .filter(|e| !e.cancel)
+                .map(|e| e.cid)
+                .collect(),
             BitswapMessage::Blocks { blocks } => blocks.iter().map(|b| b.cid).collect(),
             BitswapMessage::Presence { have, dont_have } => {
                 have.iter().chain(dont_have.iter()).copied().collect()

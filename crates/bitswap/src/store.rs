@@ -72,7 +72,10 @@ mod tests {
     #[test]
     fn put_get_remove() {
         let mut s = MemoryBlockstore::new();
-        let b = Block { cid: Cid::from_seed(1), size: 256 };
+        let b = Block {
+            cid: Cid::from_seed(1),
+            size: 256,
+        };
         s.put(b);
         assert!(s.has(&b.cid));
         assert_eq!(s.get(&b.cid), Some(b));

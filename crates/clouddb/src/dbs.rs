@@ -262,7 +262,11 @@ mod tests {
     #[test]
     fn asn_lookup() {
         let mut db = AsnDb::new();
-        db.add_block(Asn(13335), "CLOUDFLARENET", Cidr::parse("104.16.0.0/13").unwrap());
+        db.add_block(
+            Asn(13335),
+            "CLOUDFLARENET",
+            Cidr::parse("104.16.0.0/13").unwrap(),
+        );
         let got = db.lookup(ip("104.17.1.1")).unwrap();
         assert_eq!(got, Asn(13335));
         assert_eq!(db.org(got), Some("CLOUDFLARENET"));
@@ -273,7 +277,10 @@ mod tests {
     fn rdns_lookup() {
         let mut db = ReverseDnsDb::new();
         db.insert(ip("52.1.2.3"), "ec2-52-1-2-3.compute-1.amazonaws.com");
-        assert!(db.lookup(ip("52.1.2.3")).unwrap().ends_with("amazonaws.com"));
+        assert!(db
+            .lookup(ip("52.1.2.3"))
+            .unwrap()
+            .ends_with("amazonaws.com"));
         assert_eq!(db.lookup(ip("52.1.2.4")), None);
     }
 

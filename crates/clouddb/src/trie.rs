@@ -21,8 +21,15 @@ impl Cidr {
     pub fn new(base: Ipv4Addr, prefix_len: u8) -> Cidr {
         assert!(prefix_len <= 32, "prefix length out of range");
         let raw = u32::from(base);
-        let masked = if prefix_len == 0 { 0 } else { raw & (u32::MAX << (32 - prefix_len)) };
-        Cidr { base: masked, prefix_len }
+        let masked = if prefix_len == 0 {
+            0
+        } else {
+            raw & (u32::MAX << (32 - prefix_len))
+        };
+        Cidr {
+            base: masked,
+            prefix_len,
+        }
     }
 
     /// Parse `"a.b.c.d/len"`.
@@ -73,7 +80,10 @@ struct Node<T> {
 
 impl<T> Node<T> {
     fn empty() -> Node<T> {
-        Node { children: [None, None], value: None }
+        Node {
+            children: [None, None],
+            value: None,
+        }
     }
 }
 
@@ -93,7 +103,10 @@ impl<T> Default for PrefixTrie<T> {
 impl<T> PrefixTrie<T> {
     /// Empty trie.
     pub fn new() -> PrefixTrie<T> {
-        PrefixTrie { nodes: vec![Node::empty()], len: 0 }
+        PrefixTrie {
+            nodes: vec![Node::empty()],
+            len: 0,
+        }
     }
 
     /// Number of inserted prefixes.

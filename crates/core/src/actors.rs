@@ -39,7 +39,10 @@ pub struct Frontend {
 impl Frontend {
     /// Frontend over the given backends.
     pub fn new(backends: Vec<NodeId>) -> Frontend {
-        Frontend { backends, ..Default::default() }
+        Frontend {
+            backends,
+            ..Default::default()
+        }
     }
 
     fn forward<C: std::fmt::Debug>(
@@ -50,7 +53,13 @@ impl Frontend {
         cid: Cid,
     ) {
         if self.backends.is_empty() {
-            ctx.send(client, WireMsg::HttpResponse { req_id: client_req, found: false });
+            ctx.send(
+                client,
+                WireMsg::HttpResponse {
+                    req_id: client_req,
+                    found: false,
+                },
+            );
             self.served.1 += 1;
             return;
         }
@@ -82,7 +91,13 @@ impl Frontend {
                     } else {
                         self.served.1 += 1;
                     }
-                    ctx.send(client, WireMsg::HttpResponse { req_id: client_req, found });
+                    ctx.send(
+                        client,
+                        WireMsg::HttpResponse {
+                            req_id: client_req,
+                            found,
+                        },
+                    );
                 }
             }
             _ => {}
@@ -99,7 +114,13 @@ impl Frontend {
             if ok {
                 ctx.send(target, WireMsg::HttpRequest { req_id, cid });
             } else if let Some((client, client_req)) = self.pending.remove(&req_id) {
-                ctx.send(client, WireMsg::HttpResponse { req_id: client_req, found: false });
+                ctx.send(
+                    client,
+                    WireMsg::HttpResponse {
+                        req_id: client_req,
+                        found: false,
+                    },
+                );
                 self.served.1 += 1;
             }
         }
@@ -121,7 +142,12 @@ impl WebUser {
         WebUser::default()
     }
 
-    fn get<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, frontend: NodeId, cid: Cid) {
+    fn get<C: std::fmt::Debug>(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg, C>,
+        frontend: NodeId,
+        cid: Cid,
+    ) {
         let req_id = self.next_req;
         self.next_req += 1;
         if ctx.is_connected(frontend) {

@@ -38,7 +38,10 @@ pub fn lorenz_curve<K: Ord>(counts: &BTreeMap<K, u64>) -> Vec<LorenzPoint> {
         .enumerate()
         .map(|(i, v)| {
             acc += v;
-            LorenzPoint { x: (i + 1) as f64 / n, y: acc as f64 / total as f64 }
+            LorenzPoint {
+                x: (i + 1) as f64 / n,
+                y: acc as f64 / total as f64,
+            }
         })
         .collect()
 }
@@ -92,7 +95,11 @@ pub fn degree_stats(snap: &CrawlSnapshot) -> DegreeStats {
     in_degrees.sort_unstable();
     let mut top_in_degree: Vec<(PeerId, u32)> = inn.into_iter().collect();
     top_in_degree.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    DegreeStats { out_degrees, in_degrees, top_in_degree }
+    DegreeStats {
+        out_degrees,
+        in_degrees,
+        top_in_degree,
+    }
 }
 
 /// Percentile (0..=100) of a sorted slice.
@@ -129,7 +136,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singletons.
     pub fn new(n: usize) -> UnionFind {
-        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
     }
 
     /// Root with path halving.
@@ -285,8 +295,7 @@ impl Graph {
             }
             RemovalStrategy::TargetedByDegree => {
                 // Recompute-highest-degree-first via a degree bucket walk.
-                let mut degree: Vec<u32> =
-                    self.adj.iter().map(|a| a.len() as u32).collect();
+                let mut degree: Vec<u32> = self.adj.iter().map(|a| a.len() as u32).collect();
                 let mut alive = vec![true; n];
                 let mut order = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -505,7 +514,12 @@ mod tests {
             crawl_id: 1,
             peers: p
                 .iter()
-                .map(|&peer| CrawledPeer { peer, ips: vec![], agent: String::new(), crawlable: true })
+                .map(|&peer| CrawledPeer {
+                    peer,
+                    ips: vec![],
+                    agent: String::new(),
+                    crawlable: true,
+                })
                 .collect(),
             edges: vec![(p[0], p[1]), (p[0], p[2]), (p[1], p[2]), (p[3], p[0])],
             ..Default::default()
@@ -586,7 +600,8 @@ mod tests {
         let cid = Cid::from_seed(1);
         let direct = Multiaddr::ip4_tcp(cloud_ip, 4001);
         let home = Multiaddr::ip4_tcp(home_ip, 4001);
-        let circuit = Multiaddr::circuit(cloud_ip, 4001, PeerId::from_seed(9), PeerId::from_seed(2));
+        let circuit =
+            Multiaddr::circuit(cloud_ip, 4001, PeerId::from_seed(9), PeerId::from_seed(2));
 
         let r1 = rec(cid, 1, vec![direct.clone()]);
         assert_eq!(classify_provider(&[&r1], is_cloud), ProviderClass::Cloud);
@@ -609,9 +624,9 @@ mod tests {
         let r_cloud3 = rec(c3, 3, vec![cloud]);
         let r_home3 = rec(c3, 4, vec![home]);
         let data = vec![
-            (c1, vec![&r_cloud]),              // all cloud
-            (c2, vec![&r_home]),               // no cloud
-            (c3, vec![&r_cloud3, &r_home3]),   // half cloud
+            (c1, vec![&r_cloud]),            // all cloud
+            (c2, vec![&r_home]),             // no cloud
+            (c3, vec![&r_cloud3, &r_home3]), // half cloud
         ];
         let s = cid_cloud_stats(&data, is_cloud);
         assert_eq!(s.total, 3);
@@ -624,9 +639,13 @@ mod tests {
     #[test]
     fn days_histogram() {
         let obs = vec![
-            ("a", 1u64), ("a", 1), ("a", 2), ("a", 3),
+            ("a", 1u64),
+            ("a", 1),
+            ("a", 2),
+            ("a", 3),
             ("b", 5),
-            ("c", 1), ("c", 9),
+            ("c", 1),
+            ("c", 9),
         ];
         let h = days_seen_histogram(obs);
         assert_eq!(h, vec![1, 1, 1]); // b:1 day, c:2 days, a:3 days

@@ -8,7 +8,7 @@
 //! actors in place of regular nodes.
 
 use crate::actors::{EcoActor, EcoCmd, Frontend, WebUser};
-use crate::crawler::{Crawler, CrawlerCmd, CrawlerConfig, CrawlSnapshot};
+use crate::crawler::{CrawlSnapshot, Crawler, CrawlerCmd, CrawlerConfig};
 use crate::hydra::{Hydra, HydraConfig, HydraLogEntry};
 use ipfs_node::{BitswapLogEntry, IpfsNode, NodeCmd, NodeConfig, NodeEvent};
 use ipfs_types::{Cid, Keypair, PeerId};
@@ -77,12 +77,7 @@ impl Campaign {
             dial_timeout: opts.dial_timeout,
             max_events: u64::MAX,
         };
-        let latency = LatencyModel::continents(
-            4,
-            Dur::from_millis(12),
-            Dur::from_millis(90),
-            0.3,
-        );
+        let latency = LatencyModel::continents(4, Dur::from_millis(12), Dur::from_millis(90), 0.3);
         let seed = opts.engine_seed.unwrap_or(scenario.cfg.seed ^ 0x51u64);
         let mut sim: Sim<EcoActor> = Sim::new(cfg, latency, seed);
 
@@ -237,13 +232,18 @@ impl Campaign {
                     sim.schedule_command(
                         item.publish_at,
                         node_ids[p],
-                        EcoCmd::Node(NodeCmd::Publish { cid: item.cid, size: item.size }),
+                        EcoCmd::Node(NodeCmd::Publish {
+                            cid: item.cid,
+                            size: item.size,
+                        }),
                     );
                 }
             }
             for req in &scenario.requests {
                 match *req {
-                    Request::Http { at, gateway, item, .. } => {
+                    Request::Http {
+                        at, gateway, item, ..
+                    } => {
                         if scenario.gateways[gateway].functional {
                             sim.schedule_command(
                                 at,
@@ -259,7 +259,9 @@ impl Campaign {
                         sim.schedule_command(
                             at,
                             node_ids[node],
-                            EcoCmd::Node(NodeCmd::Fetch { cid: scenario.content[item].cid }),
+                            EcoCmd::Node(NodeCmd::Fetch {
+                                cid: scenario.content[item].cid,
+                            }),
                         );
                     }
                 }
@@ -299,7 +301,10 @@ impl Campaign {
         self.sim.schedule_command(
             self.sim.core().now(),
             self.crawler,
-            EcoCmd::Crawler(CrawlerCmd::Start { id: self.crawl_seq, seeds }),
+            EcoCmd::Crawler(CrawlerCmd::Start {
+                id: self.crawl_seq,
+                seeds,
+            }),
         );
         let deadline = self.sim.core().now() + max_wait;
         loop {
@@ -358,7 +363,10 @@ impl Campaign {
             self.sim.schedule_command(
                 t0 + spacing * (i as u64),
                 self.searcher,
-                EcoCmd::Node(NodeCmd::ResolveProviders { cid: *cid, exhaustive }),
+                EcoCmd::Node(NodeCmd::ResolveProviders {
+                    cid: *cid,
+                    exhaustive,
+                }),
             );
         }
         self.sim
@@ -366,7 +374,12 @@ impl Campaign {
         let node = self.sim.actor_mut(self.searcher).node_mut();
         let mut out = Vec::new();
         for ev in node.events.drain(..) {
-            if let NodeEvent::ProvidersResolved { cid, records, contacted } = ev {
+            if let NodeEvent::ProvidersResolved {
+                cid,
+                records,
+                contacted,
+            } = ev
+            {
                 out.push((cid, records, contacted));
             }
         }
@@ -395,7 +408,11 @@ impl Campaign {
 
     /// Engine-id → scenario-node-index reverse map.
     pub fn index_of(&self) -> HashMap<NodeId, usize> {
-        self.node_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect()
+        self.node_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect()
     }
 
     /// Current virtual time.

@@ -91,7 +91,10 @@ where
 /// A-N counting with the BOTH rule for cloud status: a peer announcing both
 /// cloud and non-cloud addresses gets [`CloudStatus::Both`]; otherwise the
 /// unanimous label wins (§4 "Cloud Nodes").
-pub fn an_cloud_status<F>(snapshots: &[CrawlSnapshot], mut is_cloud: F) -> BTreeMap<CloudStatus, f64>
+pub fn an_cloud_status<F>(
+    snapshots: &[CrawlSnapshot],
+    mut is_cloud: F,
+) -> BTreeMap<CloudStatus, f64>
 where
     F: FnMut(Ipv4Addr) -> bool,
 {
@@ -151,7 +154,12 @@ pub fn shares<L: Ord + Clone, V: AsF64>(counts: &BTreeMap<L, V>) -> BTreeMap<L, 
     let total: f64 = counts.values().map(|v| v.as_f64()).sum();
     counts
         .iter()
-        .map(|(k, v)| (k.clone(), if total > 0.0 { v.as_f64() / total } else { 0.0 }))
+        .map(|(k, v)| {
+            (
+                k.clone(),
+                if total > 0.0 { v.as_f64() / total } else { 0.0 },
+            )
+        })
         .collect()
 }
 
@@ -188,11 +196,13 @@ pub fn dataset_stats(snapshots: &[CrawlSnapshot]) -> DatasetStats {
         total_crawlable += snap.crawlable_count();
         total_dur += snap.duration().as_secs_f64();
         for p in &snap.peers {
-            peer_ips.entry(p.peer).or_default().extend(p.ips.iter().copied());
+            peer_ips
+                .entry(p.peer)
+                .or_default()
+                .extend(p.ips.iter().copied());
         }
     }
-    let unique_ips: HashSet<Ipv4Addr> =
-        peer_ips.values().flat_map(|s| s.iter().copied()).collect();
+    let unique_ips: HashSet<Ipv4Addr> = peer_ips.values().flat_map(|s| s.iter().copied()).collect();
     let n = snapshots.len() as f64;
     let ip_count_sum: usize = peer_ips.values().map(|s| s.len()).sum();
     DatasetStats {
@@ -222,7 +232,12 @@ mod tests {
     fn table1() -> Vec<CrawlSnapshot> {
         let p1 = PeerId::from_seed(1);
         let p2 = PeerId::from_seed(2);
-        let (a1, a2, a3, a4) = (ip("91.0.0.1"), ip("91.0.0.2"), ip("24.0.0.3"), ip("24.0.0.4"));
+        let (a1, a2, a3, a4) = (
+            ip("91.0.0.1"),
+            ip("91.0.0.2"),
+            ip("24.0.0.3"),
+            ip("24.0.0.4"),
+        );
         let peer = |p: PeerId, ips: Vec<Ipv4Addr>| CrawledPeer {
             peer: p,
             ips,

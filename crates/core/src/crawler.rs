@@ -159,7 +159,11 @@ impl Crawler {
     }
 
     fn my_info<C: std::fmt::Debug>(&self, ctx: &Ctx<'_, WireMsg, C>) -> PeerInfo {
-        PeerInfo { id: self.my_id, addrs: vec![], endpoint: ctx.me() }
+        PeerInfo {
+            id: self.my_id,
+            addrs: vec![],
+            endpoint: ctx.me(),
+        }
     }
 
     /// Handle a crawler command.
@@ -186,7 +190,11 @@ impl Crawler {
                 for (peer, ep) in seeds {
                     self.add_target(
                         ctx,
-                        PeerInfo { id: peer, addrs: vec![], endpoint: ep },
+                        PeerInfo {
+                            id: peer,
+                            addrs: vec![],
+                            endpoint: ep,
+                        },
                     );
                 }
             }
@@ -198,7 +206,10 @@ impl Crawler {
             return;
         }
         self.record_addrs(&info);
-        self.by_endpoint.entry(info.endpoint).or_default().push(info.id);
+        self.by_endpoint
+            .entry(info.endpoint)
+            .or_default()
+            .push(info.id);
         self.targets.insert(
             info.id,
             TargetState {
@@ -319,7 +330,12 @@ impl Crawler {
                     }
                 }
             }
-            WireMsg::Dht(DhtMessage { req_id, sender, body: DhtBody::Response(resp), .. }) => {
+            WireMsg::Dht(DhtMessage {
+                req_id,
+                sender,
+                body: DhtBody::Response(resp),
+                ..
+            }) => {
                 let Some(peer) = self.pending.remove(&req_id) else {
                     return;
                 };
@@ -384,8 +400,7 @@ impl Crawler {
         let mut ordered: Vec<(&PeerId, &TargetState)> = self.targets.iter().collect();
         ordered.sort_by_key(|(p, _)| **p);
         for (peer, t) in ordered {
-            let mut ips: HashSet<Ipv4Addr> =
-                self.seen_addrs.get(peer).cloned().unwrap_or_default();
+            let mut ips: HashSet<Ipv4Addr> = self.seen_addrs.get(peer).cloned().unwrap_or_default();
             if let Some(ip) = t.observed_ip {
                 ips.insert(ip);
             }
@@ -415,6 +430,10 @@ impl Crawler {
 
     /// Parse advertised multiaddrs into IPv4s (helper shared with analyses).
     pub fn multiaddr_ips(addrs: &[Multiaddr]) -> Vec<Ipv4Addr> {
-        addrs.iter().filter(|a| !a.is_circuit()).filter_map(|a| a.ip4()).collect()
+        addrs
+            .iter()
+            .filter(|a| !a.is_circuit())
+            .filter_map(|a| a.ip4())
+            .collect()
     }
 }

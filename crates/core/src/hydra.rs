@@ -112,7 +112,11 @@ impl Hydra {
     pub fn handle_start<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>) {
         for (peer, ep) in self.bootstrap.clone() {
             self.table.try_insert(
-                PeerInfo { id: peer, addrs: vec![], endpoint: ep },
+                PeerInfo {
+                    id: peer,
+                    addrs: vec![],
+                    endpoint: ep,
+                },
                 ctx.now(),
             );
             ctx.dial(ep);
@@ -120,7 +124,11 @@ impl Hydra {
     }
 
     fn head_info<C: std::fmt::Debug>(&self, ctx: &Ctx<'_, WireMsg, C>, which: usize) -> PeerInfo {
-        PeerInfo { id: self.heads[which % self.heads.len()], addrs: vec![], endpoint: ctx.me() }
+        PeerInfo {
+            id: self.heads[which % self.heads.len()],
+            addrs: vec![],
+            endpoint: ctx.me(),
+        }
     }
 
     /// Closest head to a key (the head that would own the request).

@@ -29,9 +29,9 @@ pub use counting::{
     an_cloud_status, an_count, dataset_stats, gip_count, majority_label, shares, CloudStatus,
     DatasetStats,
 };
-pub use crawler::{CrawledPeer, Crawler, CrawlerCmd, CrawlerConfig, CrawlSnapshot};
+pub use crawler::{CrawlSnapshot, CrawledPeer, Crawler, CrawlerCmd, CrawlerConfig};
 pub use dataset::{
-    bitswap_log_to_jsonl, hydra_log_to_jsonl, read_jsonl, snapshots_from_jsonl,
-    snapshots_to_jsonl, write_jsonl, BitswapLogRecord,
+    bitswap_log_to_jsonl, hydra_log_to_jsonl, read_jsonl, snapshots_from_jsonl, snapshots_to_jsonl,
+    write_jsonl, BitswapLogRecord,
 };
 pub use hydra::{Hydra, HydraConfig, HydraLogEntry};

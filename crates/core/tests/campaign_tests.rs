@@ -2,11 +2,19 @@
 
 use netgen::ScenarioConfig;
 use simnet::Dur;
-use tcsb_core::{an_cloud_status, dataset_stats, gip_count, shares, Campaign, CampaignOptions, CloudStatus};
+use tcsb_core::{
+    an_cloud_status, dataset_stats, gip_count, shares, Campaign, CampaignOptions, CloudStatus,
+};
 
 fn tiny_campaign(seed: u64, with_workload: bool) -> Campaign {
     let scenario = netgen::build(ScenarioConfig::tiny(seed));
-    Campaign::new(scenario, CampaignOptions { with_workload, ..Default::default() })
+    Campaign::new(
+        scenario,
+        CampaignOptions {
+            with_workload,
+            ..Default::default()
+        },
+    )
 }
 
 #[test]
@@ -77,13 +85,20 @@ fn workload_generates_monitor_and_hydra_traffic() {
     let hydra = c.hydra_log();
     assert!(!hydra.is_empty(), "hydra saw no DHT traffic");
     let heads = c.hydra_heads();
-    assert_eq!(heads.len(), c.scenario.cfg.hydra_heads * c.scenario.cfg.hydra_hosts);
+    assert_eq!(
+        heads.len(),
+        c.scenario.cfg.hydra_heads * c.scenario.cfg.hydra_hosts
+    );
     let web = match c.sim.actor(c.webuser) {
         tcsb_core::EcoActor::WebUser(w) => w,
         _ => unreachable!(),
     };
     let ok = web.outcomes.iter().filter(|(_, found)| *found).count();
-    assert!(ok > 0, "no successful gateway fetches out of {}", web.outcomes.len());
+    assert!(
+        ok > 0,
+        "no successful gateway fetches out of {}",
+        web.outcomes.len()
+    );
 }
 
 #[test]
@@ -93,6 +108,9 @@ fn provider_search_returns_records() {
     let cids: Vec<_> = c.scenario.content.iter().take(8).map(|i| i.cid).collect();
     let resolved = c.resolve_providers(&cids, true, Dur::from_secs(20));
     assert!(!resolved.is_empty(), "no resolutions completed");
-    let with_records = resolved.iter().filter(|(_, recs, _)| !recs.is_empty()).count();
+    let with_records = resolved
+        .iter()
+        .filter(|(_, recs, _)| !recs.is_empty())
+        .count();
     assert!(with_records > 0, "no provider records found");
 }

@@ -11,7 +11,10 @@ use tcsb_core::{
 fn arb_snapshots() -> impl Strategy<Value = Vec<CrawlSnapshot>> {
     // Small synthetic crawl sets: up to 6 crawls × 20 peers × 3 IPs.
     proptest::collection::vec(
-        proptest::collection::vec((0u64..40, proptest::collection::vec(any::<u32>(), 1..4)), 1..20),
+        proptest::collection::vec(
+            (0u64..40, proptest::collection::vec(any::<u32>(), 1..4)),
+            1..20,
+        ),
         1..6,
     )
     .prop_map(|crawls| {

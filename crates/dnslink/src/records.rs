@@ -76,7 +76,10 @@ impl DnsZoneDb {
 
     /// Add a record under `name` (lower-cased).
     pub fn add(&mut self, name: &str, record: DnsRecord) {
-        self.zones.entry(name.to_ascii_lowercase()).or_default().push(record);
+        self.zones
+            .entry(name.to_ascii_lowercase())
+            .or_default()
+            .push(record);
     }
 
     /// Whether the exact name exists.
@@ -106,8 +109,11 @@ impl DnsZoneDb {
         let Some(records) = self.zones.get(&name.to_ascii_lowercase()) else {
             return DnsAnswer::NxDomain;
         };
-        let matching: Vec<DnsRecord> =
-            records.iter().filter(|r| r.rtype() == rtype).cloned().collect();
+        let matching: Vec<DnsRecord> = records
+            .iter()
+            .filter(|r| r.rtype() == rtype)
+            .cloned()
+            .collect();
         if matching.is_empty() {
             // A CNAME at the name answers any type by redirection.
             let cname: Vec<DnsRecord> = records
@@ -186,13 +192,20 @@ mod tests {
         let mut db = DnsZoneDb::new();
         db.add("example.com", DnsRecord::A(ip("1.2.3.4")));
         assert_eq!(db.resolve_a("example.com"), vec![ip("1.2.3.4")]);
-        assert_eq!(db.resolve_a("EXAMPLE.COM"), vec![ip("1.2.3.4")], "case-insensitive");
+        assert_eq!(
+            db.resolve_a("EXAMPLE.COM"),
+            vec![ip("1.2.3.4")],
+            "case-insensitive"
+        );
     }
 
     #[test]
     fn cname_chain_resolution() {
         let mut db = DnsZoneDb::new();
-        db.add("www.example.com", DnsRecord::Cname("gw.cloudflare-ipfs.com".into()));
+        db.add(
+            "www.example.com",
+            DnsRecord::Cname("gw.cloudflare-ipfs.com".into()),
+        );
         db.add("gw.cloudflare-ipfs.com", DnsRecord::A(ip("104.16.1.1")));
         assert_eq!(db.resolve_a("www.example.com"), vec![ip("104.16.1.1")]);
     }
@@ -217,7 +230,10 @@ mod tests {
     #[test]
     fn txt_query() {
         let mut db = DnsZoneDb::new();
-        db.add("_dnslink.example.com", DnsRecord::Txt("dnslink=/ipfs/QmFoo".into()));
+        db.add(
+            "_dnslink.example.com",
+            DnsRecord::Txt("dnslink=/ipfs/QmFoo".into()),
+        );
         match db.query("_dnslink.example.com", RecordType::Txt) {
             DnsAnswer::Records(r) => assert_eq!(r.len(), 1),
             other => panic!("{other:?}"),

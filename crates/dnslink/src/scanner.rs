@@ -17,9 +17,9 @@ use std::net::Ipv4Addr;
 /// A minimal public-suffix list (the paper used Mozilla's). Multi-label
 /// suffixes must precede their parent TLD.
 pub const PUBLIC_SUFFIXES: &[&str] = &[
-    "co.uk", "org.uk", "com.au", "com.br", "co.jp",
-    "com", "org", "net", "io", "xyz", "se", "nu", "ch", "de", "fr", "uk", "us", "eth.link",
-    "app", "dev", "info", "biz", "eu", "nl", "jp", "au", "br", "link",
+    "co.uk", "org.uk", "com.au", "com.br", "co.jp", "com", "org", "net", "io", "xyz", "se", "nu",
+    "ch", "de", "fr", "uk", "us", "eth.link", "app", "dev", "info", "biz", "eu", "nl", "jp", "au",
+    "br", "link",
 ];
 
 /// Reduce a hostname to its registrable root domain per the suffix list.
@@ -113,7 +113,11 @@ impl<'a> ZdnsScanner<'a> {
             stats.valid_dnslink += 1;
             // A-record follow-up to find the configured gateway/proxy.
             let gateway_ips = self.db.resolve_a(root);
-            findings.push(DnslinkFinding { domain: root.clone(), entry, gateway_ips });
+            findings.push(DnslinkFinding {
+                domain: root.clone(),
+                entry,
+                gateway_ips,
+            });
         }
         (findings, stats)
     }
@@ -144,8 +148,10 @@ impl PassiveDnsFeed {
 
     /// Record an observation.
     pub fn observe(&mut self, qname: &str, ip: Ipv4Addr) {
-        self.observations
-            .push(PdnsObservation { qname: qname.to_ascii_lowercase(), ip });
+        self.observations.push(PdnsObservation {
+            qname: qname.to_ascii_lowercase(),
+            ip,
+        });
     }
 
     /// All IPs ever observed for a name (deduplicated, sorted).
@@ -182,7 +188,10 @@ mod tests {
     #[test]
     fn root_domain_reduction() {
         assert_eq!(root_domain("www.example.com"), Some("example.com".into()));
-        assert_eq!(root_domain("a.b.c.example.co.uk"), Some("example.co.uk".into()));
+        assert_eq!(
+            root_domain("a.b.c.example.co.uk"),
+            Some("example.co.uk".into())
+        );
         assert_eq!(root_domain("example.com"), Some("example.com".into()));
         assert_eq!(root_domain("com"), None);
         assert_eq!(root_domain("example.unknown-tld"), None);
@@ -195,10 +204,16 @@ mod tests {
         // A valid DNSLink deployment.
         db.add("site.com", DnsRecord::Soa);
         db.add("site.com", DnsRecord::A("104.16.0.7".parse().unwrap()));
-        db.add("_dnslink.site.com", DnsRecord::Txt(format_ipfs_dnslink(&cid)));
+        db.add(
+            "_dnslink.site.com",
+            DnsRecord::Txt(format_ipfs_dnslink(&cid)),
+        );
         // Registered, broken TXT.
         db.add("broken.org", DnsRecord::Soa);
-        db.add("_dnslink.broken.org", DnsRecord::Txt("dnslink=/ipfs/zzz".into()));
+        db.add(
+            "_dnslink.broken.org",
+            DnsRecord::Txt("dnslink=/ipfs/zzz".into()),
+        );
         // Registered, no dnslink.
         db.add("plain.net", DnsRecord::Soa);
         db
@@ -223,7 +238,10 @@ mod tests {
         assert_eq!(stats.valid_dnslink, 1);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].domain, "site.com");
-        assert_eq!(findings[0].gateway_ips, vec!["104.16.0.7".parse::<Ipv4Addr>().unwrap()]);
+        assert_eq!(
+            findings[0].gateway_ips,
+            vec!["104.16.0.7".parse::<Ipv4Addr>().unwrap()]
+        );
     }
 
     #[test]

@@ -93,7 +93,14 @@ impl Registry {
 
     /// Register or update a domain.
     pub fn set_record(&mut self, node: Node, owner: Address, resolver: Address, ttl: u64) {
-        self.records.insert(node, RegistryRecord { owner, resolver, ttl });
+        self.records.insert(
+            node,
+            RegistryRecord {
+                owner,
+                resolver,
+                ttl,
+            },
+        );
     }
 
     /// Look up a domain.
@@ -158,18 +165,28 @@ pub struct ResolverContract {
 impl ResolverContract {
     /// Deploy an empty resolver at `address`.
     pub fn new(address: Address) -> ResolverContract {
-        ResolverContract { address, contenthash: HashMap::new(), log: Vec::new() }
+        ResolverContract {
+            address,
+            contenthash: HashMap::new(),
+            log: Vec::new(),
+        }
     }
 
     /// `setContenthash(node, hash)` at block `block`.
     pub fn set_contenthash(&mut self, node: Node, hash: Vec<u8>, block: u64) {
         self.contenthash.insert(node, hash.clone());
-        self.log.push(LogEntry { block, event: ResolverEvent::ContenthashChanged { node, hash } });
+        self.log.push(LogEntry {
+            block,
+            event: ResolverEvent::ContenthashChanged { node, hash },
+        });
     }
 
     /// `setAddr(node, addr)` at block `block` (noise generator).
     pub fn set_addr(&mut self, node: Node, addr: Address, block: u64) {
-        self.log.push(LogEntry { block, event: ResolverEvent::AddrChanged { node, addr } });
+        self.log.push(LogEntry {
+            block,
+            event: ResolverEvent::AddrChanged { node, addr },
+        });
     }
 
     /// Current contenthash value (the on-chain state a dapp would read).
@@ -193,7 +210,13 @@ impl ResolverContract {
     /// Paged event-log access (Etherscan style): events with
     /// `from_block <= block <= to_block`, at most `limit`, starting at
     /// `offset` within that range.
-    pub fn get_logs(&self, from_block: u64, to_block: u64, offset: usize, limit: usize) -> Vec<LogEntry> {
+    pub fn get_logs(
+        &self,
+        from_block: u64,
+        to_block: u64,
+        offset: usize,
+        limit: usize,
+    ) -> Vec<LogEntry> {
         self.log
             .iter()
             .filter(|e| e.block >= from_block && e.block <= to_block)

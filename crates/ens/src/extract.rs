@@ -40,7 +40,10 @@ pub fn extract_ipfs_records(
     resolvers: &[ResolverContract],
     page_size: usize,
 ) -> (Vec<EnsIpfsRecord>, ExtractStats) {
-    let mut stats = ExtractStats { contracts: resolvers.len(), ..Default::default() };
+    let mut stats = ExtractStats {
+        contracts: resolvers.len(),
+        ..Default::default()
+    };
     let mut latest: HashMap<Node, (u64, Cid)> = HashMap::new();
     for contract in resolvers {
         let mut offset = 0;

@@ -11,5 +11,7 @@ pub mod contracts;
 pub mod extract;
 
 pub use contenthash::{decode, encode_ipfs, encode_other, ContentHash, Namespace};
-pub use contracts::{namehash, Address, LogEntry, Node, Registry, RegistryRecord, ResolverContract, ResolverEvent};
+pub use contracts::{
+    namehash, Address, LogEntry, Node, Registry, RegistryRecord, ResolverContract, ResolverEvent,
+};
 pub use extract::{extract_ipfs_records, EnsIpfsRecord, ExtractStats};

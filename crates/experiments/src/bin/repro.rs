@@ -19,21 +19,31 @@ fn main() {
     let mut seed = 42u64;
     let mut md_path: Option<String> = None;
     let mut i = 1;
+    let value_of = |args: &[String], i: usize| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("flag {} requires a value", args[i]);
+            std::process::exit(2);
+        })
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                scale = Scale::parse(&args[i + 1]).unwrap_or_else(|| {
-                    eprintln!("unknown scale {:?}", args[i + 1]);
+                let v = value_of(&args, i);
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?}");
                     std::process::exit(2);
                 });
                 i += 2;
             }
             "--seed" => {
-                seed = args[i + 1].parse().expect("seed must be a u64");
+                seed = value_of(&args, i).parse().unwrap_or_else(|_| {
+                    eprintln!("seed must be a u64");
+                    std::process::exit(2);
+                });
                 i += 2;
             }
             "--md" => {
-                md_path = Some(args[i + 1].clone());
+                md_path = Some(value_of(&args, i));
                 i += 2;
             }
             other => {
@@ -69,8 +79,8 @@ fn main() {
             };
             println!("{r}");
         }
-        "fig09" | "fig10" | "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16"
-        | "fig17" | "fig18" | "fig19" | "fig20" => {
+        "fig09" | "fig10" | "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "fig17"
+        | "fig18" | "fig19" | "fig20" => {
             let mut wl = traffic_exp::run_workload(scale.config(seed ^ 0xBEEF));
             let r = match cmd.as_str() {
                 "fig09" => traffic_exp::fig09(&wl),

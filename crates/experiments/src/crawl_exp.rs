@@ -29,7 +29,10 @@ pub fn collect(cfg: ScenarioConfig, n_crawls: usize) -> CrawlData {
     let scenario = netgen::build(cfg);
     let mut campaign = Campaign::new(
         scenario,
-        CampaignOptions { with_workload: false, ..Default::default() },
+        CampaignOptions {
+            with_workload: false,
+            ..Default::default()
+        },
     );
     // Warm-up: let the network bootstrap and tables converge.
     campaign.run_for(Dur::from_hours(6));
@@ -41,7 +44,11 @@ pub fn collect(cfg: ScenarioConfig, n_crawls: usize) -> CrawlData {
     }
     let snaps = campaign.snapshots().to_vec();
     let dbs = std::mem::take(&mut campaign.scenario.dbs);
-    CrawlData { snaps, dbs, n_cloud_planted }
+    CrawlData {
+        snaps,
+        dbs,
+        n_cloud_planted,
+    }
 }
 
 fn is_cloud(dbs: &IpDatabases) -> impl Fn(Ipv4Addr) -> bool + '_ {
@@ -81,8 +88,18 @@ pub fn table1() -> Report {
     let gip = gip_count(&snaps, geo);
     let an = an_count(&snaps, geo);
     let mut r = Report::new("table1", "Counting methodologies on the worked example");
-    r.cmp("G-IP: DE", 2.0, *gip.get("DE").unwrap_or(&0) as f64, Unit::Count);
-    r.cmp("G-IP: US", 2.0, *gip.get("US").unwrap_or(&0) as f64, Unit::Count);
+    r.cmp(
+        "G-IP: DE",
+        2.0,
+        *gip.get("DE").unwrap_or(&0) as f64,
+        Unit::Count,
+    );
+    r.cmp(
+        "G-IP: US",
+        2.0,
+        *gip.get("US").unwrap_or(&0) as f64,
+        Unit::Count,
+    );
     r.cmp("A-N: DE", 0.5, *an.get("DE").unwrap_or(&0.0), Unit::Count);
     r.cmp("A-N: US", 1.0, *an.get("US").unwrap_or(&0.0), Unit::Count);
     r.note("Expected from §3: G-IP ⇒ DE=2,US=2; A-N ⇒ DE=0.5,US=1 (one stable US node, one 50%-uptime DE node).");
@@ -95,7 +112,11 @@ pub fn stats(data: &CrawlData) -> Report {
     let mut r = Report::new("stats", "Crawl dataset statistics (§3/§4)");
     r.val("crawls", s.crawls as f64, Unit::Count);
     r.val("avg peers per crawl", s.peers_per_crawl, Unit::Count);
-    r.val("avg crawlable per crawl", s.crawlable_per_crawl, Unit::Count);
+    r.val(
+        "avg crawlable per crawl",
+        s.crawlable_per_crawl,
+        Unit::Count,
+    );
     r.cmp(
         "crawlable fraction",
         PAPER.crawlable_per_crawl / PAPER.peers_per_crawl,
@@ -108,8 +129,17 @@ pub fn stats(data: &CrawlData) -> Report {
         s.unique_peer_ids as f64 / s.peers_per_crawl.max(1.0),
         Unit::Ratio,
     );
-    r.cmp("advertised IPs per peer", PAPER.ips_per_peer, s.ips_per_peer, Unit::Ratio);
-    r.val("unique IPs (G-IP denominator)", s.unique_ips as f64, Unit::Count);
+    r.cmp(
+        "advertised IPs per peer",
+        PAPER.ips_per_peer,
+        s.ips_per_peer,
+        Unit::Ratio,
+    );
+    r.val(
+        "unique IPs (G-IP denominator)",
+        s.unique_ips as f64,
+        Unit::Count,
+    );
     r.val("avg crawl duration", s.crawl_duration_secs, Unit::Secs);
     r.note("Absolute counts scale with the scenario preset; the paper-comparable quantities are the ratios.");
     r
@@ -120,12 +150,39 @@ pub fn fig03(data: &CrawlData) -> Report {
     let cloud = is_cloud(&data.dbs);
     let an = shares(&an_cloud_status(&data.snaps, &cloud));
     let gip = shares(&gip_count(&data.snaps, &cloud));
-    let mut r = Report::new("fig03", "DHT participants by cloud status (counting comparison)");
-    r.cmp("A-N cloud share", PAPER.cloud_share_an, an.get(&CloudStatus::Cloud).copied().unwrap_or(0.0), Unit::Pct);
-    r.cmp("A-N non-cloud share", PAPER.noncloud_share_an, an.get(&CloudStatus::NonCloud).copied().unwrap_or(0.0), Unit::Pct);
-    r.val("A-N BOTH share", an.get(&CloudStatus::Both).copied().unwrap_or(0.0), Unit::Pct);
-    r.cmp("G-IP cloud share", PAPER.cloud_share_gip, gip.get(&true).copied().unwrap_or(0.0), Unit::Pct);
-    r.cmp("G-IP non-cloud share", 1.0 - PAPER.cloud_share_gip, gip.get(&false).copied().unwrap_or(0.0), Unit::Pct);
+    let mut r = Report::new(
+        "fig03",
+        "DHT participants by cloud status (counting comparison)",
+    );
+    r.cmp(
+        "A-N cloud share",
+        PAPER.cloud_share_an,
+        an.get(&CloudStatus::Cloud).copied().unwrap_or(0.0),
+        Unit::Pct,
+    );
+    r.cmp(
+        "A-N non-cloud share",
+        PAPER.noncloud_share_an,
+        an.get(&CloudStatus::NonCloud).copied().unwrap_or(0.0),
+        Unit::Pct,
+    );
+    r.val(
+        "A-N BOTH share",
+        an.get(&CloudStatus::Both).copied().unwrap_or(0.0),
+        Unit::Pct,
+    );
+    r.cmp(
+        "G-IP cloud share",
+        PAPER.cloud_share_gip,
+        gip.get(&true).copied().unwrap_or(0.0),
+        Unit::Pct,
+    );
+    r.cmp(
+        "G-IP non-cloud share",
+        1.0 - PAPER.cloud_share_gip,
+        gip.get(&false).copied().unwrap_or(0.0),
+        Unit::Pct,
+    );
     r.note("The headline flip: per-node averaging shows a cloud-dominated DHT; unique-IP pooling dilutes it with rotating fringe addresses.");
     r
 }
@@ -153,14 +210,26 @@ pub fn fig04(data: &CrawlData) -> Report {
     r.val("G-IP drift (must grow)", last_g - first_g, Unit::Pct);
     r.val("A-N non-cloud @ 1 crawl", first_a, Unit::Pct);
     r.val("A-N non-cloud @ all crawls", last_a, Unit::Pct);
-    r.val("A-N drift (must stay flat)", (last_a - first_a).abs(), Unit::Pct);
+    r.val(
+        "A-N drift (must stay flat)",
+        (last_a - first_a).abs(),
+        Unit::Pct,
+    );
     r.note(format!(
         "G-IP series: {}",
-        gip_series.iter().map(|v| format!("{:.0}%", v * 100.0)).collect::<Vec<_>>().join(" ")
+        gip_series
+            .iter()
+            .map(|v| format!("{:.0}%", v * 100.0))
+            .collect::<Vec<_>>()
+            .join(" ")
     ));
     r.note(format!(
         "A-N series:  {}",
-        an_series.iter().map(|v| format!("{:.0}%", v * 100.0)).collect::<Vec<_>>().join(" ")
+        an_series
+            .iter()
+            .map(|v| format!("{:.0}%", v * 100.0))
+            .collect::<Vec<_>>()
+            .join(" ")
     ));
     r
 }
@@ -190,10 +259,25 @@ pub fn fig05(data: &CrawlData) -> Report {
     };
     let an_top = top(&an, true);
     let mut r = Report::new("fig05", "Nodes of the DHT graph by cloud provider");
-    r.cmp("choopa share (A-N)", PAPER.choopa_share_an, an.get("choopa").copied().unwrap_or(0.0), Unit::Pct);
+    r.cmp(
+        "choopa share (A-N)",
+        PAPER.choopa_share_an,
+        an.get("choopa").copied().unwrap_or(0.0),
+        Unit::Pct,
+    );
     let top3: f64 = an_top.iter().take(3).map(|(_, v)| v).sum();
-    r.cmp("top-3 provider share (A-N)", PAPER.top3_provider_share_an, top3, Unit::Pct);
-    r.cmp("choopa share (G-IP, deflated)", PAPER.choopa_share_gip, gip.get("choopa").copied().unwrap_or(0.0), Unit::Pct);
+    r.cmp(
+        "top-3 provider share (A-N)",
+        PAPER.top3_provider_share_an,
+        top3,
+        Unit::Pct,
+    );
+    r.cmp(
+        "choopa share (G-IP, deflated)",
+        PAPER.choopa_share_gip,
+        gip.get("choopa").copied().unwrap_or(0.0),
+        Unit::Pct,
+    );
     for (name, share) in an_top.iter().take(6) {
         r.val(&format!("A-N {name}"), *share, Unit::Pct);
     }
@@ -213,12 +297,41 @@ pub fn fig06(data: &CrawlData) -> Report {
     let an = shares(&an_count(&data.snaps, geo));
     let gip = shares(&gip_count(&data.snaps, geo));
     let mut r = Report::new("fig06", "Nodes of the DHT graph by origin country");
-    r.cmp("US share (A-N)", PAPER.us_share_an, an.get("US").copied().unwrap_or(0.0), Unit::Pct);
-    r.cmp("DE share (A-N)", PAPER.de_share_an, an.get("DE").copied().unwrap_or(0.0), Unit::Pct);
-    r.cmp("KR share (A-N)", PAPER.kr_share_an, an.get("KR").copied().unwrap_or(0.0), Unit::Pct);
-    r.cmp("US share (G-IP)", PAPER.us_share_gip, gip.get("US").copied().unwrap_or(0.0), Unit::Pct);
-    r.cmp("CN share (G-IP)", PAPER.cn_share_gip, gip.get("CN").copied().unwrap_or(0.0), Unit::Pct);
-    r.val("CN share (A-N) — should be small", an.get("CN").copied().unwrap_or(0.0), Unit::Pct);
+    r.cmp(
+        "US share (A-N)",
+        PAPER.us_share_an,
+        an.get("US").copied().unwrap_or(0.0),
+        Unit::Pct,
+    );
+    r.cmp(
+        "DE share (A-N)",
+        PAPER.de_share_an,
+        an.get("DE").copied().unwrap_or(0.0),
+        Unit::Pct,
+    );
+    r.cmp(
+        "KR share (A-N)",
+        PAPER.kr_share_an,
+        an.get("KR").copied().unwrap_or(0.0),
+        Unit::Pct,
+    );
+    r.cmp(
+        "US share (G-IP)",
+        PAPER.us_share_gip,
+        gip.get("US").copied().unwrap_or(0.0),
+        Unit::Pct,
+    );
+    r.cmp(
+        "CN share (G-IP)",
+        PAPER.cn_share_gip,
+        gip.get("CN").copied().unwrap_or(0.0),
+        Unit::Pct,
+    );
+    r.val(
+        "CN share (A-N) — should be small",
+        an.get("CN").copied().unwrap_or(0.0),
+        Unit::Pct,
+    );
     r.note("Short-lived rotating IPs in under-represented countries (CN) inflate their G-IP share, as in the paper.");
     r
 }
@@ -229,12 +342,36 @@ pub fn fig07(data: &CrawlData) -> Report {
     let d = degree_stats(snap);
     let mut r = Report::new("fig07", "Degree distribution (last crawl graph)");
     r.val("crawlable nodes", d.out_degrees.len() as f64, Unit::Count);
-    r.val("out-degree p10", percentile(&d.out_degrees, 10.0), Unit::Count);
-    r.val("out-degree median", percentile(&d.out_degrees, 50.0), Unit::Count);
-    r.val("out-degree p90", percentile(&d.out_degrees, 90.0), Unit::Count);
-    r.val("in-degree median", percentile(&d.in_degrees, 50.0), Unit::Count);
-    r.val("in-degree p90", percentile(&d.in_degrees, 90.0), Unit::Count);
-    r.val("in-degree max", percentile(&d.in_degrees, 100.0), Unit::Count);
+    r.val(
+        "out-degree p10",
+        percentile(&d.out_degrees, 10.0),
+        Unit::Count,
+    );
+    r.val(
+        "out-degree median",
+        percentile(&d.out_degrees, 50.0),
+        Unit::Count,
+    );
+    r.val(
+        "out-degree p90",
+        percentile(&d.out_degrees, 90.0),
+        Unit::Count,
+    );
+    r.val(
+        "in-degree median",
+        percentile(&d.in_degrees, 50.0),
+        Unit::Count,
+    );
+    r.val(
+        "in-degree p90",
+        percentile(&d.in_degrees, 90.0),
+        Unit::Count,
+    );
+    r.val(
+        "in-degree max",
+        percentile(&d.in_degrees, 100.0),
+        Unit::Count,
+    );
     // Composition of the top-10 in-degree nodes (paper: 2 Filebase + 8 AWS).
     let top10: Vec<_> = d.top_in_degree.iter().take(10).collect();
     let mut filebase = 0;
@@ -249,8 +386,18 @@ pub fn fig07(data: &CrawlData) -> Report {
             }
         }
     }
-    r.cmp("top-10 in-degree: filebase-agent nodes", 2.0, filebase as f64, Unit::Count);
-    r.cmp("top-10 in-degree: cloud-hosted nodes", 10.0, cloud as f64, Unit::Count);
+    r.cmp(
+        "top-10 in-degree: filebase-agent nodes",
+        2.0,
+        filebase as f64,
+        Unit::Count,
+    );
+    r.cmp(
+        "top-10 in-degree: cloud-hosted nodes",
+        10.0,
+        cloud as f64,
+        Unit::Count,
+    );
     r.note("Paper: out-degree within a narrow band set by k-buckets; in-degree long-tailed with p90 < 500; top-10 dominated by modified Filebase clients and cloud nodes.");
     r
 }
@@ -267,14 +414,22 @@ pub fn fig08(data: &CrawlData) -> Report {
         at90.push(c.lcc_at(0.90));
     }
     let mean90: f64 = at90.iter().sum::<f64>() / at90.len() as f64;
-    let var: f64 =
-        at90.iter().map(|v| (v - mean90) * (v - mean90)).sum::<f64>() / at90.len() as f64;
+    let var: f64 = at90
+        .iter()
+        .map(|v| (v - mean90) * (v - mean90))
+        .sum::<f64>()
+        / at90.len() as f64;
     let ci95 = 1.96 * var.sqrt() / (at90.len() as f64).sqrt();
     let targeted = g.resilience(RemovalStrategy::TargetedByDegree, steps);
     let partition = targeted.partition_point(0.02);
     let mut r = Report::new("fig08", "Resilience to random and targeted node removals");
     r.val("graph nodes", g.len() as f64, Unit::Count);
-    r.cmp("LCC after 90% random removal", PAPER.random_removal_90_lcc, mean90, Unit::Pct);
+    r.cmp(
+        "LCC after 90% random removal",
+        PAPER.random_removal_90_lcc,
+        mean90,
+        Unit::Pct,
+    );
     r.val("  (95% CI half-width over 10 reps)", ci95, Unit::Pct);
     r.cmp(
         "targeted removal fraction at full partition",

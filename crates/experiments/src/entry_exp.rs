@@ -50,18 +50,44 @@ pub fn fig17(scenario: &Scenario) -> Report {
         }
     };
     let mut r = Report::new("fig17", "DNSLink deployments: gateway providers");
-    r.val("domain universe scanned", stats.candidates as f64, Unit::Count);
+    r.val(
+        "domain universe scanned",
+        stats.candidates as f64,
+        Unit::Count,
+    );
     r.val("registered roots", stats.registered as f64, Unit::Count);
-    r.val("valid DNSLink deployments", stats.valid_dnslink as f64, Unit::Count);
-    r.val("broken _dnslink TXT records skipped", (stats.with_dnslink_txt - stats.valid_dnslink) as f64, Unit::Count);
-    r.cmp("cloudflare share of gateway IPs", PAPER.dnslink_cloudflare_share, share("cloudflare_inc"), Unit::Pct);
-    r.cmp("non-cloud share of gateway IPs", PAPER.dnslink_noncloud_share, share("non-cloud"), Unit::Pct);
+    r.val(
+        "valid DNSLink deployments",
+        stats.valid_dnslink as f64,
+        Unit::Count,
+    );
+    r.val(
+        "broken _dnslink TXT records skipped",
+        (stats.with_dnslink_txt - stats.valid_dnslink) as f64,
+        Unit::Count,
+    );
+    r.cmp(
+        "cloudflare share of gateway IPs",
+        PAPER.dnslink_cloudflare_share,
+        share("cloudflare_inc"),
+        Unit::Pct,
+    );
+    r.cmp(
+        "non-cloud share of gateway IPs",
+        PAPER.dnslink_noncloud_share,
+        share("non-cloud"),
+        Unit::Pct,
+    );
     r.val("amazon_aws share", share("amazon_aws"), Unit::Pct);
     r.val("datacamp share", share("datacamp"), Unit::Pct);
     r.cmp(
         "IPs belonging to public gateway domains",
         PAPER.dnslink_public_gateway_share,
-        if total_ips == 0 { 0.0 } else { on_gateway_domain as f64 / total_ips as f64 },
+        if total_ips == 0 {
+            0.0
+        } else {
+            on_gateway_domain as f64 / total_ips as f64
+        },
         Unit::Pct,
     );
     r.note("Most DNSLink domains terminate on dedicated reverse-proxy IPs (usually Cloudflare) rather than on the public gateways' own addresses — the paper's 'surprisingly, only 21%' observation.");

@@ -34,9 +34,9 @@ impl Unit {
             Unit::Pct => format!("{:.1}%", v * 100.0),
             Unit::Count => {
                 if v >= 1000.0 {
-                    format!("{:.1}", v)
+                    format!("{v:.0}")
                 } else {
-                    format!("{:.1}", v)
+                    format!("{v:.1}")
                 }
             }
             Unit::Secs => format!("{v:.1}s"),
@@ -61,18 +61,33 @@ pub struct Report {
 impl Report {
     /// New empty report.
     pub fn new(id: &str, title: &str) -> Report {
-        Report { id: id.to_string(), title: title.to_string(), rows: vec![], notes: vec![] }
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            rows: vec![],
+            notes: vec![],
+        }
     }
 
     /// Add a paper-vs-measured row.
     pub fn cmp(&mut self, metric: &str, paper: f64, measured: f64, unit: Unit) -> &mut Self {
-        self.rows.push(Row { metric: metric.to_string(), paper: Some(paper), measured, unit });
+        self.rows.push(Row {
+            metric: metric.to_string(),
+            paper: Some(paper),
+            measured,
+            unit,
+        });
         self
     }
 
     /// Add a measured-only row.
     pub fn val(&mut self, metric: &str, measured: f64, unit: Unit) -> &mut Self {
-        self.rows.push(Row { metric: metric.to_string(), paper: None, measured, unit });
+        self.rows.push(Row {
+            metric: metric.to_string(),
+            paper: None,
+            measured,
+            unit,
+        });
         self
     }
 
@@ -87,7 +102,10 @@ impl Report {
         let mut out = format!("### {} — {}\n\n", self.id, self.title);
         out.push_str("| metric | paper | measured |\n|---|---|---|\n");
         for r in &self.rows {
-            let paper = r.paper.map(|p| r.unit.fmt_val(p)).unwrap_or_else(|| "—".into());
+            let paper = r
+                .paper
+                .map(|p| r.unit.fmt_val(p))
+                .unwrap_or_else(|| "—".into());
             out.push_str(&format!(
                 "| {} | {} | {} |\n",
                 r.metric,
@@ -107,7 +125,10 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "==== {} — {} ====", self.id, self.title)?;
         for r in &self.rows {
-            let paper = r.paper.map(|p| r.unit.fmt_val(p)).unwrap_or_else(|| "      —".into());
+            let paper = r
+                .paper
+                .map(|p| r.unit.fmt_val(p))
+                .unwrap_or_else(|| "      —".into());
             writeln!(
                 f,
                 "  {:<52} paper {:>9}   measured {:>9}",

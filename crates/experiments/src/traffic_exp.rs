@@ -67,13 +67,14 @@ pub fn run_workload(cfg: ScenarioConfig) -> WorkloadData {
             campaign.sim.schedule_command(
                 t1 + Dur::from_secs(5 * (n * rounds + r) as u64),
                 campaign.webuser,
-                EcoCmd::WebGet { frontend: campaign.frontends[g], cid },
+                EcoCmd::WebGet {
+                    frontend: campaign.frontends[g],
+                    cid,
+                },
             );
         }
     }
-    campaign.run_for(
-        Dur::from_secs(5 * (functional.len() * rounds) as u64) + Dur::from_mins(6),
-    );
+    campaign.run_for(Dur::from_secs(5 * (functional.len() * rounds) as u64) + Dur::from_mins(6));
     let mut overlays: BTreeSet<(usize, PeerId, Ipv4Addr)> = BTreeSet::new();
     let monitor_peer = {
         // The monitor's own peer id — exclude self-noise.
@@ -88,7 +89,10 @@ pub fn run_workload(cfg: ScenarioConfig) -> WorkloadData {
             }
         }
     }
-    WorkloadData { campaign, overlays: overlays.into_iter().collect() }
+    WorkloadData {
+        campaign,
+        overlays: overlays.into_iter().collect(),
+    }
 }
 
 fn is_cloud(data: &WorkloadData) -> impl Fn(Ipv4Addr) -> bool + '_ {
@@ -100,11 +104,8 @@ fn is_cloud(data: &WorkloadData) -> impl Fn(Ipv4Addr) -> bool + '_ {
 pub fn fig09(data: &WorkloadData) -> Report {
     let log = data.campaign.hydra_log();
     let day = |ns: u64| ns / Dur::DAY.0;
-    let cid_hist = days_seen_histogram(
-        log.iter().filter_map(|e| e.cid.map(|c| (c, day(e.ts_ns)))),
-    );
-    let ip_hist =
-        days_seen_histogram(log.iter().map(|e| (*e.addr.ip(), day(e.ts_ns))));
+    let cid_hist = days_seen_histogram(log.iter().filter_map(|e| e.cid.map(|c| (c, day(e.ts_ns)))));
+    let ip_hist = days_seen_histogram(log.iter().map(|e| (*e.addr.ip(), day(e.ts_ns))));
     let peer_hist = days_seen_histogram(log.iter().map(|e| (e.peer, day(e.ts_ns))));
     let upto3 = |h: &[u64]| {
         let total: u64 = h.iter().sum();
@@ -147,20 +148,44 @@ pub fn fig10(data: &WorkloadData) -> Report {
     let gw_peers: HashSet<PeerId> = data.overlays.iter().map(|(_, p, _)| *p).collect();
     let share_from = |m: &BTreeMap<PeerId, u64>, set: &HashSet<PeerId>| {
         let total: u64 = m.values().sum();
-        let hit: u64 = m.iter().filter(|(p, _)| set.contains(p)).map(|(_, c)| *c).sum();
+        let hit: u64 = m
+            .iter()
+            .filter(|(p, _)| set.contains(p))
+            .map(|(_, c)| *c)
+            .sum();
         if total == 0 {
             0.0
         } else {
             hit as f64 / total as f64
         }
     };
-    let mut r = Report::new("fig10", "DHT/Bitswap peer-ID concentration (simplified Pareto)");
+    let mut r = Report::new(
+        "fig10",
+        "DHT/Bitswap peer-ID concentration (simplified Pareto)",
+    );
     let dht_curve = lorenz_curve(&dht_counts);
     let bs_curve = lorenz_curve(&bs_counts);
-    r.cmp("DHT: top-5% peer IDs traffic share", PAPER.top5pct_peer_traffic, share_of_top(&dht_curve, 0.05), Unit::Pct);
-    r.val("Bitswap: top-5% peer IDs traffic share", share_of_top(&bs_curve, 0.05), Unit::Pct);
-    r.val("DHT traffic from gateway peers (paper ≈1%)", share_from(&dht_counts, &gw_peers), Unit::Pct);
-    r.val("Bitswap traffic from gateway peers (paper ≈18%)", share_from(&bs_counts, &gw_peers), Unit::Pct);
+    r.cmp(
+        "DHT: top-5% peer IDs traffic share",
+        PAPER.top5pct_peer_traffic,
+        share_of_top(&dht_curve, 0.05),
+        Unit::Pct,
+    );
+    r.val(
+        "Bitswap: top-5% peer IDs traffic share",
+        share_of_top(&bs_curve, 0.05),
+        Unit::Pct,
+    );
+    r.val(
+        "DHT traffic from gateway peers (paper ≈1%)",
+        share_from(&dht_counts, &gw_peers),
+        Unit::Pct,
+    );
+    r.val(
+        "Bitswap traffic from gateway peers (paper ≈18%)",
+        share_from(&bs_counts, &gw_peers),
+        Unit::Pct,
+    );
     r.note("Gateways satisfy most requests over Bitswap relationships and barely touch the DHT — their share must be far higher in the Bitswap log than in the DHT log.");
     r
 }
@@ -178,7 +203,11 @@ pub fn fig11(data: &WorkloadData) -> Report {
     }
     let cloud_share = |m: &BTreeMap<Ipv4Addr, u64>| {
         let total: u64 = m.values().sum();
-        let hit: u64 = m.iter().filter(|(ip, _)| cloud(**ip)).map(|(_, c)| *c).sum();
+        let hit: u64 = m
+            .iter()
+            .filter(|(ip, _)| cloud(**ip))
+            .map(|(_, c)| *c)
+            .sum();
         if total == 0 {
             0.0
         } else {
@@ -187,9 +216,24 @@ pub fn fig11(data: &WorkloadData) -> Report {
     };
     let mut r = Report::new("fig11", "DHT/Bitswap IP concentration and cloud share");
     let curve = lorenz_curve(&dht_ips);
-    r.cmp("DHT: top-5% IPs traffic share", 0.94, share_of_top(&curve, 0.05), Unit::Pct);
-    r.cmp("DHT traffic from cloud IPs", PAPER.dht_cloud_traffic, cloud_share(&dht_ips), Unit::Pct);
-    r.cmp("Bitswap traffic from cloud IPs", PAPER.bitswap_cloud_traffic, cloud_share(&bs_ips), Unit::Pct);
+    r.cmp(
+        "DHT: top-5% IPs traffic share",
+        0.94,
+        share_of_top(&curve, 0.05),
+        Unit::Pct,
+    );
+    r.cmp(
+        "DHT traffic from cloud IPs",
+        PAPER.dht_cloud_traffic,
+        cloud_share(&dht_ips),
+        Unit::Pct,
+    );
+    r.cmp(
+        "Bitswap traffic from cloud IPs",
+        PAPER.bitswap_cloud_traffic,
+        cloud_share(&bs_ips),
+        Unit::Pct,
+    );
     r.note("Cloud nodes dominate DHT traffic far more than Bitswap traffic (hydra amplification + platform reproviding live on the DHT).");
     r
 }
@@ -232,40 +276,90 @@ pub fn fig12(data: &WorkloadData) -> Report {
             .unwrap_or(0.0)
     };
     let mut r = Report::new("fig12", "Cloud per traffic type (IP count vs volume)");
-    r.cmp("cloud share of distinct IPs", PAPER.traffic_cloud_ip_share, ip_cloud_share(&all_ips), Unit::Pct);
+    r.cmp(
+        "cloud share of distinct IPs",
+        PAPER.traffic_cloud_ip_share,
+        ip_cloud_share(&all_ips),
+        Unit::Pct,
+    );
     r.cmp(
         "cloud share of download-IPs",
         0.45,
-        ip_cloud_share(per_class_ips.get(&TrafficClass::Download).unwrap_or(&HashSet::new())),
+        ip_cloud_share(
+            per_class_ips
+                .get(&TrafficClass::Download)
+                .unwrap_or(&HashSet::new()),
+        ),
         Unit::Pct,
     );
     r.cmp(
         "cloud share of advertise-IPs",
         0.34,
-        ip_cloud_share(per_class_ips.get(&TrafficClass::Advertise).unwrap_or(&HashSet::new())),
+        ip_cloud_share(
+            per_class_ips
+                .get(&TrafficClass::Advertise)
+                .unwrap_or(&HashSet::new()),
+        ),
         Unit::Pct,
     );
     r.cmp(
         "cloud share of messages (volume)",
         PAPER.traffic_cloud_msg_share,
-        if total_msgs == 0 { 0.0 } else { cloud_msgs as f64 / total_msgs as f64 },
+        if total_msgs == 0 {
+            0.0
+        } else {
+            cloud_msgs as f64 / total_msgs as f64
+        },
         Unit::Pct,
     );
-    r.cmp("cloud share of download messages", 0.98, msg_share(TrafficClass::Download), Unit::Pct);
+    r.cmp(
+        "cloud share of download messages",
+        0.98,
+        msg_share(TrafficClass::Download),
+        Unit::Pct,
+    );
     r.cmp(
         "AWS share of messages",
         0.68,
-        if total_msgs == 0 { 0.0 } else { aws_msgs as f64 / total_msgs as f64 },
+        if total_msgs == 0 {
+            0.0
+        } else {
+            aws_msgs as f64 / total_msgs as f64
+        },
         Unit::Pct,
     );
     // Traffic class mix (§5 headline).
-    let dl = per_class_msgs.get(&TrafficClass::Download).map(|(_, a)| *a).unwrap_or(0);
-    let adv = per_class_msgs.get(&TrafficClass::Advertise).map(|(_, a)| *a).unwrap_or(0);
-    let other = per_class_msgs.get(&TrafficClass::Other).map(|(_, a)| *a).unwrap_or(0);
+    let dl = per_class_msgs
+        .get(&TrafficClass::Download)
+        .map(|(_, a)| *a)
+        .unwrap_or(0);
+    let adv = per_class_msgs
+        .get(&TrafficClass::Advertise)
+        .map(|(_, a)| *a)
+        .unwrap_or(0);
+    let other = per_class_msgs
+        .get(&TrafficClass::Other)
+        .map(|(_, a)| *a)
+        .unwrap_or(0);
     let t = (dl + adv + other).max(1) as f64;
-    r.cmp("download share of DHT messages", PAPER.traffic_download_share, dl as f64 / t, Unit::Pct);
-    r.cmp("advertise share of DHT messages", PAPER.traffic_advertise_share, adv as f64 / t, Unit::Pct);
-    r.cmp("other share of DHT messages", PAPER.traffic_other_share, other as f64 / t, Unit::Pct);
+    r.cmp(
+        "download share of DHT messages",
+        PAPER.traffic_download_share,
+        dl as f64 / t,
+        Unit::Pct,
+    );
+    r.cmp(
+        "advertise share of DHT messages",
+        PAPER.traffic_advertise_share,
+        adv as f64 / t,
+        Unit::Pct,
+    );
+    r.cmp(
+        "other share of DHT messages",
+        PAPER.traffic_other_share,
+        other as f64 / t,
+        Unit::Pct,
+    );
     r
 }
 
@@ -342,20 +436,43 @@ pub fn fig13(data: &WorkloadData) -> Report {
         }
     }
     let mut r = Report::new("fig13", "Platforms generating traffic (reverse DNS)");
-    r.cmp("hydra share of DHT traffic", PAPER.hydra_dht_share, share(&by_bucket, "hydra (peer-ID set)", total), Unit::Pct);
-    r.cmp("hydra share of download traffic", PAPER.hydra_download_share, share(&dl_by_bucket, "hydra (peer-ID set)", dl_total), Unit::Pct);
+    r.cmp(
+        "hydra share of DHT traffic",
+        PAPER.hydra_dht_share,
+        share(&by_bucket, "hydra (peer-ID set)", total),
+        Unit::Pct,
+    );
+    r.cmp(
+        "hydra share of download traffic",
+        PAPER.hydra_download_share,
+        share(&dl_by_bucket, "hydra (peer-ID set)", dl_total),
+        Unit::Pct,
+    );
     let storage_adv = share(&adv_by_bucket, "web3.storage", adv_total)
         + share(&adv_by_bucket, "nft.storage", adv_total)
         + share(&adv_by_bucket, "pinata.cloud", adv_total);
-    r.val("storage platforms' share of advertise traffic", storage_adv, Unit::Pct);
+    r.val(
+        "storage platforms' share of advertise traffic",
+        storage_adv,
+        Unit::Pct,
+    );
     r.val(
         "ipfs-bank share of Bitswap traffic",
-        if bs_total == 0 { 0.0 } else { bs_bank as f64 / bs_total as f64 },
+        if bs_total == 0 {
+            0.0
+        } else {
+            bs_bank as f64 / bs_total as f64
+        },
         Unit::Pct,
     );
     r.note("Paper: Hydras dominate DHT download traffic (proactive cache-fill), storage platforms dominate advertisement, the ipfs-bank gateway platform dominates Bitswap.");
     r.note("Hydra advertise share must be ≈0 — hydras never advertise content.");
-    r.cmp("hydra share of advertise traffic", 0.0, share(&adv_by_bucket, "hydra (peer-ID set)", adv_total), Unit::Pct);
+    r.cmp(
+        "hydra share of advertise traffic",
+        0.0,
+        share(&adv_by_bucket, "hydra (peer-ID set)", adv_total),
+        Unit::Pct,
+    );
     r
 }
 
@@ -373,7 +490,12 @@ pub fn collect_providers(data: &mut WorkloadData, max_cids: usize) -> ProviderDa
     // Daily-sampled CIDs from the monitor traces. The paper resolved each
     // day's CIDs the same day; we sample from the most recent day so the
     // records are still fresh at resolution time.
-    let last_ts = data.campaign.monitor_log().last().map(|e| e.ts.0).unwrap_or(0);
+    let last_ts = data
+        .campaign
+        .monitor_log()
+        .last()
+        .map(|e| e.ts.0)
+        .unwrap_or(0);
     let cutoff = last_ts.saturating_sub(Dur::DAY.0);
     let mut seen: BTreeSet<Cid> = BTreeSet::new();
     for e in data.campaign.monitor_log() {
@@ -388,8 +510,14 @@ pub fn collect_providers(data: &mut WorkloadData, max_cids: usize) -> ProviderDa
     let probe: HashSet<Cid> = (0..4096u64)
         .map(|i| Cid::from_seed(PROBE_SEED + i))
         .collect();
-    let cids: Vec<Cid> = seen.into_iter().filter(|c| !probe.contains(c)).take(max_cids).collect();
-    let resolved_raw = data.campaign.resolve_providers(&cids, true, Dur::from_secs(6));
+    let cids: Vec<Cid> = seen
+        .into_iter()
+        .filter(|c| !probe.contains(c))
+        .take(max_cids)
+        .collect();
+    let resolved_raw = data
+        .campaign
+        .resolve_providers(&cids, true, Dur::from_secs(6));
     let raw_records: usize = resolved_raw.iter().map(|(_, r, _)| r.len()).sum();
     let resolved = resolved_raw
         .into_iter()
@@ -401,7 +529,10 @@ pub fn collect_providers(data: &mut WorkloadData, max_cids: usize) -> ProviderDa
             (cid, live, contacted)
         })
         .collect();
-    ProviderDataset { resolved, raw_records }
+    ProviderDataset {
+        resolved,
+        raw_records,
+    }
 }
 
 /// Fig. 14: classification of providers + relay usage of NAT-ed providers.
@@ -445,14 +576,38 @@ pub fn fig14(data: &WorkloadData, ds: &ProviderDataset) -> Report {
     let mut r = Report::new("fig14", "Classification of content providers");
     r.val("sampled CIDs", ds.resolved.len() as f64, Unit::Count);
     r.val("unique providers", total as f64, Unit::Count);
-    r.cmp("NAT-ed provider share", PAPER.providers_nat_share, share(ProviderClass::Nat), Unit::Pct);
-    r.cmp("cloud provider share", PAPER.providers_cloud_share, share(ProviderClass::Cloud), Unit::Pct);
-    r.cmp("non-cloud provider share", PAPER.providers_noncloud_share, share(ProviderClass::NonCloud), Unit::Pct);
-    r.cmp("hybrid provider share", PAPER.providers_hybrid_share, share(ProviderClass::Hybrid), Unit::Pct);
+    r.cmp(
+        "NAT-ed provider share",
+        PAPER.providers_nat_share,
+        share(ProviderClass::Nat),
+        Unit::Pct,
+    );
+    r.cmp(
+        "cloud provider share",
+        PAPER.providers_cloud_share,
+        share(ProviderClass::Cloud),
+        Unit::Pct,
+    );
+    r.cmp(
+        "non-cloud provider share",
+        PAPER.providers_noncloud_share,
+        share(ProviderClass::NonCloud),
+        Unit::Pct,
+    );
+    r.cmp(
+        "hybrid provider share",
+        PAPER.providers_hybrid_share,
+        share(ProviderClass::Hybrid),
+        Unit::Pct,
+    );
     r.cmp(
         "NAT-ed providers using a cloud relay",
         PAPER.nat_cloud_relay_share,
-        if nat_relay_total == 0 { 0.0 } else { nat_relay_cloud as f64 / nat_relay_total as f64 },
+        if nat_relay_total == 0 {
+            0.0
+        } else {
+            nat_relay_cloud as f64 / nat_relay_total as f64
+        },
         Unit::Pct,
     );
     r
@@ -484,11 +639,33 @@ pub fn fig15(data: &WorkloadData, ds: &ProviderDataset) -> Report {
             *class_records.get(&c).unwrap_or(&0) as f64 / total_records as f64
         }
     };
-    let mut r = Report::new("fig15", "Provider popularity (simplified Pareto of records)");
-    r.cmp("records covered by top-1% providers", PAPER.top1pct_provider_record_share, share_of_top(&curve, 0.01), Unit::Pct);
-    r.val("record share of cloud providers (paper ≈70% of popular)", rec_share(ProviderClass::Cloud), Unit::Pct);
-    r.cmp("record share of NAT-ed providers", 0.08, rec_share(ProviderClass::Nat), Unit::Pct);
-    r.cmp("record share of non-cloud providers", 0.22, rec_share(ProviderClass::NonCloud), Unit::Pct);
+    let mut r = Report::new(
+        "fig15",
+        "Provider popularity (simplified Pareto of records)",
+    );
+    r.cmp(
+        "records covered by top-1% providers",
+        PAPER.top1pct_provider_record_share,
+        share_of_top(&curve, 0.01),
+        Unit::Pct,
+    );
+    r.val(
+        "record share of cloud providers (paper ≈70% of popular)",
+        rec_share(ProviderClass::Cloud),
+        Unit::Pct,
+    );
+    r.cmp(
+        "record share of NAT-ed providers",
+        0.08,
+        rec_share(ProviderClass::Nat),
+        Unit::Pct,
+    );
+    r.cmp(
+        "record share of non-cloud providers",
+        0.22,
+        rec_share(ProviderClass::NonCloud),
+        Unit::Pct,
+    );
     r
 }
 
@@ -503,10 +680,30 @@ pub fn fig16(data: &WorkloadData, ds: &ProviderDataset) -> Report {
     let s = cid_cloud_stats(&per_cid, &cloud);
     let mut r = Report::new("fig16", "CIDs classified by their providers");
     r.val("CIDs with ≥1 provider record", s.total as f64, Unit::Count);
-    r.cmp("≥1 cloud provider", PAPER.cids_any_cloud, s.any_cloud, Unit::Pct);
-    r.cmp("≥50% cloud providers", PAPER.cids_majority_cloud, s.majority_cloud, Unit::Pct);
-    r.cmp("only cloud providers", PAPER.cids_all_cloud, s.all_cloud, Unit::Pct);
-    r.cmp("≥1 non-cloud provider (alternate reading)", 0.77, s.any_noncloud, Unit::Pct);
+    r.cmp(
+        "≥1 cloud provider",
+        PAPER.cids_any_cloud,
+        s.any_cloud,
+        Unit::Pct,
+    );
+    r.cmp(
+        "≥50% cloud providers",
+        PAPER.cids_majority_cloud,
+        s.majority_cloud,
+        Unit::Pct,
+    );
+    r.cmp(
+        "only cloud providers",
+        PAPER.cids_all_cloud,
+        s.all_cloud,
+        Unit::Pct,
+    );
+    r.cmp(
+        "≥1 non-cloud provider (alternate reading)",
+        0.77,
+        s.any_noncloud,
+        Unit::Pct,
+    );
     r
 }
 
@@ -527,7 +724,10 @@ pub fn fig18_19(data: &WorkloadData) -> (Report, Report) {
         }
         ips.iter()
             .filter(|ip| {
-                dbs.cloud.lookup(**ip).map(|id| dbs.cloud.name(id) == name).unwrap_or(false)
+                dbs.cloud
+                    .lookup(**ip)
+                    .map(|id| dbs.cloud.name(id) == name)
+                    .unwrap_or(false)
             })
             .count() as f64
             / ips.len() as f64
@@ -536,24 +736,52 @@ pub fn fig18_19(data: &WorkloadData) -> (Report, Report) {
         if ips.is_empty() {
             return 0.0;
         }
-        ips.iter().filter(|ip| dbs.cloud.lookup(**ip).is_none()).count() as f64 / ips.len() as f64
+        ips.iter()
+            .filter(|ip| dbs.cloud.lookup(**ip).is_none())
+            .count() as f64
+            / ips.len() as f64
     };
     let country_share = |ips: &BTreeSet<Ipv4Addr>, cc: &str| {
         if ips.is_empty() {
             return 0.0;
         }
         ips.iter()
-            .filter(|ip| dbs.geo.lookup(**ip).map(|c| c.as_str() == cc).unwrap_or(false))
+            .filter(|ip| {
+                dbs.geo
+                    .lookup(**ip)
+                    .map(|c| c.as_str() == cc)
+                    .unwrap_or(false)
+            })
             .count() as f64
             / ips.len() as f64
     };
     let mut r18 = Report::new("fig18", "Gateway frontend/overlay IPs by cloud provider");
     r18.val("frontend IPs", frontend_ips.len() as f64, Unit::Count);
-    r18.val("overlay IPs (probe-discovered)", overlay_ips.len() as f64, Unit::Count);
-    r18.val("frontends: cloudflare share", provider_share(&frontend_ips, "cloudflare_inc"), Unit::Pct);
-    r18.val("frontends: non-cloud share", noncloud_share(&frontend_ips), Unit::Pct);
-    r18.val("overlays: cloudflare share", provider_share(&overlay_ips, "cloudflare_inc"), Unit::Pct);
-    r18.val("overlays: non-cloud share", noncloud_share(&overlay_ips), Unit::Pct);
+    r18.val(
+        "overlay IPs (probe-discovered)",
+        overlay_ips.len() as f64,
+        Unit::Count,
+    );
+    r18.val(
+        "frontends: cloudflare share",
+        provider_share(&frontend_ips, "cloudflare_inc"),
+        Unit::Pct,
+    );
+    r18.val(
+        "frontends: non-cloud share",
+        noncloud_share(&frontend_ips),
+        Unit::Pct,
+    );
+    r18.val(
+        "overlays: cloudflare share",
+        provider_share(&overlay_ips, "cloudflare_inc"),
+        Unit::Pct,
+    );
+    r18.val(
+        "overlays: non-cloud share",
+        noncloud_share(&overlay_ips),
+        Unit::Pct,
+    );
     let discovered_gateways: BTreeSet<usize> = data.overlays.iter().map(|(g, _, _)| *g).collect();
     let unique_overlay_ids: BTreeSet<PeerId> = data.overlays.iter().map(|(_, p, _)| *p).collect();
     r18.cmp(
@@ -562,15 +790,27 @@ pub fn fig18_19(data: &WorkloadData) -> (Report, Report) {
         discovered_gateways.len() as f64,
         Unit::Count,
     );
-    r18.val("unique overlay peer IDs (paper: 119)", unique_overlay_ids.len() as f64, Unit::Count);
+    r18.val(
+        "unique overlay peer IDs (paper: 119)",
+        unique_overlay_ids.len() as f64,
+        Unit::Count,
+    );
     r18.note("Cloudflare dominates both sides; a commendable non-cloud share remains (community gateways).");
 
     let mut r19 = Report::new("fig19", "Gateway frontend/overlay IPs by geolocation");
     for cc in ["US", "DE", "NL"] {
-        r19.val(&format!("frontends in {cc}"), country_share(&frontend_ips, cc), Unit::Pct);
+        r19.val(
+            &format!("frontends in {cc}"),
+            country_share(&frontend_ips, cc),
+            Unit::Pct,
+        );
     }
     for cc in ["US", "DE"] {
-        r19.val(&format!("overlays in {cc}"), country_share(&overlay_ips, cc), Unit::Pct);
+        r19.val(
+            &format!("overlays in {cc}"),
+            country_share(&overlay_ips, cc),
+            Unit::Pct,
+        );
     }
     r19.note("Paper: US and DE dominate; NL shows up on the frontend side (anycast vantage).");
     (r18, r19)
@@ -580,7 +820,9 @@ pub fn fig18_19(data: &WorkloadData) -> (Report, Report) {
 pub fn fig20(data: &mut WorkloadData, max_cids: usize) -> Report {
     let (records, stats) = ens::extract_ipfs_records(&data.campaign.scenario.ens_resolvers, 1000);
     let sample: Vec<Cid> = records.iter().map(|r| r.cid).take(max_cids).collect();
-    let resolved = data.campaign.resolve_providers(&sample, false, Dur::from_secs(6));
+    let resolved = data
+        .campaign
+        .resolve_providers(&sample, false, Dur::from_secs(6));
     let dbs = &data.campaign.scenario.dbs;
     let mut ips: BTreeSet<Ipv4Addr> = BTreeSet::new();
     let mut resolved_with_providers = 0usize;
@@ -599,7 +841,10 @@ pub fn fig20(data: &mut WorkloadData, max_cids: usize) -> Report {
     let cloud_share = if ips.is_empty() {
         0.0
     } else {
-        ips.iter().filter(|ip| dbs.cloud.lookup(**ip).is_some()).count() as f64 / ips.len() as f64
+        ips.iter()
+            .filter(|ip| dbs.cloud.lookup(**ip).is_some())
+            .count() as f64
+            / ips.len() as f64
     };
     let us_de = if ips.is_empty() {
         0.0
@@ -614,13 +859,34 @@ pub fn fig20(data: &mut WorkloadData, max_cids: usize) -> Report {
             .count() as f64
             / ips.len() as f64
     };
-    let mut r = Report::new("fig20", "ENS-referenced IPFS content: providers and geolocation");
-    r.val("ENS ipfs_ns records extracted", stats.domains as f64, Unit::Count);
+    let mut r = Report::new(
+        "fig20",
+        "ENS-referenced IPFS content: providers and geolocation",
+    );
+    r.val(
+        "ENS ipfs_ns records extracted",
+        stats.domains as f64,
+        Unit::Count,
+    );
     r.val("sampled CIDs resolved", resolved.len() as f64, Unit::Count);
-    r.val("  with ≥1 provider record", resolved_with_providers as f64, Unit::Count);
+    r.val(
+        "  with ≥1 provider record",
+        resolved_with_providers as f64,
+        Unit::Count,
+    );
     r.val("unique provider IPs", ips.len() as f64, Unit::Count);
-    r.cmp("cloud share of ENS content providers", PAPER.ens_cloud_share, cloud_share, Unit::Pct);
-    r.cmp("US+DE share of ENS content", PAPER.ens_us_de_share, us_de, Unit::Pct);
+    r.cmp(
+        "cloud share of ENS content providers",
+        PAPER.ens_cloud_share,
+        cloud_share,
+        Unit::Pct,
+    );
+    r.cmp(
+        "US+DE share of ENS content",
+        PAPER.ens_us_de_share,
+        us_de,
+        Unit::Pct,
+    );
     r.note("The blockchain-side name registry is decentralized; the referenced bytes sit on a handful of cloud storage platforms (choopa/vultr/contabo in our plan).");
     r
 }

@@ -34,7 +34,11 @@ mod tok {
     }
 
     pub fn unpack(token: u64) -> (u64, u8, u64) {
-        (token >> 60, ((token >> 52) & 0xFF) as u8, token & 0xF_FFFF_FFFF_FFFF)
+        (
+            token >> 60,
+            ((token >> 52) & 0xFF) as u8,
+            token & 0xF_FFFF_FFFF_FFFF,
+        )
     }
 }
 
@@ -142,13 +146,26 @@ struct RemotePeer {
 
 #[derive(Clone, Debug)]
 enum PostDial {
-    LookupQuery { lookup: u64, info: PeerInfo },
-    AddProvider { record: ProviderRecord },
-    RequestBlock { cid: Cid, peer: PeerId },
+    LookupQuery {
+        lookup: u64,
+        info: PeerInfo,
+    },
+    AddProvider {
+        record: ProviderRecord,
+    },
+    RequestBlock {
+        cid: Cid,
+        peer: PeerId,
+    },
     RelayReserve,
-    HttpRequest { req_id: u64, cid: Cid },
+    HttpRequest {
+        req_id: u64,
+        cid: Cid,
+    },
     /// Once connected to the relay, launch the circuit dial to `target`.
-    CircuitDial { target: NodeId },
+    CircuitDial {
+        target: NodeId,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -159,9 +176,17 @@ struct PendingRpc {
 
 #[derive(Clone, Debug)]
 enum Op {
-    Provide { cid: Cid },
-    Fetch { cid: Cid, reply: Option<(NodeId, u64)>, via_dht: bool },
-    Resolve { cid: Cid },
+    Provide {
+        cid: Cid,
+    },
+    Fetch {
+        cid: Cid,
+        reply: Option<(NodeId, u64)>,
+        via_dht: bool,
+    },
+    Resolve {
+        cid: Cid,
+    },
 }
 
 /// The state of one simulated IPFS node.
@@ -291,7 +316,10 @@ impl IpfsNode {
 
     /// The addresses we announce: direct when dialable, circuit via relay
     /// when NAT-ed, plus configured extras.
-    pub fn advertised_addrs<C: std::fmt::Debug>(&self, ctx: &Ctx<'_, WireMsg, C>) -> Vec<Multiaddr> {
+    pub fn advertised_addrs<C: std::fmt::Debug>(
+        &self,
+        ctx: &Ctx<'_, WireMsg, C>,
+    ) -> Vec<Multiaddr> {
         let mut out = Vec::new();
         let my = ctx.my_addr();
         if ctx.i_am_dialable() {
@@ -300,13 +328,22 @@ impl IpfsNode {
                 out.push(Multiaddr::ip4_tcp_p2p(*extra.ip(), extra.port(), self.id));
             }
         } else if let Some((relay_id, _, relay_addr)) = &self.relay {
-            out.push(Multiaddr::circuit(*relay_addr.ip(), relay_addr.port(), *relay_id, self.id));
+            out.push(Multiaddr::circuit(
+                *relay_addr.ip(),
+                relay_addr.port(),
+                *relay_id,
+                self.id,
+            ));
         }
         out
     }
 
     fn my_info<C: std::fmt::Debug>(&self, ctx: &Ctx<'_, WireMsg, C>) -> PeerInfo {
-        PeerInfo { id: self.id, addrs: self.advertised_addrs(ctx), endpoint: ctx.me() }
+        PeerInfo {
+            id: self.id,
+            addrs: self.advertised_addrs(ctx),
+            endpoint: ctx.me(),
+        }
     }
 
     fn provider_record<C: std::fmt::Debug>(
@@ -347,7 +384,11 @@ impl IpfsNode {
         self.epoch = self.epoch.wrapping_add(1);
         // Reachability decides server/client mode unless forced.
         let server = self.cfg.dht_server.unwrap_or_else(|| ctx.i_am_dialable());
-        self.dht.set_mode(if server { DhtMode::Server } else { DhtMode::Client });
+        self.dht.set_mode(if server {
+            DhtMode::Server
+        } else {
+            DhtMode::Client
+        });
         // Fresh session: routing table and connection state are in-memory.
         self.dht.reset_table();
         self.peers.clear();
@@ -396,14 +437,20 @@ impl IpfsNode {
                 continue;
             }
             self.dht.observe_peer(
-                &PeerInfo { id: *peer, addrs: vec![], endpoint: *ep },
+                &PeerInfo {
+                    id: *peer,
+                    addrs: vec![],
+                    endpoint: *ep,
+                },
                 true,
                 ctx.now(),
             );
             self.ensure_dial(ctx, *ep, None);
         }
         // Self-lookup fills nearby buckets and announces us to the network.
-        let lookup = self.dht.start_lookup(self.id.key(), None, LookupKind::GetClosestPeers);
+        let lookup = self
+            .dht
+            .start_lookup(self.id.key(), None, LookupKind::GetClosestPeers);
         self.drive_lookup(ctx, lookup);
     }
 
@@ -469,7 +516,12 @@ impl IpfsNode {
     ) {
         self.peers.insert(
             from,
-            RemotePeer { id: None, server: false, agent: String::new(), relayed },
+            RemotePeer {
+                id: None,
+                server: false,
+                agent: String::new(),
+                relayed,
+            },
         );
         self.send_identify(ctx, from);
     }
@@ -484,9 +536,12 @@ impl IpfsNode {
     ) {
         let actions = self.dialing.remove(&target).unwrap_or_default();
         if ok {
-            self.peers
-                .entry(target)
-                .or_insert(RemotePeer { id: None, server: false, agent: String::new(), relayed });
+            self.peers.entry(target).or_insert(RemotePeer {
+                id: None,
+                server: false,
+                agent: String::new(),
+                relayed,
+            });
             self.send_identify(ctx, target);
             for a in actions {
                 self.run_post_dial(ctx, target, a);
@@ -523,7 +578,9 @@ impl IpfsNode {
             PostDial::HttpRequest { req_id, cid } => {
                 ctx.send(target, WireMsg::HttpRequest { req_id, cid });
             }
-            PostDial::CircuitDial { target: circuit_target } => {
+            PostDial::CircuitDial {
+                target: circuit_target,
+            } => {
                 // `target` here is the relay that just connected.
                 if !ctx.is_connected(circuit_target) {
                     ctx.dial_via(target, circuit_target);
@@ -552,7 +609,9 @@ impl IpfsNode {
                 self.set_timer(ctx, Dur::from_secs(30), tok::RELAY, 0);
             }
             PostDial::HttpRequest { .. } => {}
-            PostDial::CircuitDial { target: circuit_target } => {
+            PostDial::CircuitDial {
+                target: circuit_target,
+            } => {
                 // Relay unreachable: fail everything queued on the target.
                 for a in self.dialing.remove(&circuit_target).unwrap_or_default() {
                     self.fail_post_dial(ctx, circuit_target, a);
@@ -694,7 +753,13 @@ impl IpfsNode {
         let msg = self.dht_request_msg(ctx, req);
         let req_id = msg.req_id;
         if ctx.send(info.endpoint, WireMsg::Dht(msg)) {
-            self.pending.insert(req_id, PendingRpc { peer: info.clone(), lookup });
+            self.pending.insert(
+                req_id,
+                PendingRpc {
+                    peer: info.clone(),
+                    lookup,
+                },
+            );
             self.set_timer(ctx, self.cfg.rpc_timeout, tok::RPC, req_id);
         } else {
             self.dht.lookup_failure(lookup, &info.id);
@@ -708,7 +773,11 @@ impl IpfsNode {
             if ctx.is_connected(info.endpoint) {
                 self.send_query(ctx, lookup, &info);
             } else {
-                self.ensure_dial(ctx, info.endpoint, Some(PostDial::LookupQuery { lookup, info }));
+                self.ensure_dial(
+                    ctx,
+                    info.endpoint,
+                    Some(PostDial::LookupQuery { lookup, info }),
+                );
             }
         }
         if let Some(result) = self.dht.lookup_take_result(lookup) {
@@ -740,29 +809,49 @@ impl IpfsNode {
                 let resolvers = result.closest.len();
                 for peer in result.closest {
                     if ctx.is_connected(peer.endpoint) {
-                        let msg = self
-                            .dht_request_msg(ctx, DhtRequest::AddProvider { record: record.clone() });
+                        let msg = self.dht_request_msg(
+                            ctx,
+                            DhtRequest::AddProvider {
+                                record: record.clone(),
+                            },
+                        );
                         ctx.send(peer.endpoint, WireMsg::Dht(msg));
                     } else {
                         self.ensure_dial(
                             ctx,
                             peer.endpoint,
-                            Some(PostDial::AddProvider { record: record.clone() }),
+                            Some(PostDial::AddProvider {
+                                record: record.clone(),
+                            }),
                         );
                     }
                 }
                 self.record(NodeEvent::Provided { cid, resolvers });
             }
-            Op::Fetch { cid, reply, via_dht } => {
+            Op::Fetch {
+                cid,
+                reply,
+                via_dht,
+            } => {
                 // DHT resolution finished: dial providers, request the block.
-                self.ops.insert(op_id, Op::Fetch { cid, reply, via_dht });
+                self.ops.insert(
+                    op_id,
+                    Op::Fetch {
+                        cid,
+                        reply,
+                        via_dht,
+                    },
+                );
                 let mut dialled = 0;
                 for rec in &result.providers {
                     if rec.provider == self.id || dialled >= self.cfg.max_fetch_providers {
                         continue;
                     }
                     dialled += 1;
-                    let action = PostDial::RequestBlock { cid, peer: rec.provider };
+                    let action = PostDial::RequestBlock {
+                        cid,
+                        peer: rec.provider,
+                    };
                     match rec.relay_endpoint {
                         Some(relay_ep) if rec.endpoint != ctx.me() => {
                             self.ensure_dial_via(ctx, relay_ep, rec.endpoint, action);
@@ -794,12 +883,8 @@ impl IpfsNode {
     fn acquire_relay<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>) {
         // Pick a random DHT server from the routing table (§2: "a random DHT
         // server supporting the relay protocol").
-        let candidates: Vec<PeerInfo> = self
-            .dht
-            .table()
-            .entries()
-            .map(|e| e.info.clone())
-            .collect();
+        let candidates: Vec<PeerInfo> =
+            self.dht.table().entries().map(|e| e.info.clone()).collect();
         if candidates.is_empty() {
             self.set_timer(ctx, Dur::from_secs(30), tok::RELAY, 0);
             return;
@@ -815,7 +900,9 @@ impl IpfsNode {
     fn start_provide<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, cid: Cid) {
         let op_id = self.next_req;
         self.next_req += 1;
-        let lookup = self.dht.start_lookup(cid.dht_key(), None, LookupKind::GetClosestPeers);
+        let lookup = self
+            .dht
+            .start_lookup(cid.dht_key(), None, LookupKind::GetClosestPeers);
         self.ops.insert(op_id, Op::Provide { cid });
         self.lookup_to_op.insert(lookup, op_id);
         self.drive_lookup(ctx, lookup);
@@ -830,10 +917,24 @@ impl IpfsNode {
         reply: Option<(NodeId, u64)>,
     ) {
         if self.store.has(&cid) {
-            self.record(NodeEvent::FetchCompleted { cid, from: self.id, via_dht: false });
+            self.record(NodeEvent::FetchCompleted {
+                cid,
+                from: self.id,
+                via_dht: false,
+            });
             if let Some((to, req_id)) = reply {
-                ctx.send(to, WireMsg::HttpResponse { req_id, found: true });
-                self.record(NodeEvent::HttpServed { req_id, found: true, cache_hit: true });
+                ctx.send(
+                    to,
+                    WireMsg::HttpResponse {
+                        req_id,
+                        found: true,
+                    },
+                );
+                self.record(NodeEvent::HttpServed {
+                    req_id,
+                    found: true,
+                    cache_hit: true,
+                });
             }
             return;
         }
@@ -842,7 +943,14 @@ impl IpfsNode {
         }
         let op_id = self.next_req;
         self.next_req += 1;
-        self.ops.insert(op_id, Op::Fetch { cid, reply, via_dht: false });
+        self.ops.insert(
+            op_id,
+            Op::Fetch {
+                cid,
+                reply,
+                via_dht: false,
+            },
+        );
         self.fetch_by_cid.insert(cid, op_id);
         // Phase 1: 1-hop Bitswap broadcast to identified neighbours.
         let mut neighbors: Vec<PeerId> = self.peers.values().filter_map(|p| p.id).collect();
@@ -862,8 +970,18 @@ impl IpfsNode {
         self.flush_bitswap(ctx, out);
         self.record(NodeEvent::FetchFailed { cid });
         if let Some((to, req_id)) = reply {
-            ctx.send(to, WireMsg::HttpResponse { req_id, found: false });
-            self.record(NodeEvent::HttpServed { req_id, found: false, cache_hit: false });
+            ctx.send(
+                to,
+                WireMsg::HttpResponse {
+                    req_id,
+                    found: false,
+                },
+            );
+            self.record(NodeEvent::HttpServed {
+                req_id,
+                found: false,
+                cache_hit: false,
+            });
         }
     }
 
@@ -881,8 +999,18 @@ impl IpfsNode {
         };
         self.record(NodeEvent::FetchCompleted { cid, from, via_dht });
         if let Some((to, req_id)) = reply {
-            ctx.send(to, WireMsg::HttpResponse { req_id, found: true });
-            self.record(NodeEvent::HttpServed { req_id, found: true, cache_hit: false });
+            ctx.send(
+                to,
+                WireMsg::HttpResponse {
+                    req_id,
+                    found: true,
+                },
+            );
+            self.record(NodeEvent::HttpServed {
+                req_id,
+                found: true,
+                cache_hit: false,
+            });
         }
         if self.cfg.provide_on_fetch {
             self.start_provide(ctx, cid);
@@ -901,7 +1029,12 @@ impl IpfsNode {
         msg: WireMsg,
     ) {
         match msg {
-            WireMsg::Identify { id, addrs, dht_server, agent } => {
+            WireMsg::Identify {
+                id,
+                addrs,
+                dht_server,
+                agent,
+            } => {
                 self.peers.insert(
                     from,
                     RemotePeer {
@@ -913,7 +1046,11 @@ impl IpfsNode {
                 );
                 self.conn_by_peer.insert(id, from);
                 self.dht.observe_peer(
-                    &PeerInfo { id, addrs, endpoint: from },
+                    &PeerInfo {
+                        id,
+                        addrs,
+                        endpoint: from,
+                    },
                     dht_server,
                     ctx.now(),
                 );
@@ -925,10 +1062,14 @@ impl IpfsNode {
                         let addr = ctx
                             .addr_of(from)
                             .unwrap_or_else(|| SocketAddrV4::new([0, 0, 0, 0].into(), 0));
-                        let want_block =
-                            entries.iter().any(|e| !e.cancel && e.ty == bitswap::WantType::Block);
-                        let cids: Vec<Cid> =
-                            entries.iter().filter(|e| !e.cancel).map(|e| e.cid).collect();
+                        let want_block = entries
+                            .iter()
+                            .any(|e| !e.cancel && e.ty == bitswap::WantType::Block);
+                        let cids: Vec<Cid> = entries
+                            .iter()
+                            .filter(|e| !e.cancel)
+                            .map(|e| e.cid)
+                            .collect();
                         if !cids.is_empty() {
                             self.bitswap_log.push(BitswapLogEntry {
                                 ts: ctx.now(),
@@ -940,7 +1081,9 @@ impl IpfsNode {
                         }
                     }
                 }
-                let out = self.bitswap.handle_message(ctx.now(), peer, msg, &mut self.store);
+                let out = self
+                    .bitswap
+                    .handle_message(ctx.now(), peer, msg, &mut self.store);
                 self.flush_bitswap(ctx, out);
             }
             WireMsg::RelayReserve { from: peer } => {
@@ -967,7 +1110,13 @@ impl IpfsNode {
                 if self.cfg.is_gateway {
                     self.start_fetch(ctx, cid, Some((from, req_id)));
                 } else {
-                    ctx.send(from, WireMsg::HttpResponse { req_id, found: false });
+                    ctx.send(
+                        from,
+                        WireMsg::HttpResponse {
+                            req_id,
+                            found: false,
+                        },
+                    );
                 }
             }
             WireMsg::HttpResponse { .. } => {
@@ -1006,7 +1155,8 @@ impl IpfsNode {
                 let lookup = rpc.lookup;
                 match resp {
                     DhtResponse::Nodes { closer } => {
-                        self.dht.lookup_response(lookup, &rpc.peer, closer, vec![], ctx.now());
+                        self.dht
+                            .lookup_response(lookup, &rpc.peer, closer, vec![], ctx.now());
                     }
                     DhtResponse::Providers { providers, closer } => {
                         self.dht
@@ -1053,7 +1203,14 @@ impl IpfsNode {
                     if self.store.has(&cid) {
                         return;
                     }
-                    self.ops.insert(low, Op::Fetch { cid, reply, via_dht: true });
+                    self.ops.insert(
+                        low,
+                        Op::Fetch {
+                            cid,
+                            reply,
+                            via_dht: true,
+                        },
+                    );
                     let lookup = self.dht.start_lookup(
                         cid.dht_key(),
                         Some(cid),
@@ -1079,10 +1236,8 @@ impl IpfsNode {
                 self.refresh_tick(ctx);
                 self.set_timer(ctx, self.cfg.refresh_interval, tok::REFRESH, 0);
             }
-            tok::RELAY => {
-                if !ctx.i_am_dialable() && self.relay.is_none() {
-                    self.acquire_relay(ctx);
-                }
+            tok::RELAY if !ctx.i_am_dialable() && self.relay.is_none() => {
+                self.acquire_relay(ctx);
             }
             _ => {}
         }
@@ -1129,8 +1284,11 @@ impl IpfsNode {
             for rpc in self.pending.values() {
                 protected.insert(rpc.peer.endpoint);
             }
-            let mut victims: Vec<NodeId> =
-                conns.iter().copied().filter(|c| !protected.contains(c)).collect();
+            let mut victims: Vec<NodeId> = conns
+                .iter()
+                .copied()
+                .filter(|c| !protected.contains(c))
+                .collect();
             victims.shuffle(ctx.rng());
             let excess = conns.len() - self.cfg.conn_low;
             for v in victims.into_iter().take(excess) {

@@ -2,7 +2,7 @@
 
 use ipfs_node::{IpfsNode, NodeActor, NodeCmd, NodeConfig, NodeEvent};
 use ipfs_types::Cid;
-use simnet::{Dur, LatencyModel, NodeId, NodeSetup, Sim, SimConfig, SimTime};
+use simnet::{Dur, LatencyModel, NodeId, NodeSetup, Sim, SimConfig};
 use std::net::Ipv4Addr;
 
 fn ip(i: u32) -> Ipv4Addr {
@@ -12,7 +12,10 @@ fn ip(i: u32) -> Ipv4Addr {
 /// Build a network of `n` public nodes (node 0 is the bootstrap), all
 /// started and bootstrapped, with events recorded.
 fn build_network(n: u32, seed: u64) -> (Sim<NodeActor>, Vec<NodeId>) {
-    let cfg = SimConfig { dial_timeout: Dur::from_secs(5), ..Default::default() };
+    let cfg = SimConfig {
+        dial_timeout: Dur::from_secs(5),
+        ..Default::default()
+    };
     let mut sim: Sim<NodeActor> =
         Sim::new(cfg, LatencyModel::uniform(Dur::from_millis(30), 0.3), seed);
     let mut ids = Vec::new();
@@ -59,16 +62,21 @@ fn publish_then_fetch_via_dht() {
     let cid = Cid::from_seed(777);
     // Node 5 publishes; node 17 fetches (no prior Bitswap relationship —
     // must go through DHT provider records).
-    sim.schedule_command(sim.core().now(), ids[5], NodeCmd::Publish { cid, size: 4096 });
+    sim.schedule_command(
+        sim.core().now(),
+        ids[5],
+        NodeCmd::Publish { cid, size: 4096 },
+    );
     sim.run_for(Dur::from_mins(2));
     // The publisher registered records at resolvers.
-    let provided = sim
-        .actor(ids[5])
-        .0
-        .events
-        .iter()
-        .any(|e| matches!(e, NodeEvent::Provided { cid: c, resolvers } if *c == cid && *resolvers > 0));
-    assert!(provided, "publish did not complete: {:?}", sim.actor(ids[5]).0.events);
+    let provided = sim.actor(ids[5]).0.events.iter().any(
+        |e| matches!(e, NodeEvent::Provided { cid: c, resolvers } if *c == cid && *resolvers > 0),
+    );
+    assert!(
+        provided,
+        "publish did not complete: {:?}",
+        sim.actor(ids[5]).0.events
+    );
 
     sim.schedule_command(sim.core().now(), ids[17], NodeCmd::Fetch { cid });
     sim.run_for(Dur::from_mins(3));
@@ -78,7 +86,11 @@ fn publish_then_fetch_via_dht() {
         .events
         .iter()
         .find(|e| matches!(e, NodeEvent::FetchCompleted { cid: c, .. } if *c == cid));
-    assert!(fetched.is_some(), "fetch failed: {:?}", sim.actor(ids[17]).0.events);
+    assert!(
+        fetched.is_some(),
+        "fetch failed: {:?}",
+        sim.actor(ids[17]).0.events
+    );
     assert!(sim.actor(ids[17]).0.store().has(&cid));
 }
 
@@ -87,22 +99,28 @@ fn fetch_via_bitswap_neighbors_skips_dht() {
     let (mut sim, ids) = build_network(10, 3);
     sim.run_for(Dur::from_mins(5));
     let cid = Cid::from_seed(42);
-    sim.schedule_command(sim.core().now(), ids[3], NodeCmd::Publish { cid, size: 100 });
+    sim.schedule_command(
+        sim.core().now(),
+        ids[3],
+        NodeCmd::Publish { cid, size: 100 },
+    );
     sim.run_for(Dur::from_mins(1));
     // In a 10-node network everyone is connected to everyone after
     // bootstrap, so the 1-hop broadcast finds the block.
     sim.schedule_command(sim.core().now(), ids[7], NodeCmd::Fetch { cid });
     sim.run_for(Dur::from_mins(1));
-    let ev = sim
-        .actor(ids[7])
-        .0
-        .events
-        .iter()
-        .find_map(|e| match e {
-            NodeEvent::FetchCompleted { cid: c, via_dht, .. } if *c == cid => Some(*via_dht),
-            _ => None,
-        });
-    assert_eq!(ev, Some(false), "expected bitswap-only fetch: {:?}", sim.actor(ids[7]).0.events);
+    let ev = sim.actor(ids[7]).0.events.iter().find_map(|e| match e {
+        NodeEvent::FetchCompleted {
+            cid: c, via_dht, ..
+        } if *c == cid => Some(*via_dht),
+        _ => None,
+    });
+    assert_eq!(
+        ev,
+        Some(false),
+        "expected bitswap-only fetch: {:?}",
+        sim.actor(ids[7]).0.events
+    );
 }
 
 #[test]
@@ -118,12 +136,19 @@ fn fetch_missing_content_fails_cleanly() {
         .events
         .iter()
         .any(|e| matches!(e, NodeEvent::FetchFailed { cid: c } if *c == cid));
-    assert!(failed, "expected clean failure: {:?}", sim.actor(ids[2]).0.events);
+    assert!(
+        failed,
+        "expected clean failure: {:?}",
+        sim.actor(ids[2]).0.events
+    );
 }
 
 #[test]
 fn nat_node_acquires_relay_and_serves_content() {
-    let cfg = SimConfig { dial_timeout: Dur::from_secs(5), ..Default::default() };
+    let cfg = SimConfig {
+        dial_timeout: Dur::from_secs(5),
+        ..Default::default()
+    };
     let mut sim: Sim<NodeActor> =
         Sim::new(cfg, LatencyModel::uniform(Dur::from_millis(20), 0.2), 5);
     let boot_peer = ipfs_types::Keypair::from_seed(1_000_000).peer_id();
@@ -151,7 +176,11 @@ fn nat_node_acquires_relay_and_serves_content() {
     );
     // NAT-ed node publishes; a public node fetches through the relay.
     let cid = Cid::from_seed(2024);
-    sim.schedule_command(sim.core().now(), ids[19], NodeCmd::Publish { cid, size: 512 });
+    sim.schedule_command(
+        sim.core().now(),
+        ids[19],
+        NodeCmd::Publish { cid, size: 512 },
+    );
     sim.run_for(Dur::from_mins(2));
     sim.schedule_command(sim.core().now(), ids[4], NodeCmd::Fetch { cid });
     sim.run_for(Dur::from_mins(3));
@@ -161,13 +190,20 @@ fn nat_node_acquires_relay_and_serves_content() {
         .events
         .iter()
         .any(|e| matches!(e, NodeEvent::FetchCompleted { cid: c, .. } if *c == cid));
-    assert!(got, "fetch through relay failed: {:?}", sim.actor(ids[4]).0.events);
+    assert!(
+        got,
+        "fetch through relay failed: {:?}",
+        sim.actor(ids[4]).0.events
+    );
 }
 
 #[test]
 fn provider_records_carry_relay_circuit_addrs() {
     // Direct inspection: a NAT-ed provider's records must embed the relay.
-    let cfg = SimConfig { dial_timeout: Dur::from_secs(5), ..Default::default() };
+    let cfg = SimConfig {
+        dial_timeout: Dur::from_secs(5),
+        ..Default::default()
+    };
     let mut sim: Sim<NodeActor> =
         Sim::new(cfg, LatencyModel::uniform(Dur::from_millis(20), 0.2), 6);
     let boot_peer = ipfs_types::Keypair::from_seed(1_000_000).peer_id();
@@ -178,22 +214,37 @@ fn provider_records_carry_relay_circuit_addrs() {
         if i > 0 {
             nc.bootstrap = vec![(boot_peer, NodeId(0))];
         }
-        let setup = if i == 14 { NodeSetup::nat(ip(i)) } else { NodeSetup::public(ip(i)) };
+        let setup = if i == 14 {
+            NodeSetup::nat(ip(i))
+        } else {
+            NodeSetup::public(ip(i))
+        };
         ids.push(sim.add_node(NodeActor(IpfsNode::new(nc)), setup));
     }
     sim.run_for(Dur::from_mins(10));
     let cid = Cid::from_seed(99);
-    sim.schedule_command(sim.core().now(), ids[14], NodeCmd::Publish { cid, size: 64 });
+    sim.schedule_command(
+        sim.core().now(),
+        ids[14],
+        NodeCmd::Publish { cid, size: 64 },
+    );
     sim.run_for(Dur::from_mins(2));
     // Find the record on some resolver.
     let mut found_circuit = false;
     for &id in &ids[..14] {
         let node = &sim.actor(id).0;
-        if node.dht().providers().has_provider(&cid, &sim.actor(ids[14]).0.peer_id()) {
+        if node
+            .dht()
+            .providers()
+            .has_provider(&cid, &sim.actor(ids[14]).0.peer_id())
+        {
             found_circuit = true;
         }
     }
-    assert!(found_circuit, "no resolver holds the NAT-ed provider's record");
+    assert!(
+        found_circuit,
+        "no resolver holds the NAT-ed provider's record"
+    );
     // And the NAT-ed node's own advertised record is a circuit address.
     let nat = &sim.actor(ids[14]).0;
     assert!(nat.relay().is_some());
@@ -206,10 +257,21 @@ fn gateway_serves_http_and_caches() {
     sim.actor_mut(ids[1]).0.cfg.is_gateway = true;
     sim.run_for(Dur::from_mins(5));
     let cid = Cid::from_seed(555);
-    sim.schedule_command(sim.core().now(), ids[9], NodeCmd::Publish { cid, size: 2048 });
+    sim.schedule_command(
+        sim.core().now(),
+        ids[9],
+        NodeCmd::Publish { cid, size: 2048 },
+    );
     sim.run_for(Dur::from_mins(2));
     // Node 15 acts as HTTP client hitting the gateway.
-    sim.schedule_command(sim.core().now(), ids[15], NodeCmd::HttpGet { frontend: ids[1], cid });
+    sim.schedule_command(
+        sim.core().now(),
+        ids[15],
+        NodeCmd::HttpGet {
+            frontend: ids[1],
+            cid,
+        },
+    );
     sim.run_for(Dur::from_mins(3));
     let gw = &sim.actor(ids[1]).0;
     let served: Vec<&NodeEvent> = gw
@@ -217,7 +279,11 @@ fn gateway_serves_http_and_caches() {
         .iter()
         .filter(|e| matches!(e, NodeEvent::HttpServed { .. }))
         .collect();
-    assert!(!served.is_empty(), "gateway served nothing: {:?}", gw.events);
+    assert!(
+        !served.is_empty(),
+        "gateway served nothing: {:?}",
+        gw.events
+    );
     assert!(
         matches!(served[0], NodeEvent::HttpServed { found: true, .. }),
         "gateway 404: {served:?}"
@@ -225,13 +291,28 @@ fn gateway_serves_http_and_caches() {
     // Gateway now caches the content (it fetched it).
     assert!(gw.store().has(&cid));
     // Second request: cache hit.
-    sim.schedule_command(sim.core().now(), ids[16], NodeCmd::HttpGet { frontend: ids[1], cid });
+    sim.schedule_command(
+        sim.core().now(),
+        ids[16],
+        NodeCmd::HttpGet {
+            frontend: ids[1],
+            cid,
+        },
+    );
     sim.run_for(Dur::from_mins(1));
     let gw = &sim.actor(ids[1]).0;
     let cache_hits = gw
         .events
         .iter()
-        .filter(|e| matches!(e, NodeEvent::HttpServed { cache_hit: true, .. }))
+        .filter(|e| {
+            matches!(
+                e,
+                NodeEvent::HttpServed {
+                    cache_hit: true,
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(cache_hits, 1, "expected a cache hit: {:?}", gw.events);
 }
@@ -243,23 +324,35 @@ fn resolve_providers_exhaustive_collects_records() {
     let cid = Cid::from_seed(1234);
     // Multiple providers.
     for &p in &[3usize, 6, 9] {
-        sim.schedule_command(sim.core().now(), ids[p], NodeCmd::Publish { cid, size: 128 });
+        sim.schedule_command(
+            sim.core().now(),
+            ids[p],
+            NodeCmd::Publish { cid, size: 128 },
+        );
     }
     sim.run_for(Dur::from_mins(3));
     sim.schedule_command(
         sim.core().now(),
         ids[20],
-        NodeCmd::ResolveProviders { cid, exhaustive: true },
+        NodeCmd::ResolveProviders {
+            cid,
+            exhaustive: true,
+        },
     );
     sim.run_for(Dur::from_mins(2));
     let resolved = sim.actor(ids[20]).0.events.iter().find_map(|e| match e {
-        NodeEvent::ProvidersResolved { cid: c, records, contacted } if *c == cid => {
-            Some((records.len(), *contacted))
-        }
+        NodeEvent::ProvidersResolved {
+            cid: c,
+            records,
+            contacted,
+        } if *c == cid => Some((records.len(), *contacted)),
         _ => None,
     });
     let (n_records, contacted) = resolved.expect("resolution never finished");
-    assert!(n_records >= 3, "expected ≥3 provider records, got {n_records}");
+    assert!(
+        n_records >= 3,
+        "expected ≥3 provider records, got {n_records}"
+    );
     assert!(contacted > 0);
 }
 
@@ -306,7 +399,11 @@ fn identity_adoption_resets_peer_id() {
     let (mut sim, ids) = build_network(10, 11);
     sim.run_for(Dur::from_mins(3));
     let old = sim.actor(ids[4]).0.peer_id();
-    sim.schedule_command(sim.core().now(), ids[4], NodeCmd::AdoptIdentity { seed: 999_999 });
+    sim.schedule_command(
+        sim.core().now(),
+        ids[4],
+        NodeCmd::AdoptIdentity { seed: 999_999 },
+    );
     sim.run_for(Dur::from_mins(3));
     let new = sim.actor(ids[4]).0.peer_id();
     assert_ne!(old, new);
@@ -317,7 +414,10 @@ fn identity_adoption_resets_peer_id() {
 
 #[test]
 fn connection_manager_trims_to_watermarks() {
-    let cfg = SimConfig { dial_timeout: Dur::from_secs(5), ..Default::default() };
+    let cfg = SimConfig {
+        dial_timeout: Dur::from_secs(5),
+        ..Default::default()
+    };
     let mut sim: Sim<NodeActor> =
         Sim::new(cfg, LatencyModel::uniform(Dur::from_millis(10), 0.1), 12);
     let boot_peer = ipfs_types::Keypair::from_seed(1_000_000).peer_id();
@@ -335,6 +435,13 @@ fn connection_manager_trims_to_watermarks() {
     }
     sim.run_for(Dur::from_mins(20));
     // After the dust settles, no node should sit far above its high mark.
-    let max_conns = ids.iter().map(|&id| sim.core().connection_count(id)).max().unwrap();
-    assert!(max_conns <= 14, "connection manager not trimming: {max_conns}");
+    let max_conns = ids
+        .iter()
+        .map(|&id| sim.core().connection_count(id))
+        .max()
+        .unwrap();
+    assert!(
+        max_conns <= 14,
+        "connection manager not trimming: {max_conns}"
+    );
 }

@@ -73,7 +73,7 @@ pub fn base58btc_decode(input: &str) -> Result<Vec<u8>, DecodeError> {
         if !c.is_ascii() {
             return Err(DecodeError::InvalidChar(c));
         }
-        let v = index[c as usize as usize];
+        let v = index[c as usize];
         if v == 255 {
             return Err(DecodeError::InvalidChar(c));
         }

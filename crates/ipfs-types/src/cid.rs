@@ -110,12 +110,20 @@ pub struct Cid {
 impl Cid {
     /// Hash `data` into a CIDv1 with the given codec.
     pub fn new_v1(codec: Codec, data: &[u8]) -> Cid {
-        Cid { version: CidVersion::V1, codec, hash: Multihash::digest(data) }
+        Cid {
+            version: CidVersion::V1,
+            codec,
+            hash: Multihash::digest(data),
+        }
     }
 
     /// Hash `data` into a legacy CIDv0 (dag-pb).
     pub fn new_v0(data: &[u8]) -> Cid {
-        Cid { version: CidVersion::V0, codec: Codec::DagPb, hash: Multihash::digest(data) }
+        Cid {
+            version: CidVersion::V0,
+            codec: Codec::DagPb,
+            hash: Multihash::digest(data),
+        }
     }
 
     /// Deterministic test/bench constructor (raw codec, v1).
@@ -159,7 +167,11 @@ impl Cid {
         let (code, n2) = varint_decode(&bytes[n1..])?;
         let codec = Codec::from_code(code).ok_or(DecodeError::InvalidLength)?;
         let hash = Multihash::from_bytes(&bytes[n1 + n2..])?;
-        Ok(Cid { version: CidVersion::V1, codec, hash })
+        Ok(Cid {
+            version: CidVersion::V1,
+            codec,
+            hash,
+        })
     }
 
     /// Canonical text form: base58btc for v0, multibase-`b` base32 for v1.

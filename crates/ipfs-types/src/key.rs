@@ -157,7 +157,7 @@ mod tests {
         let b = Key256::from_seed(2);
         let c = Key256::from_seed(3);
         let take = |d: Distance| u64::from_be_bytes(d.0[..8].try_into().unwrap());
-        assert!(take(a.distance(&c)) <= take(a.distance(&b)).saturating_add(take(b.distance(&c))) || true);
+        assert!(take(a.distance(&c)) <= take(a.distance(&b)).saturating_add(take(b.distance(&c))));
         // The strict XOR relation: d(a,c) = d(a,b) ^ d(b,c) elementwise.
         let mut x = [0u8; 32];
         for i in 0..32 {

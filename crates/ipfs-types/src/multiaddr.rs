@@ -113,20 +113,28 @@ impl Multiaddr {
             match label {
                 "ip4" => {
                     let a = arg('4')?;
-                    protos.push(Proto::Ip4(a.parse().map_err(|_| DecodeError::InvalidChar('4'))?));
+                    protos.push(Proto::Ip4(
+                        a.parse().map_err(|_| DecodeError::InvalidChar('4'))?,
+                    ));
                 }
                 "ip6" => {
                     let a = arg('6')?;
-                    protos.push(Proto::Ip6(a.parse().map_err(|_| DecodeError::InvalidChar('6'))?));
+                    protos.push(Proto::Ip6(
+                        a.parse().map_err(|_| DecodeError::InvalidChar('6'))?,
+                    ));
                 }
                 "dns4" => protos.push(Proto::Dns4(arg('d')?.to_string())),
                 "tcp" => {
                     let a = arg('t')?;
-                    protos.push(Proto::Tcp(a.parse().map_err(|_| DecodeError::InvalidChar('t'))?));
+                    protos.push(Proto::Tcp(
+                        a.parse().map_err(|_| DecodeError::InvalidChar('t'))?,
+                    ));
                 }
                 "udp" => {
                     let a = arg('u')?;
-                    protos.push(Proto::Udp(a.parse().map_err(|_| DecodeError::InvalidChar('u'))?));
+                    protos.push(Proto::Udp(
+                        a.parse().map_err(|_| DecodeError::InvalidChar('u'))?,
+                    ));
                 }
                 "quic-v1" => protos.push(Proto::QuicV1),
                 "p2p" | "ipfs" => {

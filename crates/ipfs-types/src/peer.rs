@@ -32,7 +32,10 @@ impl Keypair {
         let mut buf = Vec::with_capacity(35);
         buf.extend_from_slice(b"pub");
         buf.extend_from_slice(&secret);
-        Keypair { secret, public: sha256(&buf) }
+        Keypair {
+            secret,
+            public: sha256(&buf),
+        }
     }
 
     /// The public key bytes.
@@ -125,6 +128,10 @@ mod tests {
         for s in 0..512u64 {
             seen.insert(PeerId::from_seed(s).0 .0[0]);
         }
-        assert!(seen.len() > 200, "only {} distinct leading bytes", seen.len());
+        assert!(
+            seen.len() > 200,
+            "only {} distinct leading bytes",
+            seen.len()
+        );
     }
 }

@@ -49,7 +49,10 @@ impl DhtConfig {
 
     /// Standard client config.
     pub fn client() -> DhtConfig {
-        DhtConfig { mode: DhtMode::Client, ..DhtConfig::server() }
+        DhtConfig {
+            mode: DhtMode::Client,
+            ..DhtConfig::server()
+        }
     }
 }
 
@@ -186,7 +189,10 @@ impl Dht {
 
     /// Peers the lookup wants queried now (marks them in-flight).
     pub fn lookup_next_queries(&mut self, id: u64) -> Vec<PeerInfo> {
-        self.lookups.get_mut(&id).map(|l| l.next_queries()).unwrap_or_default()
+        self.lookups
+            .get_mut(&id)
+            .map(|l| l.next_queries())
+            .unwrap_or_default()
     }
 
     /// Feed a response into a lookup; newly learned peers also feed the
@@ -262,7 +268,11 @@ mod tests {
     use simnet::NodeId;
 
     fn info(seed: u64) -> PeerInfo {
-        PeerInfo { id: PeerId::from_seed(seed), addrs: vec![], endpoint: NodeId(seed as u32) }
+        PeerInfo {
+            id: PeerId::from_seed(seed),
+            addrs: vec![],
+            endpoint: NodeId(seed as u32),
+        }
     }
 
     fn rec(cid: Cid, seed: u64) -> ProviderRecord {
@@ -285,7 +295,9 @@ mod tests {
             server.handle_request(SimTime::ZERO, &info(2), true, &req),
             Some(DhtResponse::Pong)
         ));
-        assert!(client.handle_request(SimTime::ZERO, &info(2), true, &req).is_none());
+        assert!(client
+            .handle_request(SimTime::ZERO, &info(2), true, &req)
+            .is_none());
     }
 
     #[test]
@@ -314,7 +326,10 @@ mod tests {
             panic!("expected Nodes");
         };
         assert!(closer.len() <= 20);
-        assert!(!closer.iter().any(|p| p.id == sender.id), "sender echoed back");
+        assert!(
+            !closer.iter().any(|p| p.id == sender.id),
+            "sender echoed back"
+        );
     }
 
     #[test]
@@ -326,7 +341,9 @@ mod tests {
             SimTime::ZERO,
             &info(5),
             true,
-            &DhtRequest::AddProvider { record: rec(cid, 9) },
+            &DhtRequest::AddProvider {
+                record: rec(cid, 9),
+            },
         );
         assert!(!d.providers().has_provider(&cid, &PeerId::from_seed(9)));
         // Sender 5 advertises itself: accepted.
@@ -334,7 +351,9 @@ mod tests {
             SimTime::ZERO,
             &info(5),
             true,
-            &DhtRequest::AddProvider { record: rec(cid, 5) },
+            &DhtRequest::AddProvider {
+                record: rec(cid, 5),
+            },
         );
         assert!(d.providers().has_provider(&cid, &PeerId::from_seed(5)));
     }
@@ -350,7 +369,9 @@ mod tests {
             SimTime::ZERO,
             &info(7),
             true,
-            &DhtRequest::AddProvider { record: rec(cid, 7) },
+            &DhtRequest::AddProvider {
+                record: rec(cid, 7),
+            },
         );
         let Some(DhtResponse::Providers { providers, closer }) = d.handle_request(
             SimTime::ZERO,

@@ -29,7 +29,11 @@ pub struct LookupConfig {
 
 impl Default for LookupConfig {
     fn default() -> Self {
-        LookupConfig { alpha: 10, k: 20, max_providers: 20 }
+        LookupConfig {
+            alpha: 10,
+            k: 20,
+            max_providers: 20,
+        }
     }
 }
 
@@ -136,8 +140,16 @@ impl Lookup {
             .candidates
             .binary_search_by(|(cd, _)| cd.cmp(&d))
             .unwrap_or_else(|p| p);
-        self.candidates
-            .insert(pos, (d, Candidate { info: info.clone(), state: CandState::NotContacted }));
+        self.candidates.insert(
+            pos,
+            (
+                d,
+                Candidate {
+                    info: info.clone(),
+                    state: CandState::NotContacted,
+                },
+            ),
+        );
         // Re-index everything after the insertion point.
         for (i, (_, c)) in self.candidates.iter().enumerate().skip(pos) {
             self.index.insert(c.info.id, i);
@@ -188,7 +200,10 @@ impl Lookup {
             let useful_before = self.candidates[..i]
                 .iter()
                 .filter(|(_, c)| {
-                    matches!(c.state, CandState::Responded | CandState::Waiting | CandState::NotContacted)
+                    matches!(
+                        c.state,
+                        CandState::Responded | CandState::Waiting | CandState::NotContacted
+                    )
                 })
                 .count();
             if useful_before >= self.cfg.k + self.cfg.alpha {
@@ -306,17 +321,31 @@ mod tests {
     use simnet::{NodeId, SimTime};
 
     fn info(seed: u64) -> PeerInfo {
-        PeerInfo { id: PeerId::from_seed(seed), addrs: vec![], endpoint: NodeId(seed as u32) }
+        PeerInfo {
+            id: PeerId::from_seed(seed),
+            addrs: vec![],
+            endpoint: NodeId(seed as u32),
+        }
     }
 
     fn cfg() -> LookupConfig {
-        LookupConfig { alpha: 3, k: 4, max_providers: 3 }
+        LookupConfig {
+            alpha: 3,
+            k: 4,
+            max_providers: 3,
+        }
     }
 
     #[test]
     fn respects_alpha() {
         let seeds: Vec<PeerInfo> = (1..20).map(info).collect();
-        let mut l = Lookup::new(Key256::from_seed(0), None, LookupKind::GetClosestPeers, cfg(), seeds);
+        let mut l = Lookup::new(
+            Key256::from_seed(0),
+            None,
+            LookupKind::GetClosestPeers,
+            cfg(),
+            seeds,
+        );
         let q1 = l.next_queries();
         assert_eq!(q1.len(), 3);
         assert!(l.next_queries().is_empty(), "alpha saturated");
@@ -423,7 +452,7 @@ mod tests {
                 addrs: vec![],
                 endpoint: NodeId(s as u32),
                 relay_endpoint: None,
-            stored_at: SimTime::ZERO,
+                stored_at: SimTime::ZERO,
             })
             .collect();
         l.on_response(&qs[0].id, vec![], recs);
@@ -456,7 +485,7 @@ mod tests {
                         addrs: vec![],
                         endpoint: NodeId(0),
                         relay_endpoint: None,
-            stored_at: SimTime::ZERO,
+                        stored_at: SimTime::ZERO,
                     })
                     .collect();
                 served += 1;
@@ -464,7 +493,11 @@ mod tests {
             }
         }
         let res = l.into_result();
-        assert!(res.providers.len() > 3, "collected past the default cap: {}", res.providers.len());
+        assert!(
+            res.providers.len() > 3,
+            "collected past the default cap: {}",
+            res.providers.len()
+        );
     }
 
     #[test]
@@ -489,7 +522,7 @@ mod tests {
                 addrs: vec![],
                 endpoint: NodeId(1),
                 relay_endpoint: None,
-            stored_at: SimTime::ZERO,
+                stored_at: SimTime::ZERO,
             }],
         );
         assert_eq!(l.providers_so_far(), 0);

@@ -163,11 +163,20 @@ mod tests {
             relay_endpoint: None,
             stored_at: SimTime::ZERO,
         };
-        assert_eq!(DhtRequest::GetProviders { cid }.traffic_class(), TrafficClass::Download);
-        assert_eq!(DhtRequest::AddProvider { record: rec }.traffic_class(), TrafficClass::Advertise);
+        assert_eq!(
+            DhtRequest::GetProviders { cid }.traffic_class(),
+            TrafficClass::Download
+        );
+        assert_eq!(
+            DhtRequest::AddProvider { record: rec }.traffic_class(),
+            TrafficClass::Advertise
+        );
         assert_eq!(DhtRequest::Ping.traffic_class(), TrafficClass::Other);
         assert_eq!(
-            DhtRequest::FindNode { target: Key256::ZERO }.traffic_class(),
+            DhtRequest::FindNode {
+                target: Key256::ZERO
+            }
+            .traffic_class(),
             TrafficClass::Other
         );
     }
@@ -175,7 +184,10 @@ mod tests {
     #[test]
     fn request_targets() {
         let cid = Cid::new_v1(Codec::Raw, b"y");
-        assert_eq!(DhtRequest::GetProviders { cid }.target(), Some(cid.dht_key()));
+        assert_eq!(
+            DhtRequest::GetProviders { cid }.target(),
+            Some(cid.dht_key())
+        );
         assert_eq!(DhtRequest::Ping.target(), None);
         let t = Key256::from_seed(9);
         assert_eq!(DhtRequest::FindNode { target: t }.target(), Some(t));

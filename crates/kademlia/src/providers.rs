@@ -21,7 +21,10 @@ pub struct ProviderStoreConfig {
 
 impl Default for ProviderStoreConfig {
     fn default() -> Self {
-        ProviderStoreConfig { ttl: Dur::from_hours(24), max_per_key: 1024 }
+        ProviderStoreConfig {
+            ttl: Dur::from_hours(24),
+            max_per_key: 1024,
+        }
     }
 }
 
@@ -35,7 +38,10 @@ pub struct ProviderStore {
 impl ProviderStore {
     /// Empty store with the given config.
     pub fn new(cfg: ProviderStoreConfig) -> ProviderStore {
-        ProviderStore { cfg, map: HashMap::new() }
+        ProviderStore {
+            cfg,
+            map: HashMap::new(),
+        }
     }
 
     /// Store (or refresh) a record at `now`.
@@ -175,7 +181,10 @@ mod tests {
 
     #[test]
     fn max_per_key_evicts_oldest() {
-        let mut s = ProviderStore::new(ProviderStoreConfig { ttl: Dur::from_hours(24), max_per_key: 3 });
+        let mut s = ProviderStore::new(ProviderStoreConfig {
+            ttl: Dur::from_hours(24),
+            max_per_key: 3,
+        });
         for i in 0..5u64 {
             s.add(rec(cid(1), i), SimTime::ZERO + Dur::from_secs(i));
         }
@@ -192,7 +201,10 @@ mod tests {
         // in the real store (keyed by multihash, value carries the CID).
         let data = b"same-content";
         let v0 = Cid::new_v0(data);
-        let v1 = Cid { version: ipfs_types::CidVersion::V1, ..v0 };
+        let v1 = Cid {
+            version: ipfs_types::CidVersion::V1,
+            ..v0
+        };
         let mut s = ProviderStore::new(ProviderStoreConfig::default());
         s.add(rec(v0, 1), SimTime::ZERO);
         s.add(rec(v1, 2), SimTime::ZERO);

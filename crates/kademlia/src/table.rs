@@ -62,7 +62,10 @@ pub struct TableConfig {
 
 impl Default for TableConfig {
     fn default() -> Self {
-        TableConfig { k: 20, stale_after: Dur::from_mins(30) }
+        TableConfig {
+            k: 20,
+            stale_after: Dur::from_mins(30),
+        }
     }
 }
 
@@ -77,7 +80,11 @@ pub struct RoutingTable {
 impl RoutingTable {
     /// New table for a node whose ID hashes to `local`.
     pub fn new(local: Key256, cfg: TableConfig) -> RoutingTable {
-        RoutingTable { local, cfg, buckets: vec![Bucket::default()] }
+        RoutingTable {
+            local,
+            cfg,
+            buckets: vec![Bucket::default()],
+        }
     }
 
     /// The local key this table is centred on.
@@ -153,7 +160,7 @@ impl RoutingTable {
             return false; // never insert self
         }
         loop {
-            let idx = self.bucket_index(cpl as u32);
+            let idx = self.bucket_index(cpl);
             let is_last = idx == self.buckets.len() - 1;
             let can_unfold = is_last && self.buckets.len() < 256;
             let bucket = &mut self.buckets[idx];
@@ -163,7 +170,11 @@ impl RoutingTable {
                 return true;
             }
             if bucket.len() < self.cfg.k {
-                bucket.entries.push(Entry { info, last_seen: now, added_at: now });
+                bucket.entries.push(Entry {
+                    info,
+                    last_seen: now,
+                    added_at: now,
+                });
                 return true;
             }
             // Bucket full. If it is the last bucket we can unfold it.
@@ -180,7 +191,11 @@ impl RoutingTable {
                 .map(|(i, e)| (i, e.last_seen))
                 .expect("full bucket is non-empty");
             if now.since(stalest_seen) > self.cfg.stale_after {
-                bucket.entries[stalest_i] = Entry { info, last_seen: now, added_at: now };
+                bucket.entries[stalest_i] = Entry {
+                    info,
+                    last_seen: now,
+                    added_at: now,
+                };
                 return true;
             }
             return false;
@@ -192,9 +207,10 @@ impl RoutingTable {
         let moved: Vec<Entry>;
         {
             let last = &mut self.buckets[last_idx];
-            let (stay, go): (Vec<Entry>, Vec<Entry>) = last.entries.drain(..).partition(|e| {
-                self.local.common_prefix_len(&e.info.id.key()) as usize == last_idx
-            });
+            let (stay, go): (Vec<Entry>, Vec<Entry>) = last
+                .entries
+                .drain(..)
+                .partition(|e| self.local.common_prefix_len(&e.info.id.key()) as usize == last_idx);
             last.entries = stay;
             moved = go;
         }
@@ -223,8 +239,11 @@ impl RoutingTable {
             .entries()
             .map(|e| (e, e.info.id.key().distance(target)))
             .collect();
-        all.sort_by(|a, b| a.1.cmp(&b.1));
-        all.into_iter().take(count).map(|(e, _)| e.info.clone()).collect()
+        all.sort_by_key(|a| a.1);
+        all.into_iter()
+            .take(count)
+            .map(|(e, _)| e.info.clone())
+            .collect()
     }
 
     /// Evict entries not heard from within `max_age` (kubo's usefulness
@@ -257,7 +276,11 @@ mod tests {
     use simnet::NodeId;
 
     fn info(seed: u64) -> PeerInfo {
-        PeerInfo { id: PeerId::from_seed(seed), addrs: vec![], endpoint: NodeId(seed as u32) }
+        PeerInfo {
+            id: PeerId::from_seed(seed),
+            addrs: vec![],
+            endpoint: NodeId(seed as u32),
+        }
     }
 
     fn table() -> RoutingTable {
@@ -321,7 +344,10 @@ mod tests {
     fn full_bucket_rejects_fresh_newcomer_keeps_old() {
         let mut t = RoutingTable::new(
             PeerId::from_seed(0).key(),
-            TableConfig { k: 20, stale_after: Dur::from_mins(30) },
+            TableConfig {
+                k: 20,
+                stale_after: Dur::from_mins(30),
+            },
         );
         // Fill bucket 0 (half the keyspace — easy to fill).
         let mut inserted = 0;
@@ -350,7 +376,10 @@ mod tests {
     fn stale_entries_are_replaced() {
         let mut t = RoutingTable::new(
             PeerId::from_seed(0).key(),
-            TableConfig { k: 2, stale_after: Dur::from_mins(30) },
+            TableConfig {
+                k: 2,
+                stale_after: Dur::from_mins(30),
+            },
         );
         // Two cpl-0 peers at t=0.
         let mut zeros = vec![];

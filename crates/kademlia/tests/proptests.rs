@@ -1,14 +1,16 @@
 //! Property tests for routing-table invariants and lookup convergence.
 
 use ipfs_types::{Key256, PeerId};
-use kademlia::{
-    Lookup, LookupConfig, LookupKind, PeerInfo, RoutingTable, TableConfig,
-};
+use kademlia::{Lookup, LookupConfig, LookupKind, PeerInfo, RoutingTable, TableConfig};
 use proptest::prelude::*;
 use simnet::{Dur, NodeId, SimTime};
 
 fn info(seed: u64) -> PeerInfo {
-    PeerInfo { id: PeerId::from_seed(seed), addrs: vec![], endpoint: NodeId(seed as u32) }
+    PeerInfo {
+        id: PeerId::from_seed(seed),
+        addrs: vec![],
+        endpoint: NodeId(seed as u32),
+    }
 }
 
 proptest! {

@@ -1,8 +1,7 @@
 //! Scenario builder: from a [`ScenarioConfig`] to a full [`Scenario`].
 
 use crate::plan::{
-    build_databases, IpAllocator, CLOUDFLARE, CLOUD_PROVIDERS, DATACAMP,
-    RESIDENTIAL_BLOCKS,
+    build_databases, IpAllocator, CLOUDFLARE, CLOUD_PROVIDERS, DATACAMP, RESIDENTIAL_BLOCKS,
 };
 use crate::scenario::{
     region_of, ContentItem, GatewaySpec, NodeSpec, Platform, Request, Scenario, ScenarioConfig,
@@ -76,7 +75,7 @@ impl Builder {
     }
 
     fn alloc_cloud(&mut self, provider_idx: usize) -> (Ipv4Addr, CountryCode) {
-        self.cloud_allocs[provider_idx].1.next()
+        self.cloud_allocs[provider_idx].1.alloc()
     }
 
     /// Generate a churn schedule. Returns sessions and the IP-pool size.
@@ -84,12 +83,7 @@ impl Builder {
     /// Sessions run past the nominal duration by a measurement tail so the
     /// post-campaign probes (gateway identification, provider resolution)
     /// observe a live network.
-    fn gen_sessions(
-        &mut self,
-        churn: &ChurnModel,
-        always_on: bool,
-        ephemeral: bool,
-    ) -> (Vec<Session>, usize) {
+    fn gen_sessions(&mut self, churn: &ChurnModel, always_on: bool) -> (Vec<Session>, usize) {
         let duration = self.cfg.duration + MEASUREMENT_TAIL;
         if always_on {
             return (
@@ -110,21 +104,27 @@ impl Builder {
             + churn.sample_offline(&mut self.rng, Dur::ZERO, Dur::from_hours(24)) * 0.5;
         let horizon = SimTime::ZERO + duration;
         while t < horizon && sessions.len() < 512 {
-            let len = churn.sample_online(&mut self.rng, Dur::from_mins(10), Dur::from_hours(24 * 30));
+            let len =
+                churn.sample_online(&mut self.rng, Dur::from_mins(10), Dur::from_hours(24 * 30));
             let up = t;
             let down = (up + len).min(horizon);
-            let new_identity = if ephemeral && self.rng.random::<f64>() < churn.new_identity {
-                Some(self.seed() | SEED_EPHEMERAL)
-            } else if !ephemeral && self.rng.random::<f64>() < churn.new_identity {
+            // Exactly one RNG draw per session regardless of segment kind.
+            let new_identity = if self.rng.random::<f64>() < churn.new_identity {
                 Some(self.seed() | SEED_EPHEMERAL)
             } else {
                 None
             };
-            sessions.push(Session { up, down, ip_idx, new_identity });
+            sessions.push(Session {
+                up,
+                down,
+                ip_idx,
+                new_identity,
+            });
             if down >= horizon {
                 break;
             }
-            let gap = churn.sample_offline(&mut self.rng, Dur::from_mins(10), Dur::from_hours(24 * 7));
+            let gap =
+                churn.sample_offline(&mut self.rng, Dur::from_mins(10), Dur::from_hours(24 * 7));
             t = down + gap;
             if self.rng.random::<f64>() < churn.ip_rotation {
                 ip_idx += 1;
@@ -171,16 +171,14 @@ impl Builder {
     ) -> usize {
         let plan = &CLOUD_PROVIDERS[p_idx];
         let (ip, country) = self.alloc_cloud(p_idx);
-        let (sessions, pool) = self.gen_sessions(&Self::cloud_churn(), always_on, false);
+        let (sessions, pool) = self.gen_sessions(&Self::cloud_churn(), always_on);
         let mut ips = vec![ip];
         for _ in 1..pool {
             ips.push(self.alloc_cloud(p_idx).0);
         }
         let rdns = platform
             .map(|pl| format!("node{}.{}", self.nodes.len(), pl.rdns_suffix()))
-            .or_else(|| {
-                Some(format!("host{}.{}", self.nodes.len(), plan.rdns_suffix))
-            });
+            .or_else(|| Some(format!("host{}.{}", self.nodes.len(), plan.rdns_suffix)));
         let agent = match platform {
             Some(Platform::Filebase) => "filebase/1.0".to_string(),
             Some(Platform::Hydra) => "hydra-booster/0.7".to_string(),
@@ -188,7 +186,11 @@ impl Builder {
         };
         let spec = NodeSpec {
             identity_seed: self.seed(),
-            segment: if platform.is_some() { Segment::Platform } else { Segment::CloudStable },
+            segment: if platform.is_some() {
+                Segment::Platform
+            } else {
+                Segment::CloudStable
+            },
             provider: Some(plan.name),
             country,
             region: region_of(country),
@@ -222,16 +224,18 @@ impl Builder {
             Segment::NatClient => Self::nat_home_churn(),
             _ => Self::fringe_churn(),
         };
-        let (sessions, pool) = self.gen_sessions(&churn, false, segment == Segment::Ephemeral);
-        let (first, country) = self.res_alloc.next();
+        let (sessions, pool) = self.gen_sessions(&churn, false);
+        let (first, country) = self.res_alloc.alloc();
         let mut ips = vec![first];
         for _ in 1..pool {
             // Rotations stay in the same country's pools most of the time
             // (DHCP within one ISP).
             let ip = if self.rng.random::<f64>() < 0.85 {
-                self.res_alloc.next_in_country(country).unwrap_or_else(|| self.res_alloc.next().0)
+                self.res_alloc
+                    .alloc_in_country(country)
+                    .unwrap_or_else(|| self.res_alloc.alloc().0)
             } else {
-                self.res_alloc.next().0
+                self.res_alloc.alloc().0
             };
             ips.push(ip);
         }
@@ -265,7 +269,10 @@ fn storage_platform_provider(p: Platform) -> usize {
         Platform::Filebase | Platform::Hydra => "amazon_aws",
         Platform::Gateway => "amazon_aws",
     };
-    CLOUD_PROVIDERS.iter().position(|pp| pp.name == name).expect("provider in plan")
+    CLOUD_PROVIDERS
+        .iter()
+        .position(|pp| pp.name == name)
+        .expect("provider in plan")
 }
 
 /// Build the full scenario.
@@ -295,7 +302,11 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
 
     // --- platforms --------------------------------------------------------
     let mut storage_nodes: Vec<(Platform, Vec<usize>)> = Vec::new();
-    for platform in [Platform::Web3Storage, Platform::NftStorage, Platform::Pinata] {
+    for platform in [
+        Platform::Web3Storage,
+        Platform::NftStorage,
+        Platform::Pinata,
+    ] {
         let p_idx = storage_platform_provider(platform);
         let nodes: Vec<usize> = (0..cfg.platform_nodes)
             .map(|_| b.push_cloud_node_at(p_idx, Some(platform), true))
@@ -330,13 +341,13 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
             let mut frontend_ips = Vec::new();
             for _ in 0..n_front {
                 let ip = match provider {
-                    Some("cloudflare_inc") => b.cf_alloc.next().0,
-                    Some("datacamp") => b.dc_alloc.next().0,
+                    Some("cloudflare_inc") => b.cf_alloc.alloc().0,
+                    Some("datacamp") => b.dc_alloc.alloc().0,
                     Some(name) => {
                         let idx = CLOUD_PROVIDERS.iter().position(|p| p.name == name).unwrap();
                         b.alloc_cloud(idx).0
                     }
-                    None => b.res_alloc.next().0,
+                    None => b.res_alloc.alloc().0,
                 };
                 frontend_ips.push(ip);
             }
@@ -345,7 +356,7 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
                 let idx = match provider {
                     Some("cloudflare_inc") => {
                         // Cloudflare overlay nodes sit on Cloudflare IPs.
-                        let (ip, country) = b.cf_alloc.next();
+                        let (ip, country) = b.cf_alloc.alloc();
                         let seed = b.seed();
                         let i = b.nodes.len();
                         b.nodes.push(NodeSpec {
@@ -371,7 +382,7 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
                         i
                     }
                     Some("datacamp") => {
-                        let (ip, country) = b.dc_alloc.next();
+                        let (ip, country) = b.dc_alloc.alloc();
                         let seed = b.seed();
                         let i = b.nodes.len();
                         b.nodes.push(NodeSpec {
@@ -474,7 +485,7 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
         }
         // Listed but dead endpoints (83 − 22 in the paper).
         for g in cfg.n_gateways_functional..cfg.n_gateways_listed {
-            let ip = b.res_alloc.next().0;
+            let ip = b.res_alloc.alloc().0;
             gateways.push(GatewaySpec {
                 host: format!("dead{g}.example.org"),
                 listed: true,
@@ -494,7 +505,7 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
         for h in 0..n_hybrid {
             let idx = bootstrap_count + h * 7; // spread over cloud nodes
             if idx < cfg.n_cloud {
-                let extra = b.res_alloc.next().0;
+                let extra = b.res_alloc.alloc().0;
                 b.nodes[idx].extra_addr = Some(extra);
             }
         }
@@ -652,10 +663,19 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
         if rng.random::<f64>() < cfg.http_share {
             // HTTP request through a weighted gateway.
             let at = SimTime(rng.random_range(Dur::from_hours(2).0..cfg.duration.0));
-            let Some(item) = pick_item(&mut rng, at.day() as usize) else { continue };
+            let Some(item) = pick_item(&mut rng, at.day() as usize) else {
+                continue;
+            };
             let x = rng.random::<f64>() * gw_total;
-            let gw = gw_weights.partition_point(|w| *w < x).min(gateways.len() - 1);
-            requests.push(Request::Http { at, client: 0, gateway: gw, item });
+            let gw = gw_weights
+                .partition_point(|w| *w < x)
+                .min(gateways.len() - 1);
+            requests.push(Request::Http {
+                at,
+                client: 0,
+                gateway: gw,
+                item,
+            });
         } else {
             // Direct fetch from inside a fetcher's session.
             let node = fetchers[rng.random_range(0..fetchers.len())];
@@ -668,7 +688,9 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
                 continue;
             }
             let at = SimTime(rng.random_range(s.up.0 + Dur::from_mins(2).0..s.down.0));
-            let Some(item) = pick_item(&mut rng, at.day() as usize) else { continue };
+            let Some(item) = pick_item(&mut rng, at.day() as usize) else {
+                continue;
+            };
             requests.push(Request::Fetch { at, node, item });
         }
     }
@@ -677,7 +699,9 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
     // --- DNS universe + DNSLink ---------------------------------------------
     let mut dns = DnsZoneDb::new();
     let mut dns_candidates = Vec::with_capacity(cfg.n_domains);
-    let tlds = ["com", "org", "net", "io", "xyz", "de", "se", "ch", "fr", "app"];
+    let tlds = [
+        "com", "org", "net", "io", "xyz", "de", "se", "ch", "fr", "app",
+    ];
     for d in 0..cfg.n_domains {
         let name = format!("site{d}.{}", tlds[d % tlds.len()]);
         dns_candidates.push(name.clone());
@@ -707,11 +731,17 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
         }
         // 4% broken TXT records (scanner must skip them).
         if rng.random::<f64>() < 0.04 {
-            dns.add(&format!("_dnslink.{name}"), DnsRecord::Txt("dnslink=/ipfs/broken".into()));
+            dns.add(
+                &format!("_dnslink.{name}"),
+                DnsRecord::Txt("dnslink=/ipfs/broken".into()),
+            );
             continue;
         }
         let item = &content[rng.random_range(0..content.len())];
-        dns.add(&format!("_dnslink.{name}"), DnsRecord::Txt(format_ipfs_dnslink(&item.cid)));
+        dns.add(
+            &format!("_dnslink.{name}"),
+            DnsRecord::Txt(format_ipfs_dnslink(&item.cid)),
+        );
         if rng.random::<f64>() < 0.21 {
             // Point at a public gateway host.
             let f: Vec<&GatewaySpec> = gateways.iter().filter(|g| g.functional).collect();
@@ -720,16 +750,22 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
         } else {
             let roll = rng.random::<f64>();
             let ip = if roll < 0.50 {
-                b.cf_alloc.next().0
+                b.cf_alloc.alloc().0
             } else if roll < 0.70 {
-                b.res_alloc.next().0
+                b.res_alloc.alloc().0
             } else if roll < 0.79 {
-                let aws = CLOUD_PROVIDERS.iter().position(|p| p.name == "amazon_aws").unwrap();
+                let aws = CLOUD_PROVIDERS
+                    .iter()
+                    .position(|p| p.name == "amazon_aws")
+                    .unwrap();
                 b.alloc_cloud(aws).0
             } else if roll < 0.84 {
-                b.dc_alloc.next().0
+                b.dc_alloc.alloc().0
             } else if roll < 0.88 {
-                let gc = CLOUD_PROVIDERS.iter().position(|p| p.name == "google_cloud").unwrap();
+                let gc = CLOUD_PROVIDERS
+                    .iter()
+                    .position(|p| p.name == "google_cloud")
+                    .unwrap();
                 b.alloc_cloud(gc).0
             } else {
                 let idx = b.pick_provider();
@@ -749,14 +785,15 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
         // Anycast views from other vantage points reveal extra addresses.
         if g.provider == Some("cloudflare_inc") {
             for _ in 0..2 {
-                pdns.observe(&g.host, b.cf_alloc.next().0);
+                pdns.observe(&g.host, b.cf_alloc.alloc().0);
             }
         }
     }
 
     // --- ENS -----------------------------------------------------------------
-    let mut ens_resolvers: Vec<ResolverContract> =
-        (0..16).map(|i| ResolverContract::new(Address::from_seed(9_000 + i))).collect();
+    let mut ens_resolvers: Vec<ResolverContract> = (0..16)
+        .map(|i| ResolverContract::new(Address::from_seed(9_000 + i)))
+        .collect();
     let mut block = 1_000u64;
     for e in 0..cfg.n_ens_records {
         let node = namehash(&format!("dapp{e}.eth"));

@@ -13,7 +13,10 @@ pub mod scenario;
 
 pub use build::build;
 pub use paper::{PaperTargets, PAPER};
-pub use plan::{build_databases, provider_plan, IpAllocator, ProviderPlan, CLOUDFLARE, CLOUD_PROVIDERS, DATACAMP, RESIDENTIAL_BLOCKS};
+pub use plan::{
+    build_databases, provider_plan, IpAllocator, ProviderPlan, CLOUDFLARE, CLOUD_PROVIDERS,
+    DATACAMP, RESIDENTIAL_BLOCKS,
+};
 pub use scenario::{
     region_of, ContentItem, GatewaySpec, NodeSpec, Platform, Request, Scenario, ScenarioConfig,
     Segment, Session,

@@ -34,10 +34,18 @@ pub const CLOUD_PROVIDERS: &[ProviderPlan] = &[
         name: "choopa",
         node_share: 0.293,
         blocks: &[
-            ("45.32.0.0/13", "US"), ("45.63.0.0/16", "US"), ("45.76.0.0/14", "US"),
-            ("45.77.128.0/17", "KR"), ("141.164.32.0/19", "KR"), ("158.247.192.0/18", "KR"),
-            ("136.244.64.0/18", "DE"), ("199.247.0.0/17", "DE"), ("66.42.32.0/19", "SG"),
-            ("207.148.64.0/18", "US"), ("144.202.0.0/16", "US"), ("149.28.0.0/15", "US"),
+            ("45.32.0.0/13", "US"),
+            ("45.63.0.0/16", "US"),
+            ("45.76.0.0/14", "US"),
+            ("45.77.128.0/17", "KR"),
+            ("141.164.32.0/19", "KR"),
+            ("158.247.192.0/18", "KR"),
+            ("136.244.64.0/18", "DE"),
+            ("199.247.0.0/17", "DE"),
+            ("66.42.32.0/19", "SG"),
+            ("207.148.64.0/18", "US"),
+            ("144.202.0.0/16", "US"),
+            ("149.28.0.0/15", "US"),
         ],
         rdns_suffix: "vultrusercontent.com",
         asn: 20473,
@@ -46,9 +54,14 @@ pub const CLOUD_PROVIDERS: &[ProviderPlan] = &[
         name: "amazon_aws",
         node_share: 0.118,
         blocks: &[
-            ("52.0.0.0/11", "US"), ("54.64.0.0/13", "US"), ("3.120.0.0/14", "DE"),
-            ("13.124.0.0/16", "KR"), ("18.176.0.0/14", "JP"), ("35.176.0.0/15", "GB"),
-            ("13.36.0.0/14", "FR"), ("54.252.0.0/16", "AU"),
+            ("52.0.0.0/11", "US"),
+            ("54.64.0.0/13", "US"),
+            ("3.120.0.0/14", "DE"),
+            ("13.124.0.0/16", "KR"),
+            ("18.176.0.0/14", "JP"),
+            ("35.176.0.0/15", "GB"),
+            ("13.36.0.0/14", "FR"),
+            ("54.252.0.0/16", "AU"),
         ],
         rdns_suffix: "compute.amazonaws.com",
         asn: 16509,
@@ -57,8 +70,12 @@ pub const CLOUD_PROVIDERS: &[ProviderPlan] = &[
         name: "contabo_gmbh",
         node_share: 0.108,
         blocks: &[
-            ("62.171.128.0/17", "DE"), ("144.91.64.0/18", "DE"), ("161.97.0.0/17", "DE"),
-            ("167.86.64.0/18", "DE"), ("207.180.192.0/18", "DE"), ("89.117.0.0/17", "US"),
+            ("62.171.128.0/17", "DE"),
+            ("144.91.64.0/18", "DE"),
+            ("161.97.0.0/17", "DE"),
+            ("167.86.64.0/18", "DE"),
+            ("207.180.192.0/18", "DE"),
+            ("89.117.0.0/17", "US"),
         ],
         rdns_suffix: "contaboserver.net",
         asn: 51167,
@@ -67,8 +84,11 @@ pub const CLOUD_PROVIDERS: &[ProviderPlan] = &[
         name: "vultr",
         node_share: 0.075,
         blocks: &[
-            ("64.176.0.0/14", "US"), ("70.34.192.0/18", "SE"), ("108.61.0.0/16", "US"),
-            ("141.164.0.0/19", "KR"), ("217.69.0.0/17", "DE"),
+            ("64.176.0.0/14", "US"),
+            ("70.34.192.0/18", "SE"),
+            ("108.61.0.0/16", "US"),
+            ("141.164.0.0/19", "KR"),
+            ("217.69.0.0/17", "DE"),
         ],
         rdns_suffix: "vultr.com",
         asn: 64515,
@@ -77,8 +97,12 @@ pub const CLOUD_PROVIDERS: &[ProviderPlan] = &[
         name: "digitalocean",
         node_share: 0.060,
         blocks: &[
-            ("104.131.0.0/16", "US"), ("137.184.0.0/15", "US"), ("139.59.128.0/17", "SG"),
-            ("165.22.16.0/20", "DE"), ("46.101.0.0/17", "GB"), ("167.99.0.0/17", "US"),
+            ("104.131.0.0/16", "US"),
+            ("137.184.0.0/15", "US"),
+            ("139.59.128.0/17", "SG"),
+            ("165.22.16.0/20", "DE"),
+            ("46.101.0.0/17", "GB"),
+            ("167.99.0.0/17", "US"),
         ],
         rdns_suffix: "digitalocean.com",
         asn: 14061,
@@ -87,7 +111,9 @@ pub const CLOUD_PROVIDERS: &[ProviderPlan] = &[
         name: "hetzner",
         node_share: 0.045,
         blocks: &[
-            ("88.198.0.0/15", "DE"), ("116.202.0.0/15", "DE"), ("65.108.0.0/15", "FI"),
+            ("88.198.0.0/15", "DE"),
+            ("116.202.0.0/15", "DE"),
+            ("65.108.0.0/15", "FI"),
             ("5.161.0.0/16", "US"),
         ],
         rdns_suffix: "your-server.de",
@@ -97,7 +123,9 @@ pub const CLOUD_PROVIDERS: &[ProviderPlan] = &[
         name: "ovh",
         node_share: 0.030,
         blocks: &[
-            ("51.68.0.0/14", "FR"), ("135.125.0.0/16", "FR"), ("139.99.0.0/17", "SG"),
+            ("51.68.0.0/14", "FR"),
+            ("135.125.0.0/16", "FR"),
+            ("139.99.0.0/17", "SG"),
             ("51.79.0.0/17", "CA"),
         ],
         rdns_suffix: "ovh.net",
@@ -106,28 +134,44 @@ pub const CLOUD_PROVIDERS: &[ProviderPlan] = &[
     ProviderPlan {
         name: "oracle",
         node_share: 0.022,
-        blocks: &[("129.146.0.0/16", "US"), ("130.61.0.0/16", "DE"), ("152.67.32.0/19", "KR")],
+        blocks: &[
+            ("129.146.0.0/16", "US"),
+            ("130.61.0.0/16", "DE"),
+            ("152.67.32.0/19", "KR"),
+        ],
         rdns_suffix: "oraclecloud.com",
         asn: 31898,
     },
     ProviderPlan {
         name: "google_cloud",
         node_share: 0.018,
-        blocks: &[("34.64.0.0/12", "US"), ("35.198.0.0/16", "DE"), ("34.22.0.0/16", "KR")],
+        blocks: &[
+            ("34.64.0.0/12", "US"),
+            ("35.198.0.0/16", "DE"),
+            ("34.22.0.0/16", "KR"),
+        ],
         rdns_suffix: "googleusercontent.com",
         asn: 396982,
     },
     ProviderPlan {
         name: "packet_host",
         node_share: 0.015,
-        blocks: &[("136.144.48.0/20", "US"), ("147.28.128.0/17", "US"), ("145.40.64.0/18", "NL")],
+        blocks: &[
+            ("136.144.48.0/20", "US"),
+            ("147.28.128.0/17", "US"),
+            ("145.40.64.0/18", "NL"),
+        ],
         rdns_suffix: "packethost.net",
         asn: 54825,
     },
     ProviderPlan {
         name: "alibaba",
         node_share: 0.012,
-        blocks: &[("47.88.0.0/14", "US"), ("47.74.0.0/15", "SG"), ("8.208.0.0/15", "GB")],
+        blocks: &[
+            ("47.88.0.0/14", "US"),
+            ("47.74.0.0/15", "SG"),
+            ("8.208.0.0/15", "GB"),
+        ],
         rdns_suffix: "alibabacloud.com",
         asn: 45102,
     },
@@ -139,7 +183,9 @@ pub const CLOUDFLARE: ProviderPlan = ProviderPlan {
     name: "cloudflare_inc",
     node_share: 0.0,
     blocks: &[
-        ("104.16.0.0/13", "US"), ("172.64.0.0/13", "US"), ("188.114.96.0/20", "NL"),
+        ("104.16.0.0/13", "US"),
+        ("172.64.0.0/13", "US"),
+        ("188.114.96.0/20", "NL"),
         ("198.41.128.0/17", "US"),
     ],
     rdns_suffix: "cloudflare.com",
@@ -159,16 +205,28 @@ pub const DATACAMP: ProviderPlan = ProviderPlan {
 /// the cloud DB by construction. CN-heavy rotating blocks reproduce the
 /// G-IP geography shift of Fig. 6.
 pub const RESIDENTIAL_BLOCKS: &[(&str, &str)] = &[
-    ("24.0.0.0/12", "US"), ("67.160.0.0/12", "US"), ("98.192.0.0/11", "US"),
-    ("91.0.0.0/10", "DE"), ("84.128.0.0/10", "DE"),
-    ("114.32.0.0/11", "CN"), ("123.112.0.0/12", "CN"), ("221.192.0.0/11", "CN"),
+    ("24.0.0.0/12", "US"),
+    ("67.160.0.0/12", "US"),
+    ("98.192.0.0/11", "US"),
+    ("91.0.0.0/10", "DE"),
+    ("84.128.0.0/10", "DE"),
+    ("114.32.0.0/11", "CN"),
+    ("123.112.0.0/12", "CN"),
+    ("221.192.0.0/11", "CN"),
     ("121.128.0.0/10", "KR"),
-    ("90.0.0.0/11", "FR"), ("2.0.0.0/12", "FR"),
+    ("90.0.0.0/11", "FR"),
+    ("2.0.0.0/12", "FR"),
     ("86.128.0.0/10", "GB"),
-    ("95.24.0.0/13", "RU"), ("178.64.0.0/11", "RU"),
-    ("201.0.0.0/12", "BR"), ("179.96.0.0/11", "BR"),
-    ("49.128.0.0/11", "SG"), ("126.0.0.0/10", "JP"), ("1.128.0.0/11", "AU"),
-    ("31.0.0.0/11", "PL"), ("188.16.0.0/12", "UA"), ("103.16.0.0/12", "IN"),
+    ("95.24.0.0/13", "RU"),
+    ("178.64.0.0/11", "RU"),
+    ("201.0.0.0/12", "BR"),
+    ("179.96.0.0/11", "BR"),
+    ("49.128.0.0/11", "SG"),
+    ("126.0.0.0/10", "JP"),
+    ("1.128.0.0/11", "AU"),
+    ("31.0.0.0/11", "PL"),
+    ("188.16.0.0/12", "UA"),
+    ("103.16.0.0/12", "IN"),
 ];
 
 /// Fraction of genuinely cloud-hosted addresses missing from the cloud DB
@@ -193,12 +251,16 @@ impl IpAllocator {
             .collect();
         assert!(!blocks.is_empty());
         let cursors = vec![1u64; blocks.len()]; // skip .0 network addresses
-        IpAllocator { blocks, cursors, next_block: 0 }
+        IpAllocator {
+            blocks,
+            cursors,
+            next_block: 0,
+        }
     }
 
     /// Allocate the next address round-robin across blocks; never repeats
     /// (panics if a block is exhausted, which the plan sizes prevent).
-    pub fn next(&mut self) -> (Ipv4Addr, CountryCode) {
+    pub fn alloc(&mut self) -> (Ipv4Addr, CountryCode) {
         let i = self.next_block;
         self.next_block = (self.next_block + 1) % self.blocks.len();
         let (cidr, country) = self.blocks[i];
@@ -209,7 +271,7 @@ impl IpAllocator {
     }
 
     /// Allocate an address in a specific country if the plan has one.
-    pub fn next_in_country(&mut self, country: CountryCode) -> Option<Ipv4Addr> {
+    pub fn alloc_in_country(&mut self, country: CountryCode) -> Option<Ipv4Addr> {
         for i in 0..self.blocks.len() {
             let j = (self.next_block + i) % self.blocks.len();
             if self.blocks[j].1 == country && self.cursors[j] < self.blocks[j].0.size() {
@@ -248,7 +310,8 @@ pub fn build_databases(rng: &mut StdRng) -> IpDatabases {
     for (block, country) in RESIDENTIAL_BLOCKS {
         let cidr = Cidr::parse(block).expect("bad plan cidr");
         dbs.geo.add_block(CountryCode::new(country), cidr);
-        dbs.asn.add_block(Asn(7000 + cidr.base as u32 % 1000), "residential-isp", cidr);
+        dbs.asn
+            .add_block(Asn(7000 + cidr.base % 1000), "residential-isp", cidr);
     }
     dbs
 }
@@ -270,7 +333,10 @@ mod tests {
     #[test]
     fn shares_sum_to_cloud_total() {
         let total: f64 = CLOUD_PROVIDERS.iter().map(|p| p.node_share).sum();
-        assert!((total - 0.796).abs() < 0.01, "cloud shares sum to {total}, want ≈0.796");
+        assert!(
+            (total - 0.796).abs() < 0.01,
+            "cloud shares sum to {total}, want ≈0.796"
+        );
     }
 
     #[test]
@@ -278,7 +344,7 @@ mod tests {
         let mut alloc = IpAllocator::new(CLOUD_PROVIDERS[0].blocks);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..10_000 {
-            let (ip, _) = alloc.next();
+            let (ip, _) = alloc.alloc();
             assert!(seen.insert(ip), "duplicate {ip}");
         }
     }
@@ -289,14 +355,17 @@ mod tests {
         let dbs = build_databases(&mut rng);
         // A choopa address.
         let mut alloc = IpAllocator::new(CLOUD_PROVIDERS[0].blocks);
-        let (ip, country) = alloc.next();
-        let got = dbs.cloud.lookup(ip).map(|id| dbs.cloud.name(id).to_string());
+        let (ip, country) = alloc.alloc();
+        let got = dbs
+            .cloud
+            .lookup(ip)
+            .map(|id| dbs.cloud.name(id).to_string());
         // Allow the rare coverage hole; with seed 1 the first block is in.
         assert_eq!(got.as_deref(), Some("choopa"));
         assert_eq!(dbs.geo.lookup(ip), Some(country));
         // A residential address must be cloud-absent but geolocated.
         let mut res = IpAllocator::new(RESIDENTIAL_BLOCKS);
-        let (rip, rcountry) = res.next();
+        let (rip, rcountry) = res.alloc();
         assert_eq!(dbs.cloud.lookup(rip), None);
         assert_eq!(dbs.geo.lookup(rip), Some(rcountry));
     }
@@ -304,7 +373,7 @@ mod tests {
     #[test]
     fn country_targeting() {
         let mut alloc = IpAllocator::new(RESIDENTIAL_BLOCKS);
-        let de = alloc.next_in_country(CountryCode::new("DE")).unwrap();
+        let de = alloc.alloc_in_country(CountryCode::new("DE")).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let dbs = build_databases(&mut rng);
         assert_eq!(dbs.geo.lookup(de), Some(CountryCode::new("DE")));

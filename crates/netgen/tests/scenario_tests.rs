@@ -24,7 +24,10 @@ fn sessions_are_ordered_and_within_duration() {
         for sess in &n.sessions {
             assert!(sess.up >= last, "overlapping sessions");
             assert!(sess.down > sess.up);
-            assert!(sess.down <= simnet::SimTime::ZERO + s.cfg.duration + netgen::build::MEASUREMENT_TAIL);
+            assert!(
+                sess.down
+                    <= simnet::SimTime::ZERO + s.cfg.duration + netgen::build::MEASUREMENT_TAIL
+            );
             assert!(sess.ip_idx < n.ips.len(), "session ip outside pool");
             last = sess.down;
         }
@@ -60,7 +63,12 @@ fn databases_attribute_planted_nodes() {
         }
     }
     assert!(hits as f64 / total as f64 > 0.9, "{hits}/{total}");
-    for n in s.nodes.iter().filter(|n| n.segment == Segment::NatClient).take(50) {
+    for n in s
+        .nodes
+        .iter()
+        .filter(|n| n.segment == Segment::NatClient)
+        .take(50)
+    {
         assert_eq!(s.dbs.cloud.lookup(n.ips[0]), None);
     }
 }
@@ -102,9 +110,17 @@ fn gateways_counts_and_shape() {
             assert!(g.overlay_nodes.is_empty());
         }
     }
-    let cf = s.gateways.iter().find(|g| g.host == "cloudflare-ipfs.com").unwrap();
+    let cf = s
+        .gateways
+        .iter()
+        .find(|g| g.host == "cloudflare-ipfs.com")
+        .unwrap();
     for ip in &cf.frontend_ips {
-        let p = s.dbs.cloud.lookup(*ip).map(|id| s.dbs.cloud.name(id).to_string());
+        let p = s
+            .dbs
+            .cloud
+            .lookup(*ip)
+            .map(|id| s.dbs.cloud.name(id).to_string());
         assert_eq!(p.as_deref(), Some("cloudflare_inc"));
     }
 }
@@ -130,7 +146,10 @@ fn ens_extraction_recovers_records() {
     let (records, stats) = ens::extract_ipfs_records(&s.ens_resolvers, 1000);
     assert_eq!(stats.domains, s.cfg.n_ens_records);
     assert_eq!(records.len(), s.cfg.n_ens_records);
-    assert!(stats.contenthash_events > stats.ipfs_ns_events, "swarm noise must exist");
+    assert!(
+        stats.contenthash_events > stats.ipfs_ns_events,
+        "swarm noise must exist"
+    );
 }
 
 #[test]
@@ -145,5 +164,8 @@ fn deterministic_generation() {
     }
     assert_eq!(a.requests.len(), b.requests.len());
     let c = build(ScenarioConfig::tiny(43));
-    assert_ne!(a.nodes[10].ips, c.nodes[10].ips, "different seeds must differ");
+    assert_ne!(
+        a.nodes[10].ips, c.nodes[10].ips,
+        "different seeds must differ"
+    );
 }

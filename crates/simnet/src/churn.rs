@@ -32,7 +32,10 @@ impl LogNormal {
     /// are the intuitive calibration knob for session lengths.
     pub fn from_median(median: f64, sigma: f64) -> LogNormal {
         assert!(median > 0.0, "median must be positive");
-        LogNormal { mu: median.ln(), sigma }
+        LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
     }
 
     /// Draw a sample.

@@ -51,7 +51,13 @@ pub trait Actor: Sized {
     /// call but nothing sent will be delivered.
     fn on_stop(&mut self, _ctx: &mut Ctx<'_, Self::Msg, Self::Cmd>) {}
     /// A message arrived on an open connection.
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, Self::Msg, Self::Cmd>, _from: NodeId, _msg: Self::Msg) {}
+    fn on_message(
+        &mut self,
+        _ctx: &mut Ctx<'_, Self::Msg, Self::Cmd>,
+        _from: NodeId,
+        _msg: Self::Msg,
+    ) {
+    }
     /// A harness command fired.
     fn on_command(&mut self, _ctx: &mut Ctx<'_, Self::Msg, Self::Cmd>, _cmd: Self::Cmd) {}
     /// A timer set via [`Ctx::set_timer`] fired.
@@ -91,7 +97,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { loss: 0.0, dial_timeout: Dur::from_secs(10), max_events: u64::MAX }
+        SimConfig {
+            loss: 0.0,
+            dial_timeout: Dur::from_secs(10),
+            max_events: u64::MAX,
+        }
     }
 }
 
@@ -151,14 +161,42 @@ pub struct SimCore<M, C> {
 }
 
 enum Ev<M, C> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    DialArrive { dialer: NodeId, target: NodeId, via: Option<NodeId>, started: SimTime },
-    DialOutcome { dialer: NodeId, target: NodeId, ok: bool, relayed: bool },
-    Timer { node: NodeId, token: u64 },
-    Command { node: NodeId, cmd: C },
-    NodeUp { node: NodeId, addr: Option<SocketAddrV4> },
-    NodeDown { node: NodeId },
-    ConnClosed { node: NodeId, peer: NodeId },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    DialArrive {
+        dialer: NodeId,
+        target: NodeId,
+        via: Option<NodeId>,
+        started: SimTime,
+    },
+    DialOutcome {
+        dialer: NodeId,
+        target: NodeId,
+        ok: bool,
+        relayed: bool,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    Command {
+        node: NodeId,
+        cmd: C,
+    },
+    NodeUp {
+        node: NodeId,
+        addr: Option<SocketAddrV4>,
+    },
+    NodeDown {
+        node: NodeId,
+    },
+    ConnClosed {
+        node: NodeId,
+        peer: NodeId,
+    },
 }
 
 struct QEv<M, C> {
@@ -188,7 +226,11 @@ impl<M, C> Ord for QEv<M, C> {
 impl<M, C> SimCore<M, C> {
     fn push(&mut self, at: SimTime, ev: Ev<M, C>) {
         let at = at.max(self.now);
-        self.queue.push(QEv { at, seq: self.seq, ev });
+        self.queue.push(QEv {
+            at,
+            seq: self.seq,
+            ev,
+        });
         self.seq += 1;
     }
 
@@ -330,7 +372,14 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
         self.core.stats.msgs_sent += 1;
         let lat = self.core.lat(self.me, to);
         let at = self.core.now + lat;
-        self.core.push(at, Ev::Deliver { from: self.me, to, msg });
+        self.core.push(
+            at,
+            Ev::Deliver {
+                from: self.me,
+                to,
+                msg,
+            },
+        );
         true
     }
 
@@ -341,7 +390,12 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
         let at = self.core.now + lat;
         self.core.push(
             at,
-            Ev::DialArrive { dialer: self.me, target, via: None, started: self.core.now },
+            Ev::DialArrive {
+                dialer: self.me,
+                target,
+                via: None,
+                started: self.core.now,
+            },
         );
     }
 
@@ -354,7 +408,12 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
         let at = self.core.now + l1 + l2;
         self.core.push(
             at,
-            Ev::DialArrive { dialer: self.me, target, via: Some(relay), started: self.core.now },
+            Ev::DialArrive {
+                dialer: self.me,
+                target,
+                via: Some(relay),
+                started: self.core.now,
+            },
         );
     }
 
@@ -363,15 +422,26 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
     pub fn disconnect(&mut self, peer: NodeId) {
         if self.core.connected(self.me, peer) {
             self.core.drop_conn(self.me, peer);
-            self.core
-                .push(self.core.now, Ev::ConnClosed { node: peer, peer: self.me });
+            self.core.push(
+                self.core.now,
+                Ev::ConnClosed {
+                    node: peer,
+                    peer: self.me,
+                },
+            );
         }
     }
 
     /// Arm a one-shot timer firing after `delay` with an opaque token.
     pub fn set_timer(&mut self, delay: Dur, token: u64) {
         let at = self.core.now + delay;
-        self.core.push(at, Ev::Timer { node: self.me, token });
+        self.core.push(
+            at,
+            Ev::Timer {
+                node: self.me,
+                token,
+            },
+        );
     }
 
     /// Loopback command scheduling: deliver `cmd` to *this* node later.
@@ -468,7 +538,13 @@ impl<A: Actor> Sim<A> {
         });
         self.actors.push(Some(actor));
         if setup.online {
-            self.core.push(self.core.now, Ev::NodeUp { node: id, addr: None });
+            self.core.push(
+                self.core.now,
+                Ev::NodeUp {
+                    node: id,
+                    addr: None,
+                },
+            );
         }
         id
     }
@@ -532,7 +608,10 @@ impl<A: Actor> Sim<A> {
             }
             processed += 1;
             if processed > self.core.cfg.max_events {
-                panic!("simulation exceeded max_events = {}", self.core.cfg.max_events);
+                panic!(
+                    "simulation exceeded max_events = {}",
+                    self.core.cfg.max_events
+                );
             }
             self.step();
         }
@@ -549,7 +628,10 @@ impl<A: Actor> Sim<A> {
     pub fn run_to_completion(&mut self) {
         while self.step() {
             if self.core.stats.events > self.core.cfg.max_events {
-                panic!("simulation exceeded max_events = {}", self.core.cfg.max_events);
+                panic!(
+                    "simulation exceeded max_events = {}",
+                    self.core.cfg.max_events
+                );
             }
         }
     }
@@ -560,7 +642,10 @@ impl<A: Actor> Sim<A> {
         f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg, A::Cmd>) -> R,
     ) -> R {
         let mut actor = self.actors[node.idx()].take().expect("actor re-entrancy");
-        let mut ctx = Ctx { core: &mut self.core, me: node };
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            me: node,
+        };
         let r = f(&mut actor, &mut ctx);
         self.actors[node.idx()] = Some(actor);
         r
@@ -580,7 +665,12 @@ impl<A: Actor> Sim<A> {
                 self.core.stats.msgs_delivered += 1;
                 self.with_actor(to, |a, ctx| a.on_message(ctx, from, msg));
             }
-            Ev::DialArrive { dialer, target, via, started } => {
+            Ev::DialArrive {
+                dialer,
+                target,
+                via,
+                started,
+            } => {
                 let ok = {
                     let t = &self.core.slots[target.idx()];
                     let reachable = match via {
@@ -602,17 +692,36 @@ impl<A: Actor> Sim<A> {
                     }
                     let back = self.core.lat(target, dialer);
                     let at = self.core.now + back;
-                    self.core
-                        .push(at, Ev::DialOutcome { dialer, target, ok: true, relayed });
+                    self.core.push(
+                        at,
+                        Ev::DialOutcome {
+                            dialer,
+                            target,
+                            ok: true,
+                            relayed,
+                        },
+                    );
                 } else {
                     // Unreachable targets look like silence: the dialer's
                     // timeout fires relative to when the dial started.
                     let at = started + self.core.cfg.dial_timeout;
-                    self.core
-                        .push(at, Ev::DialOutcome { dialer, target, ok: false, relayed });
+                    self.core.push(
+                        at,
+                        Ev::DialOutcome {
+                            dialer,
+                            target,
+                            ok: false,
+                            relayed,
+                        },
+                    );
                 }
             }
-            Ev::DialOutcome { dialer, target, ok, relayed } => {
+            Ev::DialOutcome {
+                dialer,
+                target,
+                ok,
+                relayed,
+            } => {
                 if !self.core.slots[dialer.idx()].online {
                     return;
                 }
@@ -661,7 +770,13 @@ impl<A: Actor> Sim<A> {
                 peers.sort();
                 for p in peers {
                     self.core.drop_conn(node, p);
-                    self.core.push(self.core.now, Ev::ConnClosed { node: p, peer: node });
+                    self.core.push(
+                        self.core.now,
+                        Ev::ConnClosed {
+                            node: p,
+                            peer: node,
+                        },
+                    );
                 }
             }
             Ev::ConnClosed { node, peer } => {
@@ -741,7 +856,11 @@ mod tests {
     }
 
     fn sim() -> Sim<Echo> {
-        Sim::new(SimConfig::default(), LatencyModel::uniform(Dur::from_millis(10), 0.0), 7)
+        Sim::new(
+            SimConfig::default(),
+            LatencyModel::uniform(Dur::from_millis(10), 0.0),
+            7,
+        )
     }
 
     fn ip(last: u8) -> Ipv4Addr {
@@ -751,8 +870,20 @@ mod tests {
     #[test]
     fn dial_send_echo_roundtrip() {
         let mut s = sim();
-        let a = s.add_node(Echo { echo: false, ..Default::default() }, NodeSetup::public(ip(1)));
-        let b = s.add_node(Echo { echo: true, ..Default::default() }, NodeSetup::public(ip(2)));
+        let a = s.add_node(
+            Echo {
+                echo: false,
+                ..Default::default()
+            },
+            NodeSetup::public(ip(1)),
+        );
+        let b = s.add_node(
+            Echo {
+                echo: true,
+                ..Default::default()
+            },
+            NodeSetup::public(ip(2)),
+        );
         s.schedule_command(SimTime::ZERO + Dur::from_secs(1), b, "dial0");
         // b dials a? No: command "dial0" dials NodeId(0) == a.
         s.run_for(Dur::from_secs(5));
@@ -796,7 +927,10 @@ mod tests {
         s.core.connect(target, relay, false);
         // Dialer must be able to reach the relay's circuit: dial via relay.
         s.core.connect(dialer, relay, false);
-        let mut ctx = Ctx { core: &mut s.core, me: dialer };
+        let mut ctx = Ctx {
+            core: &mut s.core,
+            me: dialer,
+        };
         ctx.dial_via(relay, target);
         s.run_for(Dur::from_secs(5));
         assert_eq!(s.actor(dialer).dial_ok, vec![(target, true, true)]);
@@ -812,7 +946,13 @@ mod tests {
     fn churn_drops_connections_and_notifies() {
         let mut s = sim();
         let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
-        let b = s.add_node(Echo { echo: false, ..Default::default() }, NodeSetup::public(ip(2)));
+        let b = s.add_node(
+            Echo {
+                echo: false,
+                ..Default::default()
+            },
+            NodeSetup::public(ip(2)),
+        );
         s.schedule_command(SimTime::ZERO + Dur::from_secs(1), b, "dial0");
         s.run_for(Dur::from_secs(2));
         assert!(s.core().connected(a, b));
@@ -825,7 +965,7 @@ mod tests {
         let dropped_before = s.core().stats.msgs_dropped;
         s.schedule_command(s.core().now(), b, "dial0"); // re-dial fails (offline)
         s.run_for(Dur::from_secs(30));
-        assert_eq!(s.actor(b).dial_ok.last().unwrap().1, false);
+        assert!(!s.actor(b).dial_ok.last().unwrap().1);
         let _ = dropped_before;
     }
 
@@ -847,7 +987,10 @@ mod tests {
         let mut s = sim();
         let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
         {
-            let mut ctx = Ctx { core: &mut s.core, me: a };
+            let mut ctx = Ctx {
+                core: &mut s.core,
+                me: a,
+            };
             ctx.set_timer(Dur::from_secs(2), 2);
             ctx.set_timer(Dur::from_secs(1), 1);
             ctx.set_timer(Dur::from_secs(10), 3);
@@ -870,14 +1013,20 @@ mod tests {
     #[test]
     fn message_loss_is_applied() {
         let mut s: Sim<Echo> = Sim::new(
-            SimConfig { loss: 1.0, ..Default::default() },
+            SimConfig {
+                loss: 1.0,
+                ..Default::default()
+            },
             LatencyModel::uniform(Dur::from_millis(10), 0.0),
             7,
         );
         let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
         let b = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
         s.core.connect(a, b, false);
-        let mut ctx = Ctx { core: &mut s.core, me: a };
+        let mut ctx = Ctx {
+            core: &mut s.core,
+            me: a,
+        };
         assert!(ctx.send(b, 42));
         s.run_for(Dur::from_secs(1));
         assert!(s.actor(b).got.is_empty());
@@ -889,7 +1038,10 @@ mod tests {
         let mut s = sim();
         let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
         let b = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
-        let mut ctx = Ctx { core: &mut s.core, me: a };
+        let mut ctx = Ctx {
+            core: &mut s.core,
+            me: a,
+        };
         assert!(!ctx.send(b, 1));
     }
 
@@ -904,17 +1056,28 @@ mod tests {
             let mut last = None;
             for i in 0..20u8 {
                 let n = s.add_node(
-                    Echo { echo: true, ..Default::default() },
+                    Echo {
+                        echo: true,
+                        ..Default::default()
+                    },
                     NodeSetup::public(ip(i + 1)),
                 );
                 last = Some(n);
             }
             for i in 1..20u32 {
-                s.schedule_command(SimTime::ZERO + Dur::from_millis(i as u64 * 37), NodeId(i), "dial0");
+                s.schedule_command(
+                    SimTime::ZERO + Dur::from_millis(i as u64 * 37),
+                    NodeId(i),
+                    "dial0",
+                );
             }
             s.run_for(Dur::from_secs(60));
             let l = last.unwrap();
-            (s.core().stats.events, s.core().stats.msgs_delivered, s.actor(l).got.clone())
+            (
+                s.core().stats.events,
+                s.core().stats.msgs_delivered,
+                s.actor(l).got.clone(),
+            )
         };
         assert_eq!(run(11), run(11));
         // Different seed shifts latencies ⇒ different interleavings are
@@ -934,7 +1097,10 @@ mod tests {
         let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
         let b = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
         s.core.connect(a, b, false);
-        let mut ctx = Ctx { core: &mut s.core, me: a };
+        let mut ctx = Ctx {
+            core: &mut s.core,
+            me: a,
+        };
         ctx.disconnect(b);
         s.run_for(Dur::from_secs(1));
         assert_eq!(s.actor(b).closed, vec![a]);

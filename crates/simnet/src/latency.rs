@@ -26,7 +26,10 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// A single-region model with constant base latency.
     pub fn uniform(base: Dur, jitter: f64) -> LatencyModel {
-        LatencyModel { base: vec![vec![base]], jitter }
+        LatencyModel {
+            base: vec![vec![base]],
+            jitter,
+        }
     }
 
     /// Build from an explicit symmetric matrix.
@@ -77,7 +80,10 @@ mod tests {
         let m = LatencyModel::uniform(Dur::from_millis(50), 0.0);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..10 {
-            assert_eq!(m.sample(&mut rng, RegionId(0), RegionId(0)), Dur::from_millis(50));
+            assert_eq!(
+                m.sample(&mut rng, RegionId(0), RegionId(0)),
+                Dur::from_millis(50)
+            );
         }
     }
 
@@ -87,7 +93,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..1000 {
             let d = m.sample(&mut rng, RegionId(0), RegionId(0));
-            assert!(d >= Dur::from_millis(75) && d <= Dur::from_millis(125), "{d:?}");
+            assert!(
+                d >= Dur::from_millis(75) && d <= Dur::from_millis(125),
+                "{d:?}"
+            );
         }
     }
 
@@ -95,8 +104,14 @@ mod tests {
     fn continents_shape() {
         let m = LatencyModel::continents(3, Dur::from_millis(10), Dur::from_millis(120), 0.0);
         let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(m.sample(&mut rng, RegionId(1), RegionId(1)), Dur::from_millis(10));
-        assert_eq!(m.sample(&mut rng, RegionId(0), RegionId(2)), Dur::from_millis(120));
+        assert_eq!(
+            m.sample(&mut rng, RegionId(1), RegionId(1)),
+            Dur::from_millis(10)
+        );
+        assert_eq!(
+            m.sample(&mut rng, RegionId(0), RegionId(2)),
+            Dur::from_millis(120)
+        );
         assert_eq!(m.regions(), 3);
     }
 
@@ -104,6 +119,9 @@ mod tests {
     fn out_of_range_region_clamps() {
         let m = LatencyModel::uniform(Dur::from_millis(40), 0.0);
         let mut rng = StdRng::seed_from_u64(4);
-        assert_eq!(m.sample(&mut rng, RegionId(9), RegionId(7)), Dur::from_millis(40));
+        assert_eq!(
+            m.sample(&mut rng, RegionId(9), RegionId(7)),
+            Dur::from_millis(40)
+        );
     }
 }

@@ -140,7 +140,14 @@ impl Mul<f64> for Dur {
 impl std::fmt::Debug for SimTime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = self.as_secs();
-        write!(f, "T+{:02}d{:02}:{:02}:{:02}", s / 86400, (s / 3600) % 24, (s / 60) % 60, s % 60)
+        write!(
+            f,
+            "T+{:02}d{:02}:{:02}:{:02}",
+            s / 86400,
+            (s / 3600) % 24,
+            (s / 60) % 60,
+            s % 60
+        )
     }
 }
 

@@ -46,7 +46,10 @@ fn main() {
         campaign.sim.schedule_command(
             t + Dur::from_secs(4 * n as u64),
             campaign.webuser,
-            EcoCmd::WebGet { frontend: campaign.frontends[*g], cid: *cid },
+            EcoCmd::WebGet {
+                frontend: campaign.frontends[*g],
+                cid: *cid,
+            },
         );
     }
     campaign.run_for(Dur::from_mins(10));

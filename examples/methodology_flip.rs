@@ -14,7 +14,10 @@ fn main() {
     let scenario = netgen::build(ScenarioConfig::tiny(21));
     let mut campaign = Campaign::new(
         scenario,
-        CampaignOptions { with_workload: false, ..Default::default() },
+        CampaignOptions {
+            with_workload: false,
+            ..Default::default()
+        },
     );
     campaign.run_for(Dur::from_hours(4));
 

@@ -16,15 +16,17 @@ fn main() {
     let scenario = netgen::build(ScenarioConfig::tiny(33));
     let mut campaign = Campaign::new(
         scenario,
-        CampaignOptions { with_workload: false, ..Default::default() },
+        CampaignOptions {
+            with_workload: false,
+            ..Default::default()
+        },
     );
     campaign.run_for(Dur::from_hours(8));
 
     // Pick NAT-ed clients that are online right now and make them publish.
     let mut publishers = Vec::new();
     for (i, spec) in campaign.scenario.nodes.iter().enumerate() {
-        if spec.segment == Segment::NatClient
-            && campaign.sim.core().is_online(campaign.node_ids[i])
+        if spec.segment == Segment::NatClient && campaign.sim.core().is_online(campaign.node_ids[i])
         {
             publishers.push(i);
         }
@@ -32,7 +34,10 @@ fn main() {
             break;
         }
     }
-    println!("publishing from {} NAT-ed clients via their relays…", publishers.len());
+    println!(
+        "publishing from {} NAT-ed clients via their relays…",
+        publishers.len()
+    );
     let mut cids = Vec::new();
     for (n, &i) in publishers.iter().enumerate() {
         let cid = Cid::from_seed(0x4A70_0000 + n as u64);
@@ -67,7 +72,11 @@ fn main() {
                             "{}…  NAT-ed provider via relay {} ({})",
                             &cid.to_string_canonical()[..16],
                             relay_ip,
-                            if is_cloud(relay_ip) { "cloud" } else { "non-cloud" }
+                            if is_cloud(relay_ip) {
+                                "cloud"
+                            } else {
+                                "non-cloud"
+                            }
                         );
                     }
                 }

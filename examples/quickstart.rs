@@ -48,10 +48,9 @@ fn main() {
 
     // 5. Attribute with the cloud database and the A-N counting methodology.
     let dbs = &campaign.scenario.dbs;
-    let an = shares(&an_cloud_status(
-        std::slice::from_ref(snap),
-        |ip| dbs.cloud.lookup(ip).is_some(),
-    ));
+    let an = shares(&an_cloud_status(std::slice::from_ref(snap), |ip| {
+        dbs.cloud.lookup(ip).is_some()
+    }));
     println!(
         "cloud share of the typical snapshot (A-N): {:.1}%  (paper: 79.6%)",
         an.get(&CloudStatus::Cloud).copied().unwrap_or(0.0) * 100.0

@@ -13,7 +13,10 @@ fn full_pipeline_reproduces_methodology_flip() {
     let scenario = netgen::build(ScenarioConfig::tiny(101));
     let mut c = Campaign::new(
         scenario,
-        CampaignOptions { with_workload: false, ..Default::default() },
+        CampaignOptions {
+            with_workload: false,
+            ..Default::default()
+        },
     );
     c.run_for(Dur::from_hours(4));
     for _ in 0..5 {
@@ -39,7 +42,10 @@ fn crawl_graph_is_robust_to_random_removal() {
     let scenario = netgen::build(ScenarioConfig::tiny(102));
     let mut c = Campaign::new(
         scenario,
-        CampaignOptions { with_workload: false, ..Default::default() },
+        CampaignOptions {
+            with_workload: false,
+            ..Default::default()
+        },
     );
     c.run_for(Dur::from_hours(6));
     let idx = c.crawl(Dur::from_mins(30));
@@ -49,7 +55,11 @@ fn crawl_graph_is_robust_to_random_removal() {
     let targeted = g.resilience(RemovalStrategy::TargetedByDegree, 20);
     // Fig. 8 shape: random removal barely dents the LCC at 50% removed;
     // targeted removal partitions strictly earlier than random.
-    assert!(random.lcc_at(0.5) > 0.85, "random lcc@0.5 {}", random.lcc_at(0.5));
+    assert!(
+        random.lcc_at(0.5) > 0.85,
+        "random lcc@0.5 {}",
+        random.lcc_at(0.5)
+    );
     assert!(
         targeted.partition_point(0.05) <= random.partition_point(0.05),
         "targeted must partition no later than random"
@@ -67,7 +77,10 @@ fn workload_feeds_every_measurement_modality() {
     let hydra = c.hydra_log();
     assert!(!hydra.is_empty(), "hydra log empty");
     let classes: std::collections::HashSet<_> = hydra.iter().map(|e| e.class).collect();
-    assert!(classes.len() >= 2, "expected multiple traffic classes: {classes:?}");
+    assert!(
+        classes.len() >= 2,
+        "expected multiple traffic classes: {classes:?}"
+    );
     // Provider records resolvable for recently requested CIDs.
     let last_ts = c.monitor_log().last().unwrap().ts;
     let recent: Vec<_> = {
@@ -95,7 +108,10 @@ fn dns_and_ens_substrates_feed_entry_point_analyses() {
     assert!(stats.valid_dnslink > 0);
     assert!(!findings.is_empty());
     // Every finding resolves to at least one IP or aliases a gateway.
-    let with_ips = findings.iter().filter(|f| !f.gateway_ips.is_empty()).count();
+    let with_ips = findings
+        .iter()
+        .filter(|f| !f.gateway_ips.is_empty())
+        .count();
     assert!(with_ips as f64 > findings.len() as f64 * 0.9);
     // ENS extraction.
     let (records, estats) = tcsb::ens::extract_ipfs_records(&scenario.ens_resolvers, 500);

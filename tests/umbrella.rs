@@ -1,0 +1,39 @@
+//! Workspace-level smoke test: the `tcsb` umbrella crate must re-export
+//! every member under its documented name, and the re-exported pieces must
+//! compose (a tiny campaign constructs and runs).
+
+use simnet::Dur;
+
+#[test]
+fn umbrella_reexports_resolve() {
+    // Each member is reachable through the umbrella; these are type-level
+    // assertions — failing to resolve is a compile error.
+    let _crawler: Option<tcsb::core::Crawler> = None;
+    let _key: tcsb::ipfs_types::Key256 = tcsb::ipfs_types::Key256::ZERO;
+    let _dur: tcsb::simnet::Dur = tcsb::simnet::Dur::ZERO;
+    let _cfg: tcsb::netgen::ScenarioConfig = tcsb::netgen::ScenarioConfig::tiny(1);
+    let _table_cfg = tcsb::kademlia::TableConfig::default();
+    let _store = tcsb::bitswap::MemoryBlockstore::default();
+    let _db = tcsb::clouddb::CloudDb::new();
+    let _zone = tcsb::dnslink::DnsZoneDb::default();
+    let _reg = tcsb::ens::Registry::default();
+    let _node_cfg = tcsb::ipfs_node::NodeConfig::regular(1);
+    let _scale = tcsb::experiments::Scale::Tiny;
+}
+
+#[test]
+fn umbrella_campaign_constructs_and_runs() {
+    let scenario = tcsb::netgen::build(tcsb::netgen::ScenarioConfig::tiny(3));
+    assert!(!scenario.nodes.is_empty(), "tiny scenario has nodes");
+    let mut campaign = tcsb::core::Campaign::new(
+        scenario,
+        tcsb::core::CampaignOptions {
+            with_workload: false,
+            ..Default::default()
+        },
+    );
+    campaign.run_for(Dur::from_hours(2));
+    let idx = campaign.crawl(Dur::from_mins(20));
+    let snap = &campaign.snapshots()[idx];
+    assert!(!snap.peers.is_empty(), "crawl discovered peers");
+}

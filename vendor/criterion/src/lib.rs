@@ -1,0 +1,166 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `Criterion::bench_function` + `Bencher::iter`, the `criterion_group!` /
+//! `criterion_main!` macros, and `black_box`.
+//!
+//! Methodology (simplified from the real crate): each benchmark is warmed
+//! up for `warm_up_time`, then `sample_size` samples are taken, each sized
+//! so one sample runs long enough to time reliably; the median per-iteration
+//! time is printed. No statistics files, no HTML report, no comparison with
+//! prior runs — enough to watch hot-path numbers move during development
+//! and to keep the bench tree compiling honestly in CI.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, discarding its output via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Size each sample so the whole measurement fits the budget.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<45} (no samples — Bencher::iter never called)");
+            return;
+        }
+        self.samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let lo = self.samples_ns[0];
+        let hi = self.samples_ns[self.samples_ns.len() - 1];
+        println!(
+            "{name:<45} time: [{} {} {}]",
+            format_ns(lo),
+            format_ns(median),
+            format_ns(hi)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group. Both criterion forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,132 @@
+//! Collection strategies (`vec`, `btree_map`, `btree_set`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Collection size specification: a fixed size or a half-open range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            rng.random_range(self.lo..self.hi)
+        }
+    }
+}
+
+/// `Vec<T>` with element strategy `elem` and length drawn from `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+/// `BTreeMap<K, V>`; duplicate keys collapse, so the map may be smaller
+/// than the drawn size (matching real proptest semantics loosely).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V> {
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> BTreeMap<K::Value, V::Value> {
+        let n = self.size.sample(rng);
+        (0..n)
+            .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+            .collect()
+    }
+}
+
+/// `BTreeSet<T>`; duplicates collapse.
+pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+    BTreeSetStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,116 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Each `proptest!` test function becomes a deterministic loop: the RNG is
+//! seeded from the test's module path and name, `cases` inputs are drawn
+//! from the argument strategies, and the body runs with plain `assert!`
+//! semantics (`prop_assert*` maps to `assert*`). Failing inputs are
+//! reported through the panic message of the assertion itself; there is no
+//! shrinking — acceptable for a CI gate, and the determinism means a
+//! failure always reproduces.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Any, Just, Strategy};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration. Only `cases` is honoured by the shim.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG for one named test.
+pub fn rng_for(test_path: &str) -> StdRng {
+    // FNV-1a over the path: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Strategy for any value of `T`'s canonical distribution.
+pub fn any<T: strategy::Arbitrary>() -> Any<T> {
+    Any::new()
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Arbitrary, Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests. Supports the standard forms:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in any::<u64>(), v in collection::vec(any::<u8>(), 0..32)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for the subset of the `rand` crate API this workspace
+//! uses: [`Rng`] / [`RngExt`] / [`SeedableRng`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom`]. The build environment has no registry access, so
+//! this shim keeps the workspace self-contained; the surface mirrors
+//! `rand 0.9` naming (`random`, `random_range`, `random_bool`) closely
+//! enough that swapping the real crate back in is a manifest-only change.
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64 — deterministic,
+//! fast, and statistically strong enough for the simulator's latency
+//! jitter, churn sampling, and shuffles (the workspace's own tests assert
+//! the first two moments of derived distributions).
+
+pub mod rngs;
+pub mod seq;
+
+mod distr;
+pub use distr::StandardSample;
+
+/// Core random-number source. Everything else is derived from `next_u64`.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of `next_u64`).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Sample a value of a type with a canonical uniform distribution
+    /// (`f64` in `[0, 1)`, full-range integers, fair `bool`).
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform sample from a (half-open or inclusive) range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng> RngExt for R {}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Element types `random_range` can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Ranges that can produce a uniform sample of `T`. Blanket-implemented
+/// over [`SampleUniform`] so integer literals in a range unify with the
+/// expected output type (mirrors the real rand's inference behaviour).
+pub trait SampleRange<T> {
+    /// Draw one sample using `rng`.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "empty range in random_range");
+                let span = lo.abs_diff(hi) as u128;
+                // Multiply-shift keeps the draw unbiased enough for
+                // simulation purposes without a rejection loop.
+                let x = rng.next_u64() as u128;
+                lo.wrapping_add(((x * span) >> 64) as $t)
+            }
+            fn sample_inclusive<R: Rng>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "empty range in random_range");
+                let span = lo.abs_diff(hi) as u128 + 1;
+                let x = rng.next_u64() as u128;
+                lo.wrapping_add(((x * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range in random_range");
+        lo + (hi - lo) * f64::sample_standard(rng)
+    }
+    fn sample_inclusive<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "empty range in random_range");
+        lo + (hi - lo) * f64::sample_standard(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(-3i32..=3);
+            assert!((-3..=3).contains(&w));
+            let f = rng.random_range(-0.5f64..0.5);
+            assert!((-0.5..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_f64_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

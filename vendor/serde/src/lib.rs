@@ -1,0 +1,56 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The real serde is a streaming framework; this shim goes through an
+//! explicit JSON-like [`Value`] tree instead, which keeps the derive macro
+//! (see `vendor/serde_derive`) small enough to write without `syn`. The
+//! public names match serde — `Serialize`, `Deserialize` (with the `'de`
+//! lifetime so `for<'de> Deserialize<'de>` bounds compile unchanged), and
+//! `#[derive(Serialize, Deserialize)]` — so member crates need no edits
+//! when the real crates are restored.
+//!
+//! Encoding conventions (mirroring serde's JSON defaults):
+//! * named structs → objects keyed by field name;
+//! * newtype structs → the inner value, transparently;
+//! * tuple structs (> 1 field) → arrays;
+//! * unit enum variants → the variant name as a string;
+//! * data enum variants → `{"Variant": payload}` (externally tagged);
+//! * `Option` → `null` / payload; IP and socket addresses → display strings.
+
+mod error;
+mod impls;
+mod value;
+
+pub use error::Error;
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Convert `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree for this datum.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+///
+/// The `'de` lifetime is unused by the tree-based shim but kept so that
+/// standard bounds like `for<'de> Deserialize<'de>` compile as written.
+pub trait Deserialize<'de>: Sized {
+    /// Parse the value tree into this type.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Fetch a required field from an object, with a type-name-qualified error.
+/// Used by generated `Deserialize` impls.
+pub fn obj_get<'v>(
+    fields: &'v [(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<&'v Value, Error> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::new(format!("missing field `{name}` for {ty}")))
+}

@@ -1,0 +1,146 @@
+//! The JSON-shaped value tree all (de)serialization flows through.
+
+/// A number: unsigned, signed, or floating. Integers are kept exact so
+/// `u64` identifiers and nanosecond timestamps round-trip losslessly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// As u64, if exactly representable.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U(v) => Some(v),
+            Number::I(v) => u64::try_from(v).ok(),
+            // Strict `<`: `u64::MAX as f64` rounds up to 2^64, which is out
+            // of range; every integral float below it is exactly castable.
+            Number::F(v) if v >= 0.0 && v.fract() == 0.0 && v < u64::MAX as f64 => Some(v as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// As i64, if exactly representable.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::I(v) => Some(v),
+            // `i64::MIN as f64` is exactly -2^63; `i64::MAX as f64` rounds
+            // up to 2^63, so the upper bound must be strict.
+            Number::F(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v < i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+
+    /// As f64 (always possible, possibly lossy for huge integers).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+}
+
+/// A JSON-shaped tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any numeric literal.
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as object fields.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrow as array elements.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow as string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Copy out a number.
+    pub fn as_num(&self) -> Option<Number> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Total order over value trees, used to emit unordered collections
+/// (e.g. `HashMap`) deterministically. Variants order before one another
+/// by kind; numbers compare by `f64::total_cmp` of their lossy projection,
+/// which is adequate for ordering (not equality) purposes.
+pub(crate) fn value_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+
+    fn kind(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Num(_) => 2,
+            Value::Str(_) => 3,
+            Value::Arr(_) => 4,
+            Value::Obj(_) => 5,
+        }
+    }
+
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Num(x), Value::Num(y)) => x.as_f64().total_cmp(&y.as_f64()),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Arr(x), Value::Arr(y)) => {
+            for (i, j) in x.iter().zip(y.iter()) {
+                let ord = value_cmp(i, j);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Obj(x), Value::Obj(y)) => {
+            for ((ka, va), (kb, vb)) in x.iter().zip(y.iter()) {
+                let ord = ka.cmp(kb).then_with(|| value_cmp(va, vb));
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ => kind(a).cmp(&kind(b)),
+    }
+}

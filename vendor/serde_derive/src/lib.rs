@@ -1,0 +1,219 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! The registry is unreachable in this build environment, so there is no
+//! `syn`/`quote`; instead the derive input is parsed with a small
+//! hand-rolled reader over `proc_macro::TokenStream` and the impls are
+//! emitted as source strings. Supported shapes — the ones this workspace
+//! actually derives — are non-generic named structs, tuple structs, unit
+//! structs, and enums with unit / tuple / struct variants.
+
+use proc_macro::TokenStream;
+
+mod parse;
+
+use parse::{Fields, Input, Variant};
+
+/// Derive `serde::Serialize` (tree-based shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = Input::parse(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (tree-based shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = Input::parse(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        parse::Data::Struct(fields) => ser_fields_body(fields, "self"),
+        parse::Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&ser_variant_arm(name, v));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_fields_body(fields: &Fields, this: &str) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => format!("::serde::Serialize::to_value(&{this}.0)"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&{this}.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{this}.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => {
+            format!("{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n")
+        }
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Obj(vec![(\"{vname}\".to_string(), {payload})]),\n",
+                binds.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"))
+                .collect();
+            format!(
+                "{name}::{vname} {{ {} }} => ::serde::Value::Obj(vec![(\"{vname}\".to_string(), ::serde::Value::Obj(vec![{}]))]),\n",
+                fields.join(", "),
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        parse::Data::Struct(fields) => de_struct_body(name, fields),
+        parse::Data::Enum(variants) => de_enum_body(name, variants),
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+        Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let items = v.as_arr().ok_or_else(|| ::serde::Error::new(\"expected array for {name}\"))?;\n\
+                   if items.len() != {n} {{ return Err(::serde::Error::new(\"wrong arity for {name}\")); }}\n\
+                   Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::obj_get(fields, \"{f}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let fields = v.as_obj().ok_or_else(|| ::serde::Error::new(\"expected object for {name}\"))?;\n\
+                   Ok({name} {{ {} }}) }}",
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+            }
+            Fields::Tuple(1) => {
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?)),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                        let items = payload.as_arr().ok_or_else(|| ::serde::Error::new(\"expected array payload for {name}::{vname}\"))?;\n\
+                        if items.len() != {n} {{ return Err(::serde::Error::new(\"wrong arity for {name}::{vname}\")); }}\n\
+                        Ok({name}::{vname}({}))\n\
+                     }},\n",
+                    items.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::obj_get(inner, \"{f}\", \"{name}::{vname}\")?)?"
+                        )
+                    })
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                        let inner = payload.as_obj().ok_or_else(|| ::serde::Error::new(\"expected object payload for {name}::{vname}\"))?;\n\
+                        Ok({name}::{vname} {{ {} }})\n\
+                     }},\n",
+                    items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match v {{\n\
+            ::serde::Value::Str(s) => match s.as_str() {{\n\
+                {unit_arms}\n\
+                other => Err(::serde::Error::new(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+            }},\n\
+            ::serde::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                let (tag, payload) = (&fields[0].0, &fields[0].1);\n\
+                match tag.as_str() {{\n\
+                    {data_arms}\n\
+                    other => Err(::serde::Error::new(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                }}\n\
+            }},\n\
+            _ => Err(::serde::Error::new(\"expected string or single-key object for {name}\")),\n\
+        }}"
+    )
+}

@@ -1,0 +1,236 @@
+//! Minimal derive-input parser over `proc_macro::TokenStream`.
+//!
+//! Handles exactly the shapes this workspace derives: non-generic structs
+//! (named / tuple / unit) and enums (unit / tuple / struct variants), with
+//! arbitrary attributes and visibility qualifiers skipped. Generic types
+//! are rejected with a panic so a future use fails loudly at compile time
+//! rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field shape of a struct or enum variant.
+pub enum Fields {
+    /// No payload.
+    Unit,
+    /// `(T, U, ...)` — arity only; types are irrelevant to codegen.
+    Tuple(usize),
+    /// `{ a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+}
+
+/// One enum variant.
+pub struct Variant {
+    /// Variant identifier.
+    pub name: String,
+    /// Payload shape.
+    pub fields: Fields,
+}
+
+/// Struct vs enum payload.
+pub enum Data {
+    /// A struct's fields.
+    Struct(Fields),
+    /// An enum's variants.
+    Enum(Vec<Variant>),
+}
+
+/// Parsed derive input.
+pub struct Input {
+    /// Type name.
+    pub name: String,
+    /// Shape.
+    pub data: Data,
+}
+
+struct Reader {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Reader {
+    fn new(stream: TokenStream) -> Reader {
+        Reader {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let tt = self.tokens.get(self.pos).cloned();
+        if tt.is_some() {
+            self.pos += 1;
+        }
+        tt
+    }
+
+    /// Skip `#[...]` attributes and `pub` / `pub(...)` qualifiers.
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            self.bump();
+                        }
+                        _ => panic!("serde_derive shim: malformed attribute"),
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    self.bump();
+                    if let Some(TokenTree::Group(g)) = self.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            self.bump();
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected {what}, got {other:?}"),
+        }
+    }
+}
+
+impl Input {
+    /// Parse a derive input stream.
+    pub fn parse(stream: TokenStream) -> Input {
+        let mut r = Reader::new(stream);
+        r.skip_attrs_and_vis();
+        let kind = r.expect_ident("`struct` or `enum`");
+        let name = r.expect_ident("type name");
+        if let Some(TokenTree::Punct(p)) = r.peek() {
+            if p.as_char() == '<' {
+                panic!("serde_derive shim: generic type `{name}` is not supported");
+            }
+        }
+        let data = match kind.as_str() {
+            "struct" => Data::Struct(parse_struct_fields(&mut r)),
+            "enum" => Data::Enum(parse_enum_variants(&mut r)),
+            other => panic!("serde_derive shim: cannot derive for `{other}`"),
+        };
+        Input { name, data }
+    }
+}
+
+fn parse_struct_fields(r: &mut Reader) -> Fields {
+    match r.bump() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(named_field_names(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        None => Fields::Unit,
+        other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+    }
+}
+
+/// Field names of a `{ ... }` body: the identifier immediately before each
+/// top-level `:`; everything after it (the type) is skipped up to the next
+/// top-level comma. Angle-bracket depth is tracked because generic
+/// arguments (`BTreeMap<K, V>`) contain commas that are *not* field
+/// separators, while `[u8; 32]`-style types hide their separators inside
+/// groups, which the token model already treats as atomic.
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    let mut r = Reader::new(stream);
+    let mut names = Vec::new();
+    loop {
+        r.skip_attrs_and_vis();
+        let name = match r.bump() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        match r.bump() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field, got {other:?}"),
+        }
+        names.push(name);
+        skip_type_until_comma(&mut r);
+    }
+    names
+}
+
+fn skip_type_until_comma(r: &mut Reader) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = r.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                r.bump();
+                return;
+            }
+            _ => {}
+        }
+        r.bump();
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_enum_variants(r: &mut Reader) -> Vec<Variant> {
+    let body = match r.bump() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+    };
+    let mut r = Reader::new(body);
+    let mut variants = Vec::new();
+    loop {
+        r.skip_attrs_and_vis();
+        let name = match r.bump() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        let fields = match r.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                r.bump();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = named_field_names(g.stream());
+                r.bump();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_type_until_comma(&mut r);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}

@@ -1,0 +1,86 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`to_string`] and [`from_str`], layered over the serde shim's
+//! [`serde::Value`] tree. Strings are escaped per RFC 8259 (the subset a
+//! round-trip needs: control characters, quotes, backslashes, `\uXXXX`).
+
+mod parse;
+mod write;
+
+pub use serde::Error;
+
+use serde::{Deserialize, Serialize};
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::value_to_string(&value.to_value()))
+}
+
+/// Deserialize a `T` from a JSON string.
+pub fn from_str<T: for<'de> Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let v = parse::parse(s)?;
+    T::from_value(&v)
+}
+
+/// Parse a JSON string into a raw value tree.
+pub fn from_str_value(s: &str) -> Result<serde::Value, Error> {
+    parse::parse(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Number, Value};
+
+    #[test]
+    fn scalar_roundtrip() {
+        for (txt, val) in [
+            ("null", Value::Null),
+            ("true", Value::Bool(true)),
+            ("42", Value::Num(Number::U(42))),
+            ("-7", Value::Num(Number::I(-7))),
+            ("\"hi\"", Value::Str("hi".into())),
+        ] {
+            assert_eq!(from_str_value(txt).unwrap(), val);
+            assert_eq!(from_str_value(&write::value_to_string(&val)).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        let back: Vec<u64> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+
+        let opt: Option<String> = Some("a\"b\\c\n".into());
+        let back: Option<String> = from_str(&to_string(&opt).unwrap()).unwrap();
+        assert_eq!(back, opt);
+    }
+
+    #[test]
+    fn float_and_unicode() {
+        let s = to_string(&1.5f64).unwrap();
+        let f: f64 = from_str(&s).unwrap();
+        assert_eq!(f, 1.5);
+        let text = "héllo ☃";
+        let back: String = from_str(&to_string(text).unwrap()).unwrap();
+        assert_eq!(back, text);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str_value("{not json}").is_err());
+        assert!(from_str_value("[1,]").is_err());
+        assert!(from_str_value("").is_err());
+        assert!(from_str_value("1 2").is_err());
+    }
+
+    #[test]
+    fn nested_objects() {
+        let v = from_str_value(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj.len(), 2);
+        assert_eq!(obj[0].0, "a");
+    }
+}
