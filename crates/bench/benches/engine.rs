@@ -1,0 +1,202 @@
+//! Engine throughput benches: the timer-wheel scheduler and connection
+//! fabric under synthetic load, plus a real ecosystem campaign slice.
+//!
+//! Besides the criterion timings printed per bench, this harness writes
+//! `BENCH_engine.json` (events/sec, peak queue depth per workload) so the
+//! scheduler's perf trajectory is tracked in-repo from PR to PR — CI runs
+//! this in quick mode and uploads the file as an artifact.
+
+use criterion::{black_box, criterion_group, Criterion};
+use simnet::{
+    Actor, Ctx, Dur, LatencyModel, NodeId, NodeSetup, Sim, SimConfig, SimStats, SimTime, TimerWheel,
+};
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+/// Ping-pong actor: every received message is answered until a hop budget
+/// runs out — a pure scheduler/connection-fabric load with no protocol
+/// logic.
+struct Pong;
+
+impl Actor for Pong {
+    type Msg = u32;
+    type Cmd = u32;
+
+    fn on_command(&mut self, ctx: &mut Ctx<'_, u32, u32>, peer: u32) {
+        ctx.dial(NodeId(peer));
+    }
+
+    fn on_dial_result(&mut self, ctx: &mut Ctx<'_, u32, u32>, target: NodeId, ok: bool, _: bool) {
+        if ok {
+            ctx.send(target, 0);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, from: NodeId, msg: u32) {
+        if msg < 400 {
+            ctx.send(from, msg + 1);
+        }
+    }
+}
+
+/// Timer-storm actor: every fired timer re-arms across three horizons
+/// (near wheel, coarse wheel, far heap).
+struct Storm;
+
+impl Actor for Storm {
+    type Msg = ();
+    type Cmd = ();
+
+    fn on_command(&mut self, ctx: &mut Ctx<'_, (), ()>, _cmd: ()) {
+        for t in 0..8u64 {
+            ctx.set_timer(Dur::from_millis(3 + t), t);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, (), ()>, token: u64) {
+        let delay = match token % 3 {
+            0 => Dur::from_millis(5), // near band
+            1 => Dur::from_secs(40),  // coarse band
+            _ => Dur::from_hours(11), // far band
+        };
+        ctx.set_timer(delay, token + 1);
+    }
+}
+
+fn pingpong_sim(pairs: u32) -> Sim<Pong> {
+    let mut s: Sim<Pong> = Sim::new(
+        SimConfig::default(),
+        LatencyModel::uniform(Dur::from_millis(25), 0.2),
+        1,
+    );
+    for i in 0..pairs * 2 {
+        let ip = Ipv4Addr::new(10, 2, (i / 256) as u8, (i % 256) as u8);
+        s.add_node(Pong, NodeSetup::public(ip));
+    }
+    for p in 0..pairs {
+        s.schedule_command(SimTime::ZERO, NodeId(2 * p), 2 * p + 1);
+    }
+    s
+}
+
+fn storm_sim(nodes: u32) -> Sim<Storm> {
+    let mut s: Sim<Storm> = Sim::new(
+        SimConfig::default(),
+        LatencyModel::uniform(Dur::from_millis(10), 0.0),
+        2,
+    );
+    for i in 0..nodes {
+        let ip = Ipv4Addr::new(10, 3, (i / 256) as u8, (i % 256) as u8);
+        s.add_node(Storm, NodeSetup::public(ip));
+    }
+    for i in 0..nodes {
+        s.schedule_command(SimTime::ZERO, NodeId(i), ());
+    }
+    s
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_pingpong_256pairs", |b| {
+        b.iter(|| {
+            let mut s = pingpong_sim(256);
+            s.run_for(Dur::from_secs(30));
+            black_box(s.core().stats.events)
+        })
+    });
+    c.bench_function("engine_timer_storm_512", |b| {
+        b.iter(|| {
+            let mut s = storm_sim(512);
+            s.run_for(Dur::from_mins(5));
+            black_box(s.core().stats.events)
+        })
+    });
+    c.bench_function("wheel_push_pop_mixed_100k", |b| {
+        b.iter(|| {
+            let mut w: TimerWheel<u64> = TimerWheel::new();
+            let mut now = 0u64;
+            for i in 0..100_000u64 {
+                // Mixed horizons: µs jitter, seconds, hours.
+                let delay = match i % 5 {
+                    0..=2 => (i * 7919) % 2_000_000,
+                    3 => 1_000_000_000 + (i * 104_729) % 60_000_000_000,
+                    _ => 3_600_000_000_000 + (i * 15_485_863) % 36_000_000_000_000,
+                };
+                w.push(simnet::SimTime(now + delay), i, i);
+                if i % 2 == 0 {
+                    if let Some((t, _, v)) = w.pop() {
+                        now = t.0;
+                        black_box(v);
+                    }
+                }
+            }
+            while let Some((_, _, v)) = w.pop() {
+                black_box(v);
+            }
+        })
+    });
+}
+
+/// One measured workload line in `BENCH_engine.json`.
+fn measure<A: Actor>(mut sim: Sim<A>, horizon: Dur) -> (SimStats, f64) {
+    let t = Instant::now();
+    sim.run_for(horizon);
+    (sim.core().stats.clone(), t.elapsed().as_secs_f64())
+}
+
+fn json_line(name: &str, stats: &SimStats, wall: f64) -> String {
+    format!(
+        "  \"{name}\": {{ \"events\": {}, \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}, \
+\"peak_queue_len\": {}, \"msgs_delivered\": {} }}",
+        stats.events,
+        wall,
+        stats.events as f64 / wall.max(1e-9),
+        stats.peak_queue_len,
+        stats.msgs_delivered
+    )
+}
+
+fn write_engine_json() {
+    let (pp_stats, pp_wall) = measure(pingpong_sim(512), Dur::from_secs(60));
+    let (st_stats, st_wall) = measure(storm_sim(1024), Dur::from_mins(10));
+
+    // A real ecosystem slice: tiny scenario, first 12 virtual hours.
+    let scenario = netgen::build(netgen::ScenarioConfig::tiny(7));
+    let mut campaign = tcsb_core::Campaign::new(
+        scenario,
+        tcsb_core::CampaignOptions {
+            with_workload: true,
+            ..Default::default()
+        },
+    );
+    let t = Instant::now();
+    campaign.run_for(Dur::from_hours(12));
+    let camp_wall = t.elapsed().as_secs_f64();
+    let camp_stats = campaign.sim.core().stats.clone();
+
+    let body = format!(
+        "{{\n  \"schema\": \"tcsb-bench-engine/1\",\n{},\n{},\n{}\n}}\n",
+        json_line("pingpong_512pairs_60s", &pp_stats, pp_wall),
+        json_line("timer_storm_1024_10min", &st_stats, st_wall),
+        json_line("campaign_tiny_12h", &camp_stats, camp_wall),
+    );
+    // `cargo bench` runs with the package dir as CWD; anchor the file at the
+    // workspace root where CI (and readers) expect it.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let path = root.join("BENCH_engine.json");
+    std::fs::write(&path, &body).expect("write BENCH_engine.json");
+    println!("wrote {}:\n{body}", path.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_engine
+}
+
+fn main() {
+    benches();
+    write_engine_json();
+}

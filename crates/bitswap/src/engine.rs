@@ -11,8 +11,8 @@
 use crate::messages::{BitswapMessage, Block, WantEntry, WantType};
 use crate::store::MemoryBlockstore;
 use ipfs_types::{Cid, PeerId};
+use ipfs_types::{FxHashMap as HashMap, FxHashSet as HashSet};
 use simnet::SimTime;
-use std::collections::{HashMap, HashSet};
 
 /// Per-peer accounting, as in the go-bitswap ledger.
 #[derive(Clone, Debug, Default)]
@@ -115,7 +115,7 @@ impl Bitswap {
         let mut session = FetchSession {
             cid,
             started: now,
-            asked: HashSet::new(),
+            asked: HashSet::default(),
             haves: Vec::new(),
             dont_haves: 0,
             requested_from: None,
@@ -142,7 +142,7 @@ impl Bitswap {
         let session = self.sessions.entry(cid).or_insert_with(|| FetchSession {
             cid,
             started: now,
-            asked: HashSet::new(),
+            asked: HashSet::default(),
             haves: Vec::new(),
             dont_haves: 0,
             requested_from: None,

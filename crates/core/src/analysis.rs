@@ -388,7 +388,7 @@ where
     let mut cloud = 0usize;
     let mut noncloud = 0usize;
     for rec in records {
-        for addr in &rec.addrs {
+        for addr in rec.addrs.iter() {
             if addr.is_circuit() {
                 any_circuit = true;
             } else if let Some(ip) = addr.ip4() {
@@ -585,7 +585,7 @@ mod tests {
         ProviderRecord {
             cid,
             provider: PeerId::from_seed(provider),
-            addrs,
+            addrs: addrs.into(),
             endpoint: NodeId(provider as u32),
             relay_endpoint: None,
             stored_at: SimTime::ZERO,

@@ -10,11 +10,11 @@
 //! like the ~30% the paper reports.
 
 use ipfs_node::WireMsg;
+use ipfs_types::{FxHashMap as HashMap, FxHashSet as HashSet};
 use ipfs_types::{Multiaddr, PeerId};
 use kademlia::{DhtBody, DhtMessage, DhtRequest, DhtResponse, PeerInfo};
 use serde::{Deserialize, Serialize};
 use simnet::{Ctx, Dur, NodeId, SimTime};
-use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 /// Crawler tuning.
@@ -143,12 +143,12 @@ impl Crawler {
             crawl_id: 0,
             started: SimTime::ZERO,
             active: false,
-            targets: HashMap::new(),
-            by_endpoint: HashMap::new(),
-            dialing: HashSet::new(),
-            pending: HashMap::new(),
+            targets: HashMap::default(),
+            by_endpoint: HashMap::default(),
+            dialing: HashSet::default(),
+            pending: HashMap::default(),
             next_req: 1,
-            seen_addrs: HashMap::new(),
+            seen_addrs: HashMap::default(),
             snapshots: Vec::new(),
         }
     }
@@ -161,7 +161,7 @@ impl Crawler {
     fn my_info<C: std::fmt::Debug>(&self, ctx: &Ctx<'_, WireMsg, C>) -> PeerInfo {
         PeerInfo {
             id: self.my_id,
-            addrs: vec![],
+            addrs: kademlia::no_addrs(),
             endpoint: ctx.me(),
         }
     }
@@ -192,7 +192,7 @@ impl Crawler {
                         ctx,
                         PeerInfo {
                             id: peer,
-                            addrs: vec![],
+                            addrs: kademlia::no_addrs(),
                             endpoint: ep,
                         },
                     );
@@ -234,7 +234,7 @@ impl Crawler {
 
     fn record_addrs(&mut self, info: &PeerInfo) {
         let set = self.seen_addrs.entry(info.id).or_default();
-        for a in &info.addrs {
+        for a in info.addrs.iter() {
             if let Some(ip) = a.ip4() {
                 // For circuit addresses this records the relay IP, exactly
                 // like parsing real provider multiaddrs would.
@@ -412,7 +412,7 @@ impl Crawler {
                 agent: t.agent.clone(),
                 crawlable: t.crawlable,
             });
-            let mut seen_edge = HashSet::new();
+            let mut seen_edge = HashSet::default();
             for to in &t.edges {
                 if seen_edge.insert(*to) {
                     edges.push((*peer, *to));

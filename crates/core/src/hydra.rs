@@ -8,6 +8,7 @@
 //! as a DoS vector and as the reason Hydras dominate download traffic.
 
 use ipfs_node::WireMsg;
+use ipfs_types::FxHashMap as HashMap;
 use ipfs_types::{Cid, Key256, PeerId};
 use kademlia::{
     DhtBody, DhtMessage, DhtRequest, DhtResponse, Lookup, LookupConfig, LookupKind, PeerInfo,
@@ -15,7 +16,6 @@ use kademlia::{
 };
 use serde::{Deserialize, Serialize};
 use simnet::{Ctx, Dur, NodeId};
-use std::collections::HashMap;
 use std::net::SocketAddrV4;
 
 /// One Hydra log line.
@@ -96,9 +96,9 @@ impl Hydra {
                 ttl: Dur::from_hours(24),
                 max_per_key: 64,
             }),
-            lookups: HashMap::new(),
-            pending: HashMap::new(),
-            dial_queue: HashMap::new(),
+            lookups: HashMap::default(),
+            pending: HashMap::default(),
+            dial_queue: HashMap::default(),
             next_id: 1,
             bootstrap,
             log: Vec::new(),
@@ -114,7 +114,7 @@ impl Hydra {
             self.table.try_insert(
                 PeerInfo {
                     id: peer,
-                    addrs: vec![],
+                    addrs: kademlia::no_addrs(),
                     endpoint: ep,
                 },
                 ctx.now(),
@@ -126,7 +126,7 @@ impl Hydra {
     fn head_info<C: std::fmt::Debug>(&self, ctx: &Ctx<'_, WireMsg, C>, which: usize) -> PeerInfo {
         PeerInfo {
             id: self.heads[which % self.heads.len()],
-            addrs: vec![],
+            addrs: kademlia::no_addrs(),
             endpoint: ctx.me(),
         }
     }
@@ -153,7 +153,7 @@ impl Hydra {
             from,
             WireMsg::Identify {
                 id: info.id,
-                addrs: vec![],
+                addrs: kademlia::no_addrs(),
                 dht_server: true,
                 agent: "hydra-booster/0.7".to_string(),
             },
@@ -207,7 +207,7 @@ impl Hydra {
                     DhtResponse::Pong => (vec![], vec![]),
                 };
                 for info in &closer {
-                    self.table.try_insert(info.clone(), ctx.now());
+                    self.table.observe(info, ctx.now());
                 }
                 if let Some(l) = self.lookups.get_mut(&lookup_id) {
                     l.on_response(&peer.id, closer, providers);
@@ -246,7 +246,7 @@ impl Hydra {
         // Only DHT servers belong in routing tables — clients answering
         // nothing must stay invisible (§2).
         if sender_is_server {
-            self.table.try_insert(sender.clone(), ctx.now());
+            self.table.observe(sender, ctx.now());
         }
 
         let head = self.closest_head(&target.unwrap_or(Key256::ZERO));

@@ -1,20 +1,74 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro all   [--scale tiny|small|quick|paper] [--seed N] [--md PATH]
-//! repro table1|stats|fig03..fig08            # crawl-group artefacts
-//! repro fig09..fig16|fig17..fig20            # workload-group artefacts
+//! repro all   [--scale tiny|small|quick|stress|paper] [--seed N] [--md PATH]
+//! repro list                                  # enumerate artefacts
+//! repro table1|stats|fig03..fig08             # crawl-group artefacts
+//! repro fig09..fig16|fig17..fig20             # workload-group artefacts
 //! ```
 
-use experiments::{crawl_exp, entry_exp, traffic_exp, Scale};
+use experiments::{crawl_exp, entry_exp, traffic_exp, Scale, SCALES};
+
+/// Every producible artefact: `(name, what it regenerates)`.
+const ARTEFACTS: &[(&str, &str)] = &[
+    ("all", "every table and figure below, in paper order"),
+    ("table1", "Table 1 — counting-methodology worked example"),
+    ("stats", "§3/§4 crawl dataset statistics"),
+    ("fig03", "Fig. 3 — cloud share of DHT servers (A-N vs G-IP)"),
+    ("fig04", "Fig. 4 — cumulative crawls vs unique peers/IPs"),
+    ("fig05", "Fig. 5 — cloud provider attribution"),
+    ("fig06", "Fig. 6 — country attribution"),
+    ("fig07", "Fig. 7 — in-degree distribution"),
+    ("fig08", "Fig. 8 — resilience under node removal"),
+    ("fig09", "Fig. 9 — request frequency in days seen"),
+    ("fig10", "Fig. 10 — traffic share per peer (Lorenz)"),
+    ("fig11", "Fig. 11 — cloud share of DHT/Bitswap traffic"),
+    ("fig12", "Fig. 12 — cloud share of traffic IPs vs messages"),
+    ("fig13", "Fig. 13 — platform attribution of traffic"),
+    ("fig14", "Fig. 14 — provider population classes"),
+    ("fig15", "Fig. 15 — provider-record concentration"),
+    ("fig16", "Fig. 16 — CID cloud-exposure shares"),
+    ("fig17", "Fig. 17 — DNSLink gateway attribution"),
+    ("fig18", "Fig. 18 — gateway frontend attribution"),
+    ("fig19", "Fig. 19 — gateway frontend geolocation"),
+    ("fig20", "Fig. 20 — ENS content attribution"),
+];
+
+fn print_list() {
+    println!("artefacts:");
+    for (name, what) in ARTEFACTS {
+        println!("  {name:<8} {what}");
+    }
+    let scales: Vec<&str> = SCALES.iter().map(|s| s.name()).collect();
+    println!("\nscales: {} (default: small)", scales.join(", "));
+    println!("flags:  --scale <s>  --seed <u64>  --md <path (with `all`)>");
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: repro <all|list|table1|stats|figNN> \
+[--scale tiny|small|quick|stress|paper] [--seed N] [--md PATH]\n\
+       run `repro list` to see every artefact name"
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <all|table1|stats|figNN> [--scale tiny|small|quick|paper] [--seed N] [--md PATH]");
-        std::process::exit(2);
+        usage_and_exit();
     }
     let cmd = args[0].clone();
+    if cmd == "list" {
+        print_list();
+        return;
+    }
+    if !ARTEFACTS.iter().any(|(name, _)| *name == cmd) {
+        eprintln!("error: unknown artefact {cmd:?}");
+        eprintln!("       known artefacts: all, table1, stats, fig03..fig20");
+        eprintln!("       run `repro list` for the full annotated index");
+        std::process::exit(2);
+    }
     let mut scale = Scale::Small;
     let mut seed = 42u64;
     let mut md_path: Option<String> = None;
@@ -30,7 +84,11 @@ fn main() {
             "--scale" => {
                 let v = value_of(&args, i);
                 scale = Scale::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown scale {v:?}");
+                    let scales: Vec<&str> = SCALES.iter().map(|s| s.name()).collect();
+                    eprintln!(
+                        "error: unknown scale {v:?} (expected one of: {})",
+                        scales.join(", ")
+                    );
                     std::process::exit(2);
                 });
                 i += 2;
@@ -47,8 +105,8 @@ fn main() {
                 i += 2;
             }
             other => {
-                eprintln!("unknown flag {other}");
-                std::process::exit(2);
+                eprintln!("error: unknown flag {other}");
+                usage_and_exit();
             }
         }
     }
@@ -103,9 +161,6 @@ fn main() {
             };
             println!("{r}");
         }
-        other => {
-            eprintln!("unknown command {other}");
-            std::process::exit(2);
-        }
+        _ => unreachable!("validated against ARTEFACTS above"),
     }
 }

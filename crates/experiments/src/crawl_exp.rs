@@ -20,6 +20,10 @@ pub struct CrawlData {
     pub dbs: IpDatabases,
     /// Filebase agent string (top-in-degree attribution).
     pub n_cloud_planted: usize,
+    /// Engine counters at the end of the campaign (scheduler health).
+    pub engine: simnet::SimStats,
+    /// Host wall-clock seconds the campaign took.
+    pub wall_secs: f64,
 }
 
 /// Run the crawl campaign: `n_crawls` crawls spread over the scenario
@@ -27,6 +31,7 @@ pub struct CrawlData {
 pub fn collect(cfg: ScenarioConfig, n_crawls: usize) -> CrawlData {
     let n_cloud_planted = cfg.n_cloud;
     let scenario = netgen::build(cfg);
+    let started = std::time::Instant::now();
     let mut campaign = Campaign::new(
         scenario,
         CampaignOptions {
@@ -48,6 +53,8 @@ pub fn collect(cfg: ScenarioConfig, n_crawls: usize) -> CrawlData {
         snaps,
         dbs,
         n_cloud_planted,
+        engine: campaign.sim.core().stats.clone(),
+        wall_secs: started.elapsed().as_secs_f64(),
     }
 }
 

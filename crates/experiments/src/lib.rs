@@ -28,9 +28,22 @@ pub enum Scale {
     Small,
     /// Larger populations, 14 virtual days.
     Quick,
+    /// Scheduler stress test: thousands of nodes over a three-week virtual
+    /// campaign with a dense connection fabric (see
+    /// `ScenarioConfig::stress`).
+    Stress,
     /// Paper-scale opt-in.
     Paper,
 }
+
+/// Every scale, in increasing-cost order (drives `repro list`).
+pub const SCALES: [Scale; 5] = [
+    Scale::Tiny,
+    Scale::Small,
+    Scale::Quick,
+    Scale::Stress,
+    Scale::Paper,
+];
 
 impl Scale {
     /// The scenario preset for this scale.
@@ -39,6 +52,7 @@ impl Scale {
             Scale::Tiny => ScenarioConfig::tiny(seed),
             Scale::Small => ScenarioConfig::small(seed),
             Scale::Quick => ScenarioConfig::quick(seed),
+            Scale::Stress => ScenarioConfig::stress(seed),
             Scale::Paper => ScenarioConfig::paper(seed),
         }
     }
@@ -49,6 +63,7 @@ impl Scale {
             Scale::Tiny => 6,
             Scale::Small => 14,
             Scale::Quick => 28,
+            Scale::Stress => 42,
             Scale::Paper => 101,
         }
     }
@@ -59,6 +74,7 @@ impl Scale {
             Scale::Tiny => 60,
             Scale::Small => 250,
             Scale::Quick => 800,
+            Scale::Stress => 1500,
             Scale::Paper => 4000,
         }
     }
@@ -69,19 +85,25 @@ impl Scale {
             Scale::Tiny => 40,
             Scale::Small => 150,
             Scale::Quick => 400,
+            Scale::Stress => 800,
             Scale::Paper => 2000,
+        }
+    }
+
+    /// CLI flag spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Quick => "quick",
+            Scale::Stress => "stress",
+            Scale::Paper => "paper",
         }
     }
 
     /// Parse from CLI flag.
     pub fn parse(s: &str) -> Option<Scale> {
-        match s {
-            "tiny" => Some(Scale::Tiny),
-            "small" => Some(Scale::Small),
-            "quick" => Some(Scale::Quick),
-            "paper" => Some(Scale::Paper),
-            _ => None,
-        }
+        SCALES.into_iter().find(|sc| sc.name() == s)
     }
 }
 
@@ -101,6 +123,12 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<Report> {
     reports.push(crawl_exp::fig06(&crawl));
     reports.push(crawl_exp::fig07(&crawl));
     reports.push(crawl_exp::fig08(&crawl));
+    reports.push(report::engine_report(
+        "engine-crawl",
+        "Engine counters — crawl campaign",
+        &crawl.engine,
+        crawl.wall_secs,
+    ));
     drop(crawl);
 
     // Workload group.
@@ -122,6 +150,7 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<Report> {
     reports.push(r18);
     reports.push(r19);
     reports.push(traffic_exp::fig20(&mut wl, scale.ens_sample()));
+    reports.push(traffic_exp::engine(&wl));
     reports
 }
 

@@ -1,5 +1,7 @@
-//! Report structures: paper-vs-measured tables for every experiment.
+//! Report structures: paper-vs-measured tables for every experiment, plus
+//! the engine-health section derived from `simnet::SimStats`.
 
+use simnet::SimStats;
 use std::fmt;
 
 /// One comparison row.
@@ -119,6 +121,60 @@ impl Report {
         out.push('\n');
         out
     }
+}
+
+/// Scheduler/engine counters for one campaign as a report section, so
+/// regressions in the event core are visible in EXPERIMENTS.md output, not
+/// only in the criterion benches. `wall_secs` is the host wall-clock time
+/// the campaign took (throughput denominator); pass `0.0` when unknown.
+pub fn engine_report(id: &str, title: &str, stats: &SimStats, wall_secs: f64) -> Report {
+    let mut r = Report::new(id, title);
+    r.val("events processed", stats.events as f64, Unit::Count);
+    if wall_secs > 0.0 {
+        r.val(
+            "events per wall-second",
+            stats.events as f64 / wall_secs,
+            Unit::Count,
+        );
+        r.val("campaign wall time", wall_secs, Unit::Secs);
+    }
+    r.val(
+        "peak event-queue length",
+        stats.peak_queue_len as f64,
+        Unit::Count,
+    );
+    r.val("messages sent", stats.msgs_sent as f64, Unit::Count);
+    r.val(
+        "messages delivered",
+        stats.msgs_delivered as f64,
+        Unit::Count,
+    );
+    r.val(
+        "messages dropped (offline/disconnected)",
+        stats.msgs_dropped as f64,
+        Unit::Count,
+    );
+    r.val(
+        "messages lost (random loss)",
+        stats.msgs_lost as f64,
+        Unit::Count,
+    );
+    r.val("dials ok", stats.dials_ok as f64, Unit::Count);
+    r.val("dials failed", stats.dials_failed as f64, Unit::Count);
+    let k = &stats.kinds;
+    r.note(format!(
+        "events by kind: deliver {} · dial-arrive {} · dial-outcome {} · timer {} · \
+command {} · node-up {} · node-down {} · conn-closed {}",
+        k.deliver,
+        k.dial_arrive,
+        k.dial_outcome,
+        k.timer,
+        k.command,
+        k.node_up,
+        k.node_down,
+        k.conn_closed
+    ));
+    r
 }
 
 impl fmt::Display for Report {

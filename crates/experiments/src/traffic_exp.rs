@@ -22,12 +22,19 @@ pub struct WorkloadData {
     pub campaign: Campaign,
     /// Gateway overlay peers discovered by probing: `(gateway idx, peer, ip)`.
     pub overlays: Vec<(usize, PeerId, Ipv4Addr)>,
+    /// Engine counters snapshotted at the end of the main campaign, so the
+    /// engine report stays comparable run-over-run no matter how much
+    /// extra simulation later figures drive through the live campaign.
+    pub engine: simnet::SimStats,
+    /// Host wall-clock seconds the main campaign (incl. probe) took.
+    pub wall_secs: f64,
 }
 
 /// Run the full workload campaign, then identify gateway overlay nodes with
 /// the unique-content probe (§3 "Gateways").
 pub fn run_workload(cfg: ScenarioConfig) -> WorkloadData {
     let scenario = netgen::build(cfg);
+    let started = std::time::Instant::now();
     let mut campaign = Campaign::new(scenario, CampaignOptions::default());
     let duration = campaign.scenario.cfg.duration;
     campaign.run_for(duration);
@@ -89,10 +96,23 @@ pub fn run_workload(cfg: ScenarioConfig) -> WorkloadData {
             }
         }
     }
+    let engine = campaign.sim.core().stats.clone();
     WorkloadData {
         campaign,
         overlays: overlays.into_iter().collect(),
+        engine,
+        wall_secs: started.elapsed().as_secs_f64(),
     }
+}
+
+/// Engine-health section for the workload campaign.
+pub fn engine(data: &WorkloadData) -> Report {
+    crate::report::engine_report(
+        "engine-workload",
+        "Engine counters — workload campaign",
+        &data.engine,
+        data.wall_secs,
+    )
 }
 
 fn is_cloud(data: &WorkloadData) -> impl Fn(Ipv4Addr) -> bool + '_ {
@@ -552,7 +572,7 @@ pub fn fig14(data: &WorkloadData, ds: &ProviderDataset) -> Report {
         *counts.entry(class).or_insert(0) += 1;
         if class == ProviderClass::Nat {
             for rec in recs {
-                for addr in &rec.addrs {
+                for addr in rec.addrs.iter() {
                     if addr.is_circuit() {
                         if let Some(relay_ip) = addr.ip4() {
                             nat_relay_total += 1;
@@ -831,7 +851,7 @@ pub fn fig20(data: &mut WorkloadData, max_cids: usize) -> Report {
             resolved_with_providers += 1;
         }
         for r in recs {
-            for a in &r.addrs {
+            for a in r.addrs.iter() {
                 if let Some(ip) = a.ip4() {
                     ips.insert(ip);
                 }

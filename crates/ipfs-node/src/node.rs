@@ -9,14 +9,14 @@
 use crate::wire::{BitswapLogEntry, NodeCmd, NodeEvent, WireMsg};
 use bitswap::{Bitswap, BitswapMessage, Block, BsOutput, MemoryBlockstore};
 use ipfs_types::{Cid, Keypair, Multiaddr, PeerId};
+use ipfs_types::{FxHashMap as HashMap, FxHashSet as HashSet};
 use kademlia::{
-    Dht, DhtBody, DhtConfig, DhtMessage, DhtMode, DhtRequest, DhtResponse, LookupKind, PeerInfo,
-    ProviderRecord,
+    no_addrs, AddrList, Dht, DhtBody, DhtConfig, DhtMessage, DhtMode, DhtRequest, DhtResponse,
+    LookupKind, PeerInfo, ProviderRecord,
 };
 use rand::seq::SliceRandom;
 use rand::RngExt;
 use simnet::{Ctx, Dur, NodeId};
-use std::collections::{HashMap, HashSet};
 use std::net::SocketAddrV4;
 
 /// Timer token kinds (top 4 bits of the token).
@@ -214,6 +214,11 @@ pub struct IpfsNode {
     relay_clients: HashSet<NodeId>,
     epoch: u8,
     bootstrapped: bool,
+    /// Cached advertised-address list; every outgoing DHT message embeds
+    /// it, so it is built once per session (invalidated on start, on relay
+    /// changes, and whenever dialability flips — the cached flag) and
+    /// shared from then on.
+    adv_cache: Option<(bool, AddrList)>,
 
     // --- observability ---
     /// Recorded events (when `record_events`).
@@ -237,18 +242,19 @@ impl IpfsNode {
             bitswap: Bitswap::new(),
             store: MemoryBlockstore::new(),
             published: Vec::new(),
-            peers: HashMap::new(),
-            conn_by_peer: HashMap::new(),
-            dialing: HashMap::new(),
-            pending: HashMap::new(),
+            peers: HashMap::default(),
+            conn_by_peer: HashMap::default(),
+            dialing: HashMap::default(),
+            pending: HashMap::default(),
             next_req: 1,
-            ops: HashMap::new(),
-            lookup_to_op: HashMap::new(),
-            fetch_by_cid: HashMap::new(),
+            ops: HashMap::default(),
+            lookup_to_op: HashMap::default(),
+            fetch_by_cid: HashMap::default(),
             relay: None,
-            relay_clients: HashSet::new(),
+            relay_clients: HashSet::default(),
             epoch: 0,
             bootstrapped: false,
+            adv_cache: None,
             events: Vec::new(),
             bitswap_log: Vec::new(),
             dht_requests_served: 0,
@@ -338,23 +344,38 @@ impl IpfsNode {
         out
     }
 
-    fn my_info<C: std::fmt::Debug>(&self, ctx: &Ctx<'_, WireMsg, C>) -> PeerInfo {
+    /// Shared advertised-address list (built once per session; rebuilt if
+    /// the engine-side dialability flag changed since, e.g. via
+    /// `Sim::set_dialable`).
+    fn adv_addrs<C: std::fmt::Debug>(&mut self, ctx: &Ctx<'_, WireMsg, C>) -> AddrList {
+        let dialable = ctx.i_am_dialable();
+        if let Some((cached_dialable, a)) = &self.adv_cache {
+            if *cached_dialable == dialable {
+                return a.clone();
+            }
+        }
+        let a: AddrList = self.advertised_addrs(ctx).into();
+        self.adv_cache = Some((dialable, a.clone()));
+        a
+    }
+
+    fn my_info<C: std::fmt::Debug>(&mut self, ctx: &Ctx<'_, WireMsg, C>) -> PeerInfo {
         PeerInfo {
             id: self.id,
-            addrs: self.advertised_addrs(ctx),
+            addrs: self.adv_addrs(ctx),
             endpoint: ctx.me(),
         }
     }
 
     fn provider_record<C: std::fmt::Debug>(
-        &self,
+        &mut self,
         ctx: &Ctx<'_, WireMsg, C>,
         cid: Cid,
     ) -> ProviderRecord {
         ProviderRecord {
             cid,
             provider: self.id,
-            addrs: self.advertised_addrs(ctx),
+            addrs: self.adv_addrs(ctx),
             endpoint: ctx.me(),
             relay_endpoint: if ctx.i_am_dialable() {
                 None
@@ -402,6 +423,7 @@ impl IpfsNode {
         self.relay_clients.clear();
         self.bitswap = Bitswap::new();
         self.bootstrapped = false;
+        self.adv_cache = None;
 
         if !self.cfg.bootstrap.is_empty() {
             let seeds = self.cfg.bootstrap.clone();
@@ -439,7 +461,7 @@ impl IpfsNode {
             self.dht.observe_peer(
                 &PeerInfo {
                     id: *peer,
-                    addrs: vec![],
+                    addrs: no_addrs(),
                     endpoint: *ep,
                 },
                 true,
@@ -623,7 +645,7 @@ impl IpfsNode {
     fn send_identify<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, to: NodeId) {
         let msg = WireMsg::Identify {
             id: self.id,
-            addrs: self.advertised_addrs(ctx),
+            addrs: self.adv_addrs(ctx),
             dht_server: self.dht.is_server(),
             agent: self.cfg.agent.clone(),
         };
@@ -646,6 +668,7 @@ impl IpfsNode {
         if let Some((_, ep, _)) = &self.relay {
             if *ep == peer {
                 self.relay = None;
+                self.adv_cache = None;
                 self.set_timer(ctx, Dur::from_secs(10), tok::RELAY, 0);
             }
         }
@@ -703,7 +726,8 @@ impl IpfsNode {
     }
 
     fn adopt_identity<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, seed: u64) {
-        for peer in ctx.connections() {
+        let peers: Vec<NodeId> = ctx.connections().collect();
+        for peer in peers {
             ctx.disconnect(peer);
         }
         self.cfg.identity_seed = seed;
@@ -1099,6 +1123,7 @@ impl IpfsNode {
                     if let Some(p) = self.peers.get(&from) {
                         if let (Some(id), Some(addr)) = (p.id, ctx.addr_of(from)) {
                             self.relay = Some((id, from, addr));
+                            self.adv_cache = None;
                             self.record(NodeEvent::RelayAcquired { relay: id });
                         }
                     }
@@ -1275,8 +1300,11 @@ impl IpfsNode {
             let ttl = self.cfg.table_entry_ttl;
             self.dht.table_mut().prune_stale(now, ttl);
         }
-        let conns = ctx.connections();
-        if !self.cfg.unbounded_conns && conns.len() > self.cfg.conn_high {
+        // Common case: the connection count sits between floor and high
+        // watermark and the tick touches nothing — keep that path
+        // allocation-free (`connections()` is now a non-allocating iterator).
+        let n_conns = ctx.connection_count();
+        if !self.cfg.unbounded_conns && n_conns > self.cfg.conn_high {
             let mut protected: HashSet<NodeId> = self.relay_clients.clone();
             if let Some((_, ep, _)) = &self.relay {
                 protected.insert(*ep);
@@ -1284,30 +1312,28 @@ impl IpfsNode {
             for rpc in self.pending.values() {
                 protected.insert(rpc.peer.endpoint);
             }
-            let mut victims: Vec<NodeId> = conns
-                .iter()
-                .copied()
+            let mut victims: Vec<NodeId> = ctx
+                .connections()
                 .filter(|c| !protected.contains(c))
                 .collect();
             victims.shuffle(ctx.rng());
-            let excess = conns.len() - self.cfg.conn_low;
+            let excess = n_conns - self.cfg.conn_low;
             for v in victims.into_iter().take(excess) {
                 ctx.disconnect(v);
                 self.handle_connection_closed(ctx, v);
             }
-        } else if conns.len() < self.cfg.conn_floor {
-            let connected: HashSet<NodeId> = conns.iter().copied().collect();
+        } else if n_conns < self.cfg.conn_floor {
             let mut candidates: Vec<NodeId> = self
                 .dht
                 .table()
                 .entries()
                 .map(|e| e.info.endpoint)
-                .filter(|ep| !connected.contains(ep) && *ep != ctx.me())
+                .filter(|ep| !ctx.is_connected(*ep) && *ep != ctx.me())
                 .collect();
             candidates.sort();
             candidates.dedup();
             candidates.shuffle(ctx.rng());
-            let need = (self.cfg.conn_floor - conns.len()).min(self.cfg.max_dials_per_tick);
+            let need = (self.cfg.conn_floor - n_conns).min(self.cfg.max_dials_per_tick);
             for ep in candidates.into_iter().take(need) {
                 self.ensure_dial(ctx, ep, None);
             }

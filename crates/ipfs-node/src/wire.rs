@@ -6,8 +6,8 @@
 //! the real stack provides it (identify exchange, authenticated streams).
 
 use bitswap::BitswapMessage;
-use ipfs_types::{Cid, Multiaddr, PeerId};
-use kademlia::DhtMessage;
+use ipfs_types::{Cid, PeerId};
+use kademlia::{AddrList, DhtMessage};
 use simnet::{NodeId, SimTime};
 use std::net::SocketAddrV4;
 
@@ -18,8 +18,8 @@ pub enum WireMsg {
     Identify {
         /// Sender's identity.
         id: PeerId,
-        /// Sender's advertised addresses.
-        addrs: Vec<Multiaddr>,
+        /// Sender's advertised addresses (shared, immutable).
+        addrs: AddrList,
         /// Whether the sender is a DHT server.
         dht_server: bool,
         /// Agent string (`go-ipfs/0.11`, `hydra-booster/0.7`, …) — the

@@ -134,7 +134,13 @@ impl Cid {
     /// The DHT keyspace point for this CID: the SHA-256 of the multihash
     /// bytes, matching go-libp2p's second hashing step for record placement.
     pub fn dht_key(&self) -> Key256 {
-        Key256::hash_of(&self.hash.to_bytes())
+        // Inline the 34-byte multihash encoding to keep this allocation-free
+        // (computed on every GET_PROVIDERS / ADD_PROVIDER served).
+        let mut buf = [0u8; 34];
+        buf[0] = 0x12;
+        buf[1] = 0x20;
+        buf[2..].copy_from_slice(&self.hash.0);
+        Key256::hash_of(&buf)
     }
 
     /// Binary form.

@@ -1,0 +1,127 @@
+//! A fast, non-cryptographic hasher for identifier-shaped keys.
+//!
+//! Every hot map in the simulator is keyed by values that are already
+//! uniformly distributed hashes — [`PeerId`](crate::PeerId)s,
+//! [`Cid`](crate::Cid)s, [`Key256`](crate::Key256)s — so the DoS-resistant
+//! SipHash behind `std`'s `RandomState` buys nothing and costs real time on
+//! 32-byte keys (it showed up directly in campaign profiles). This is the
+//! Firefox/rustc "Fx" multiply-rotate hash: not keyed, not collision-proof
+//! against adversaries, exactly right for simulation-internal tables.
+//!
+//! Iteration order of an `FxHashMap` is still arbitrary (hashbrown layout),
+//! so the existing discipline of sorting before any order-sensitive
+//! iteration remains required — the seeded `RandomState` default enforced
+//! that discipline long before this type existed.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+
+/// The Fx multiply-rotate hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PeerId;
+    use std::hash::Hash;
+
+    #[test]
+    fn map_roundtrip_with_identifier_keys() {
+        let mut m: FxHashMap<PeerId, u32> = FxHashMap::default();
+        for i in 0..500u64 {
+            m.insert(PeerId::from_seed(i), i as u32);
+        }
+        assert_eq!(m.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(m.get(&PeerId::from_seed(i)), Some(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic_across_instances() {
+        let h = |v: u64| {
+            let mut hx = FxHasher::default();
+            hx.write_u64(v);
+            hx.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn no_collisions_on_sequential_and_identifier_keys() {
+        // Sequential u64s (request ids) and hash-shaped keys must not
+        // collide in the full 64-bit output; bucket-level spread is
+        // hashbrown's concern (it indexes by the low bits).
+        let mut full = FxHashSet::default();
+        for i in 0..10_000u64 {
+            let mut hx = FxHasher::default();
+            hx.write_u64(i);
+            full.insert(hx.finish());
+        }
+        assert_eq!(full.len(), 10_000, "full-hash collision on sequential keys");
+        let mut ids = FxHashSet::default();
+        for i in 0..2_000u64 {
+            let mut hx = FxHasher::default();
+            PeerId::from_seed(i).key().0.hash(&mut hx);
+            ids.insert(hx.finish());
+        }
+        assert_eq!(ids.len(), 2_000, "full-hash collision on identifier keys");
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod base;
 pub mod cid;
+pub mod fxhash;
 pub mod key;
 pub mod multiaddr;
 pub mod peer;
@@ -17,6 +18,7 @@ pub mod sha256;
 
 pub use base::DecodeError;
 pub use cid::{Cid, CidVersion, Codec, Multihash};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use key::{Distance, Key256};
 pub use multiaddr::{Multiaddr, Proto};
 pub use peer::{Keypair, PeerId};

@@ -10,9 +10,9 @@ use crate::lookup::{Lookup, LookupConfig, LookupKind, LookupResult};
 use crate::messages::{DhtRequest, DhtResponse, PeerInfo, ProviderRecord};
 use crate::providers::{ProviderStore, ProviderStoreConfig};
 use crate::table::{RoutingTable, TableConfig};
+use ipfs_types::FxHashMap as HashMap;
 use ipfs_types::{Cid, Key256, PeerId};
 use simnet::SimTime;
-use std::collections::HashMap;
 
 /// Server or client mode (§2 "DHT").
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,7 +74,7 @@ impl Dht {
             local,
             table: RoutingTable::new(local.key(), cfg.table),
             providers: ProviderStore::new(cfg.providers),
-            lookups: HashMap::new(),
+            lookups: HashMap::default(),
             next_lookup: 1,
             cfg,
         }
@@ -121,10 +121,11 @@ impl Dht {
     }
 
     /// Note that we heard from `info` (connection setup, any RPC). Only DHT
-    /// *servers* enter the routing table.
+    /// *servers* enter the routing table. Clones only when the table entry
+    /// is new or its contact info changed.
     pub fn observe_peer(&mut self, info: &PeerInfo, is_server: bool, now: SimTime) {
         if is_server && info.id != self.local {
-            self.table.try_insert(info.clone(), now);
+            self.table.observe(info, now);
         }
     }
 
@@ -270,7 +271,7 @@ mod tests {
     fn info(seed: u64) -> PeerInfo {
         PeerInfo {
             id: PeerId::from_seed(seed),
-            addrs: vec![],
+            addrs: crate::messages::no_addrs(),
             endpoint: NodeId(seed as u32),
         }
     }
@@ -279,7 +280,7 @@ mod tests {
         ProviderRecord {
             cid,
             provider: PeerId::from_seed(seed),
-            addrs: vec![],
+            addrs: crate::messages::no_addrs(),
             endpoint: NodeId(seed as u32),
             relay_endpoint: None,
             stored_at: SimTime::ZERO,

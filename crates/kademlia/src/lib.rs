@@ -19,7 +19,8 @@ pub mod table;
 pub use dht::{Dht, DhtConfig, DhtMode};
 pub use lookup::{Lookup, LookupConfig, LookupKind, LookupResult};
 pub use messages::{
-    DhtBody, DhtMessage, DhtRequest, DhtResponse, PeerInfo, ProviderRecord, TrafficClass,
+    no_addrs, AddrList, DhtBody, DhtMessage, DhtRequest, DhtResponse, PeerInfo, ProviderRecord,
+    TrafficClass,
 };
 pub use providers::{ProviderStore, ProviderStoreConfig};
 pub use table::{Bucket, Entry, RoutingTable, TableConfig};

@@ -12,8 +12,8 @@
 //!   every provider record (§3 "Provider Records", §A ethics discussion).
 
 use crate::messages::{PeerInfo, ProviderRecord};
+use ipfs_types::FxHashMap as HashMap;
 use ipfs_types::{Cid, Distance, Key256, PeerId};
-use std::collections::HashMap;
 
 /// Lookup tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -88,9 +88,11 @@ pub struct Lookup {
     cfg: LookupConfig,
     // All candidates keyed by distance (total order, no ties in a hash
     // keyspace) — BTreeMap would also work; we keep a sorted Vec for cheap
-    // scans of the head.
+    // scans of the head. The side index maps peer → distance (stable across
+    // inserts, unlike a position), and positions are recovered by binary
+    // search.
     candidates: Vec<(Distance, Candidate)>,
-    index: HashMap<PeerId, usize>,
+    index: HashMap<PeerId, Distance>,
     in_flight: usize,
     providers: Vec<ProviderRecord>,
     contacted: usize,
@@ -113,7 +115,7 @@ impl Lookup {
             kind,
             cfg,
             candidates: Vec::new(),
-            index: HashMap::new(),
+            index: HashMap::default(),
             in_flight: 0,
             providers: Vec::new(),
             contacted: 0,
@@ -140,33 +142,33 @@ impl Lookup {
             .candidates
             .binary_search_by(|(cd, _)| cd.cmp(&d))
             .unwrap_or_else(|p| p);
+        self.index.insert(info.id, d);
         self.candidates.insert(
             pos,
             (
                 d,
                 Candidate {
-                    info: info.clone(),
+                    info,
                     state: CandState::NotContacted,
                 },
             ),
         );
-        // Re-index everything after the insertion point.
-        for (i, (_, c)) in self.candidates.iter().enumerate().skip(pos) {
-            self.index.insert(c.info.id, i);
-        }
     }
 
     fn set_state(&mut self, peer: &PeerId, state: CandState) -> bool {
-        if let Some(&i) = self.index.get(peer) {
-            let c = &mut self.candidates[i].1;
-            if c.state == CandState::Waiting {
-                self.in_flight -= 1;
-            }
-            c.state = state;
-            true
-        } else {
-            false
+        let Some(&d) = self.index.get(peer) else {
+            return false;
+        };
+        let i = self
+            .candidates
+            .binary_search_by(|(cd, _)| cd.cmp(&d))
+            .expect("indexed candidate present");
+        let c = &mut self.candidates[i].1;
+        if c.state == CandState::Waiting {
+            self.in_flight -= 1;
         }
+        c.state = state;
+        true
     }
 
     /// Peers to query next, respecting the α concurrency limit. Marks them
@@ -186,6 +188,9 @@ impl Lookup {
             return out;
         }
         let mut picked = Vec::new();
+        // `useful` counts non-failed candidates strictly closer than the one
+        // under inspection — a running tally instead of a rescan per step.
+        let mut useful = 0;
         for (i, (_, c)) in self.candidates.iter().enumerate() {
             if out.len() >= budget {
                 break;
@@ -197,17 +202,11 @@ impl Lookup {
             // Do not walk past the k-th useful candidate: if we already have
             // k responded/waiting peers closer than this one, querying it
             // cannot improve the result set.
-            let useful_before = self.candidates[..i]
-                .iter()
-                .filter(|(_, c)| {
-                    matches!(
-                        c.state,
-                        CandState::Responded | CandState::Waiting | CandState::NotContacted
-                    )
-                })
-                .count();
-            if useful_before >= self.cfg.k + self.cfg.alpha {
+            if useful >= self.cfg.k + self.cfg.alpha {
                 break;
+            }
+            if c.state != CandState::Failed {
+                useful += 1;
             }
         }
         for i in picked {
@@ -323,7 +322,7 @@ mod tests {
     fn info(seed: u64) -> PeerInfo {
         PeerInfo {
             id: PeerId::from_seed(seed),
-            addrs: vec![],
+            addrs: crate::messages::no_addrs(),
             endpoint: NodeId(seed as u32),
         }
     }
@@ -449,7 +448,7 @@ mod tests {
             .map(|s| ProviderRecord {
                 cid,
                 provider: PeerId::from_seed(s),
-                addrs: vec![],
+                addrs: crate::messages::no_addrs(),
                 endpoint: NodeId(s as u32),
                 relay_endpoint: None,
                 stored_at: SimTime::ZERO,
@@ -482,7 +481,7 @@ mod tests {
                     .map(|j| ProviderRecord {
                         cid,
                         provider: PeerId::from_seed(1000 + served * 10 + j),
-                        addrs: vec![],
+                        addrs: crate::messages::no_addrs(),
                         endpoint: NodeId(0),
                         relay_endpoint: None,
                         stored_at: SimTime::ZERO,
@@ -519,7 +518,7 @@ mod tests {
             vec![ProviderRecord {
                 cid: other,
                 provider: PeerId::from_seed(1),
-                addrs: vec![],
+                addrs: crate::messages::no_addrs(),
                 endpoint: NodeId(1),
                 relay_endpoint: None,
                 stored_at: SimTime::ZERO,
@@ -543,7 +542,7 @@ mod tests {
         let rec = ProviderRecord {
             cid,
             provider: PeerId::from_seed(1),
-            addrs: vec![],
+            addrs: crate::messages::no_addrs(),
             endpoint: NodeId(1),
             relay_endpoint: None,
             stored_at: SimTime::ZERO,

@@ -11,6 +11,20 @@ use ipfs_types::{Cid, Key256, Multiaddr, PeerId};
 use serde::{Deserialize, Serialize};
 use simnet::{NodeId, SimTime};
 
+/// A shared, immutable list of advertised multiaddresses.
+///
+/// Every routing-table response clones ~20 peer infos and every provider
+/// record carries its provider's addresses; behind an `Arc` those clones
+/// are refcount bumps instead of per-message heap copies — the single
+/// biggest allocation source in a campaign before this change.
+pub type AddrList = std::sync::Arc<[Multiaddr]>;
+
+/// The shared empty address list (no per-call allocation).
+pub fn no_addrs() -> AddrList {
+    static EMPTY: std::sync::OnceLock<AddrList> = std::sync::OnceLock::new();
+    EMPTY.get_or_init(|| Vec::new().into()).clone()
+}
+
 /// What a node knows about a peer: identity, advertised addresses, and the
 /// simulation endpoint handle used to dial it (stand-in for "the IP inside
 /// the multiaddr", see DESIGN.md §4).
@@ -19,7 +33,7 @@ pub struct PeerInfo {
     /// The peer's identity.
     pub id: PeerId,
     /// Advertised multiaddresses (relay addresses for NAT-ed providers).
-    pub addrs: Vec<Multiaddr>,
+    pub addrs: AddrList,
     /// Simulation endpoint for dialing.
     pub endpoint: NodeId,
 }
@@ -34,7 +48,7 @@ pub struct ProviderRecord {
     pub provider: PeerId,
     /// The provider's advertised addresses; a `/p2p-circuit` address here
     /// means the provider is NAT-ed and reachable via its relay.
-    pub addrs: Vec<Multiaddr>,
+    pub addrs: AddrList,
     /// Endpoint handle of the provider itself.
     pub endpoint: NodeId,
     /// For NAT-ed providers publishing a `/p2p-circuit` address: the relay's
@@ -158,7 +172,7 @@ mod tests {
         let rec = ProviderRecord {
             cid,
             provider: PeerId::from_seed(1),
-            addrs: vec![],
+            addrs: crate::messages::no_addrs(),
             endpoint: NodeId(0),
             relay_endpoint: None,
             stored_at: SimTime::ZERO,

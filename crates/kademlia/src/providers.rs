@@ -5,9 +5,9 @@
 //! read plus via an explicit `cleanup` for long-running servers.
 
 use crate::messages::ProviderRecord;
+use ipfs_types::FxHashMap as HashMap;
 use ipfs_types::{Cid, Key256, PeerId};
 use simnet::{Dur, SimTime};
-use std::collections::HashMap;
 
 /// Provider-store configuration.
 #[derive(Clone, Copy, Debug)]
@@ -40,7 +40,7 @@ impl ProviderStore {
     pub fn new(cfg: ProviderStoreConfig) -> ProviderStore {
         ProviderStore {
             cfg,
-            map: HashMap::new(),
+            map: HashMap::default(),
         }
     }
 
@@ -123,7 +123,7 @@ mod tests {
         ProviderRecord {
             cid,
             provider: PeerId::from_seed(seed),
-            addrs: vec![],
+            addrs: crate::messages::no_addrs(),
             endpoint: NodeId(seed as u32),
             relay_endpoint: None,
             stored_at: SimTime::ZERO,

@@ -145,6 +145,27 @@ impl RoutingTable {
         }
     }
 
+    /// Refresh-or-insert from a borrowed info, cloning only when the table
+    /// actually needs a new or changed copy. The hot path for request
+    /// serving: the sender is almost always already present, making this a
+    /// position scan plus a timestamp store.
+    pub fn observe(&mut self, info: &PeerInfo, now: SimTime) -> bool {
+        let cpl = self.local.common_prefix_len(&info.id.key());
+        if cpl == 256 {
+            return false;
+        }
+        let idx = self.bucket_index(cpl);
+        if let Some(i) = self.buckets[idx].position(&info.id) {
+            let e = &mut self.buckets[idx].entries[i];
+            e.last_seen = now;
+            if e.info != *info {
+                e.info = info.clone();
+            }
+            return true;
+        }
+        self.try_insert(info.clone(), now)
+    }
+
     /// Try to insert (or refresh) a peer. Returns `true` if the peer is in
     /// the table afterwards.
     ///
@@ -232,18 +253,70 @@ impl RoutingTable {
         }
     }
 
+    /// Lower bound on `d(e, target)` over entries of bucket `i`.
+    ///
+    /// Let `D = local ⊕ target`. A peer in bucket `i < last` shares exactly
+    /// `i` prefix bits with `local`, so its distance to `target` agrees with
+    /// `D` on the first `i` bits, has bit `i` flipped, and is free below —
+    /// the minimum is that fixed prefix padded with zeros. The last bucket
+    /// holds every cpl ≥ `last`, so only the prefix is fixed.
+    fn bucket_min_distance(d: &[u8; 32], i: usize, is_last: bool) -> ipfs_types::Distance {
+        let mut m = [0u8; 32];
+        let full = (i / 8).min(32);
+        m[..full].copy_from_slice(&d[..full]);
+        if i < 256 {
+            let rem = i % 8;
+            if rem > 0 {
+                m[full] = d[full] & (0xFFu8 << (8 - rem));
+            }
+            if !is_last && d[i / 8] & (1 << (7 - rem)) == 0 {
+                m[i / 8] |= 1 << (7 - rem);
+            }
+        }
+        ipfs_types::Distance(m)
+    }
+
     /// The `count` known peers closest to `target` by XOR distance — the
     /// response set for `FIND_NODE`.
+    ///
+    /// Served on every incoming DHT request, so it must not scan the whole
+    /// table: buckets are visited in ascending order of their minimum
+    /// possible distance to `target` ([`Self::bucket_min_distance`]), and
+    /// the walk stops as soon as the current `count`-th best beats the next
+    /// bucket's lower bound — in a warm table that prunes all but a couple
+    /// of buckets. Distances are unique in a hash keyspace, so the result
+    /// is deterministic and identical to a full sort.
     pub fn closest(&self, target: &Key256, count: usize) -> Vec<PeerInfo> {
-        let mut all: Vec<(&Entry, ipfs_types::Distance)> = self
-            .entries()
-            .map(|e| (e, e.info.id.key().distance(target)))
+        if count == 0 {
+            return Vec::new();
+        }
+        let d_local = self.local.distance(target).0;
+        let nb = self.buckets.len();
+        let mut order: Vec<(ipfs_types::Distance, usize)> = (0..nb)
+            .filter(|&i| !self.buckets[i].is_empty())
+            .map(|i| (Self::bucket_min_distance(&d_local, i, i == nb - 1), i))
             .collect();
-        all.sort_by_key(|a| a.1);
-        all.into_iter()
-            .take(count)
-            .map(|(e, _)| e.info.clone())
-            .collect()
+        order.sort_unstable_by_key(|a| a.0);
+        let mut best: Vec<(ipfs_types::Distance, &Entry)> = Vec::with_capacity(count + 1);
+        for (d_min, bi) in order {
+            if best.len() == count && d_min >= best[count - 1].0 {
+                break;
+            }
+            for e in self.buckets[bi].entries() {
+                let d = e.info.id.key().distance(target);
+                if best.len() == count {
+                    if d >= best[count - 1].0 {
+                        continue;
+                    }
+                    best.pop();
+                }
+                let pos = best
+                    .binary_search_by(|(bd, _)| bd.cmp(&d))
+                    .unwrap_or_else(|p| p);
+                best.insert(pos, (d, e));
+            }
+        }
+        best.into_iter().map(|(_, e)| e.info.clone()).collect()
     }
 
     /// Evict entries not heard from within `max_age` (kubo's usefulness
@@ -278,7 +351,7 @@ mod tests {
     fn info(seed: u64) -> PeerInfo {
         PeerInfo {
             id: PeerId::from_seed(seed),
-            addrs: vec![],
+            addrs: crate::messages::no_addrs(),
             endpoint: NodeId(seed as u32),
         }
     }

@@ -8,7 +8,7 @@ use simnet::{Dur, NodeId, SimTime};
 fn info(seed: u64) -> PeerInfo {
     PeerInfo {
         id: PeerId::from_seed(seed),
-        addrs: vec![],
+        addrs: kademlia::no_addrs(),
         endpoint: NodeId(seed as u32),
     }
 }

@@ -88,6 +88,37 @@ impl ScenarioConfig {
         }
     }
 
+    /// Scheduler stress preset: the event-rate torture test. Mid-size
+    /// population but double-length campaign, dense connection floors and a
+    /// heavy request load — the configuration whose queue pressure the old
+    /// global binary-heap scheduler could not sustain in reasonable time.
+    /// Sized so `repro all --scale stress` finishes in minutes on the
+    /// timer-wheel engine.
+    pub fn stress(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            duration: Dur::from_hours(21 * 24),
+            n_cloud: 2_600,
+            n_fringe: 2_500,
+            n_nat: 1_700,
+            n_ephemeral: 1_000,
+            n_content: 40_000,
+            n_requests: 220_000,
+            platform_cids: 2_400,
+            platform_nodes: 5,
+            hydra_hosts: 3,
+            hydra_heads: 20,
+            n_gateways_listed: 83,
+            n_gateways_functional: 22,
+            n_domains: 200_000,
+            n_dnslink: 5_000,
+            n_ens_records: 20_600,
+            conn_floor: 60,
+            http_share: 0.45,
+            hybrid_fraction: 0.006,
+        }
+    }
+
     /// Paper-scale reproduction (tens of minutes; opt-in via `--paper`).
     pub fn paper(seed: u64) -> ScenarioConfig {
         ScenarioConfig {

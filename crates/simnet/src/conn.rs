@@ -1,0 +1,238 @@
+//! Dense per-node connection table.
+//!
+//! Most simulated nodes hold between a handful (NAT clients, ephemeral
+//! users) and a few hundred (DHT servers) connections. A `HashMap` per node
+//! wastes cache lines and forces a collect-and-sort on every deterministic
+//! iteration. The table here keeps entries sorted by peer id in a small-vec
+//! layout: up to [`INLINE_CAP`] connections live inline in the node slot
+//! (no heap allocation at all for the long tail of small nodes), larger
+//! tables spill to a sorted `Vec`. Lookup is a binary search; iteration is
+//! already in deterministic ascending order and allocation-free.
+
+use crate::engine::NodeId;
+
+/// Connections stored inline before spilling to the heap.
+const INLINE_CAP: usize = 8;
+
+/// One connection record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnEntry {
+    /// The remote endpoint.
+    pub peer: NodeId,
+    /// Whether the connection was established through a circuit relay.
+    pub relayed: bool,
+}
+
+#[derive(Clone, Debug)]
+enum Slots {
+    Inline {
+        len: u8,
+        buf: [ConnEntry; INLINE_CAP],
+    },
+    Heap(Vec<ConnEntry>),
+}
+
+/// A sorted small-vec connection table.
+#[derive(Clone, Debug)]
+pub struct ConnTable(Slots);
+
+impl Default for ConnTable {
+    fn default() -> Self {
+        ConnTable::new()
+    }
+}
+
+impl ConnTable {
+    /// An empty table (no heap allocation).
+    pub fn new() -> ConnTable {
+        ConnTable(Slots::Inline {
+            len: 0,
+            buf: [ConnEntry::default(); INLINE_CAP],
+        })
+    }
+
+    /// Sorted view of the live entries.
+    fn entries(&self) -> &[ConnEntry] {
+        match &self.0 {
+            Slots::Inline { len, buf } => &buf[..*len as usize],
+            Slots::Heap(v) => v,
+        }
+    }
+
+    /// Number of open connections.
+    pub fn len(&self) -> usize {
+        self.entries().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a connection to `peer` exists.
+    pub fn contains(&self, peer: NodeId) -> bool {
+        self.entries()
+            .binary_search_by_key(&peer, |e| e.peer)
+            .is_ok()
+    }
+
+    /// The `relayed` flag for `peer`, if connected.
+    pub fn get_relayed(&self, peer: NodeId) -> Option<bool> {
+        let entries = self.entries();
+        entries
+            .binary_search_by_key(&peer, |e| e.peer)
+            .ok()
+            .map(|i| entries[i].relayed)
+    }
+
+    /// Insert or update the entry for `peer`.
+    pub fn insert(&mut self, peer: NodeId, relayed: bool) {
+        let entry = ConnEntry { peer, relayed };
+        match &mut self.0 {
+            Slots::Inline { len, buf } => {
+                let n = *len as usize;
+                match buf[..n].binary_search_by_key(&peer, |e| e.peer) {
+                    Ok(i) => buf[i] = entry,
+                    Err(i) if n < INLINE_CAP => {
+                        buf.copy_within(i..n, i + 1);
+                        buf[i] = entry;
+                        *len += 1;
+                    }
+                    Err(i) => {
+                        // Spill: promote to a heap vec with headroom.
+                        let mut v = Vec::with_capacity(INLINE_CAP * 4);
+                        v.extend_from_slice(&buf[..n]);
+                        v.insert(i, entry);
+                        self.0 = Slots::Heap(v);
+                    }
+                }
+            }
+            Slots::Heap(v) => match v.binary_search_by_key(&peer, |e| e.peer) {
+                Ok(i) => v[i] = entry,
+                Err(i) => v.insert(i, entry),
+            },
+        }
+    }
+
+    /// Remove the entry for `peer`; returns whether it existed.
+    pub fn remove(&mut self, peer: NodeId) -> bool {
+        match &mut self.0 {
+            Slots::Inline { len, buf } => {
+                let n = *len as usize;
+                match buf[..n].binary_search_by_key(&peer, |e| e.peer) {
+                    Ok(i) => {
+                        buf.copy_within(i + 1..n, i);
+                        *len -= 1;
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            Slots::Heap(v) => match v.binary_search_by_key(&peer, |e| e.peer) {
+                Ok(i) => {
+                    v.remove(i);
+                    true
+                }
+                Err(_) => false,
+            },
+        }
+    }
+
+    /// Iterate peers in ascending id order, allocation-free.
+    pub fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries().iter().map(|e| e.peer)
+    }
+
+    /// Iterate full entries in ascending peer order.
+    pub fn iter(&self) -> impl Iterator<Item = ConnEntry> + '_ {
+        self.entries().iter().copied()
+    }
+
+    /// Take every entry out, leaving the table empty (churn teardown).
+    pub fn take_all(&mut self) -> Vec<ConnEntry> {
+        match std::mem::replace(
+            &mut self.0,
+            Slots::Inline {
+                len: 0,
+                buf: [ConnEntry::default(); INLINE_CAP],
+            },
+        ) {
+            Slots::Inline { len, buf } => buf[..len as usize].to_vec(),
+            Slots::Heap(v) => v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn insert_sorted_and_lookup() {
+        let mut t = ConnTable::new();
+        for i in [5u32, 1, 9, 3, 7] {
+            t.insert(n(i), i % 2 == 0);
+        }
+        assert_eq!(t.len(), 5);
+        let order: Vec<u32> = t.peers().map(|p| p.0).collect();
+        assert_eq!(order, vec![1, 3, 5, 7, 9]);
+        assert!(t.contains(n(5)));
+        assert!(!t.contains(n(4)));
+        assert_eq!(t.get_relayed(n(1)), Some(false));
+        assert_eq!(t.get_relayed(n(2)), None);
+    }
+
+    #[test]
+    fn insert_updates_existing() {
+        let mut t = ConnTable::new();
+        t.insert(n(1), false);
+        t.insert(n(1), true);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get_relayed(n(1)), Some(true));
+    }
+
+    #[test]
+    fn spills_to_heap_and_stays_sorted() {
+        let mut t = ConnTable::new();
+        // Insert in descending order to stress the sorted-insert path.
+        for i in (0..100u32).rev() {
+            t.insert(n(i), false);
+        }
+        assert_eq!(t.len(), 100);
+        let order: Vec<u32> = t.peers().map(|p| p.0).collect();
+        assert_eq!(order, (0..100).collect::<Vec<u32>>());
+        assert!(t.contains(n(99)));
+        assert!(t.remove(n(50)));
+        assert!(!t.contains(n(50)));
+        assert_eq!(t.len(), 99);
+    }
+
+    #[test]
+    fn remove_inline_and_missing() {
+        let mut t = ConnTable::new();
+        t.insert(n(1), false);
+        t.insert(n(2), false);
+        assert!(t.remove(n(1)));
+        assert!(!t.remove(n(1)));
+        assert_eq!(t.peers().map(|p| p.0).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn take_all_empties() {
+        let mut t = ConnTable::new();
+        for i in 0..20u32 {
+            t.insert(n(i), i == 3);
+        }
+        let all = t.take_all();
+        assert_eq!(all.len(), 20);
+        assert!(all[3].relayed);
+        assert!(t.is_empty());
+        // Table is reusable afterwards.
+        t.insert(n(7), false);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -8,19 +8,36 @@
 //! RNG. Actors are sans-io state machines: they react to callbacks and emit
 //! effects through [`Ctx`]; they never see wall-clock time or OS sockets.
 //!
+//! Hot-path layout (the paper's campaign fires millions of timers and
+//! messages; see `crates/bench/benches/engine.rs` for the tracked numbers):
+//!
+//! * the event queue is a hierarchical [`TimerWheel`](crate::wheel) —
+//!   near-future buckets for message deliveries, a coarse wheel for
+//!   protocol timers, a far heap for churn schedules — instead of one
+//!   global binary heap;
+//! * each node's connection set is a sorted small-vec
+//!   [`ConnTable`](crate::conn) — membership is a binary search and
+//!   [`Ctx::connections`] iterates without allocating or sorting;
+//! * per-send latency sampling reads a flattened region matrix cached in
+//!   the core with pre-clamped per-node region indices.
+//!
 //! Determinism contract: with the same seed and the same call sequence, the
-//! engine produces byte-identical event traces. Ties in time are broken by
-//! insertion sequence number.
+//! engine produces byte-identical event traces. Events are processed in
+//! ascending `(time, seq)` order where `seq` is the global insertion
+//! sequence number — FIFO within a tick, never dependent on memory layout.
+//! [`SimCore::trace_digest`] folds every processed event into a running
+//! hash so two runs can be compared cheaply.
 
+use crate::conn::ConnTable;
 use crate::latency::{LatencyModel, RegionId};
 use crate::time::{Dur, SimTime};
+use crate::wheel::TimerWheel;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::{BinaryHeap, HashMap};
 use std::net::{Ipv4Addr, SocketAddrV4};
 
 /// Dense node handle.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl std::fmt::Debug for NodeId {
@@ -105,6 +122,29 @@ impl Default for SimConfig {
     }
 }
 
+/// Events processed, broken out by kind (scheduler observability: a
+/// regression in e.g. dial handling shows up here before it shows up in the
+/// experiment tables).
+#[derive(Clone, Debug, Default)]
+pub struct EventKindCounts {
+    /// Message deliveries (including ones subsequently dropped or lost).
+    pub deliver: u64,
+    /// Dial arrivals at the target.
+    pub dial_arrive: u64,
+    /// Dial outcomes reported back to the dialer.
+    pub dial_outcome: u64,
+    /// Timer expirations (including stale ones for offline nodes).
+    pub timer: u64,
+    /// Harness/loopback commands.
+    pub command: u64,
+    /// Node up transitions.
+    pub node_up: u64,
+    /// Node down transitions.
+    pub node_down: u64,
+    /// Connection-closed notifications.
+    pub conn_closed: u64,
+}
+
 /// Aggregate engine counters (cheap sanity instrumentation; the paper's
 /// measurements come from actor logs, not from these).
 #[derive(Clone, Debug, Default)]
@@ -129,11 +169,10 @@ pub struct SimStats {
     pub commands_dropped: u64,
     /// Total events processed.
     pub events: u64,
-}
-
-#[derive(Clone, Copy, Debug)]
-struct ConnMeta {
-    relayed: bool,
+    /// Largest event-queue population ever observed (scheduler pressure).
+    pub peak_queue_len: u64,
+    /// Processed events by kind.
+    pub kinds: EventKindCounts,
 }
 
 #[derive(Debug)]
@@ -143,7 +182,9 @@ struct NodeState {
     dialable: bool,
     addr: SocketAddrV4,
     region: RegionId,
-    conns: HashMap<NodeId, ConnMeta>,
+    /// Region clamped against the latency matrix, cached for the send path.
+    region_idx: u16,
+    conns: ConnTable,
 }
 
 /// Everything the engine owns apart from the actors themselves; split out so
@@ -152,10 +193,15 @@ pub struct SimCore<M, C> {
     cfg: SimConfig,
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<QEv<M, C>>,
+    queue: TimerWheel<Ev<M, C>>,
     slots: Vec<NodeState>,
-    latency: LatencyModel,
+    /// Row-major base latency matrix (flattened from the [`LatencyModel`]).
+    lat_base: Vec<Dur>,
+    lat_dim: usize,
+    lat_jitter: f64,
     rng: StdRng,
+    /// Running FNV-1a fold of every processed event (time, kind, operands).
+    trace: u64,
     /// Engine counters.
     pub stats: SimStats,
 }
@@ -199,58 +245,95 @@ enum Ev<M, C> {
     },
 }
 
-struct QEv<M, C> {
-    at: SimTime,
-    seq: u64,
-    ev: Ev<M, C>,
-}
-
-impl<M, C> PartialEq for QEv<M, C> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M, C> Eq for QEv<M, C> {}
-impl<M, C> PartialOrd for QEv<M, C> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M, C> Ord for QEv<M, C> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
+/// FNV-1a prime (the digest fold in [`SimCore::trace_digest`]).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 
 impl<M, C> SimCore<M, C> {
     fn push(&mut self, at: SimTime, ev: Ev<M, C>) {
         let at = at.max(self.now);
-        self.queue.push(QEv {
-            at,
-            seq: self.seq,
-            ev,
-        });
+        self.queue.push(at, self.seq, ev);
         self.seq += 1;
+        let len = self.queue.len() as u64;
+        if len > self.stats.peak_queue_len {
+            self.stats.peak_queue_len = len;
+        }
     }
 
     fn lat(&mut self, a: NodeId, b: NodeId) -> Dur {
-        let (ra, rb) = (self.slots[a.idx()].region, self.slots[b.idx()].region);
-        self.latency.sample(&mut self.rng, ra, rb)
+        let ia = self.slots[a.idx()].region_idx as usize;
+        let ib = self.slots[b.idx()].region_idx as usize;
+        let base = self.lat_base[ia * self.lat_dim + ib];
+        crate::latency::apply_jitter(base, self.lat_jitter, &mut self.rng)
     }
 
     fn connected(&self, a: NodeId, b: NodeId) -> bool {
-        self.slots[a.idx()].conns.contains_key(&b)
+        self.slots[a.idx()].conns.contains(b)
     }
 
     fn connect(&mut self, a: NodeId, b: NodeId, relayed: bool) {
-        self.slots[a.idx()].conns.insert(b, ConnMeta { relayed });
-        self.slots[b.idx()].conns.insert(a, ConnMeta { relayed });
+        self.slots[a.idx()].conns.insert(b, relayed);
+        self.slots[b.idx()].conns.insert(a, relayed);
     }
 
     fn drop_conn(&mut self, a: NodeId, b: NodeId) {
-        self.slots[a.idx()].conns.remove(&b);
-        self.slots[b.idx()].conns.remove(&a);
+        self.slots[a.idx()].conns.remove(b);
+        self.slots[b.idx()].conns.remove(a);
+    }
+
+    /// Fold one processed event into the trace digest and bump its kind
+    /// counter.
+    fn note_event(&mut self, at: SimTime, ev: &Ev<M, C>) {
+        let (tag, a, b) = match ev {
+            Ev::Deliver { from, to, .. } => {
+                self.stats.kinds.deliver += 1;
+                (1u64, from.0 as u64, to.0 as u64)
+            }
+            Ev::DialArrive { dialer, target, .. } => {
+                self.stats.kinds.dial_arrive += 1;
+                (2, dialer.0 as u64, target.0 as u64)
+            }
+            Ev::DialOutcome {
+                dialer, target, ok, ..
+            } => {
+                self.stats.kinds.dial_outcome += 1;
+                (3, dialer.0 as u64, ((target.0 as u64) << 1) | *ok as u64)
+            }
+            Ev::Timer { node, token } => {
+                self.stats.kinds.timer += 1;
+                (4, node.0 as u64, *token)
+            }
+            Ev::Command { node, .. } => {
+                self.stats.kinds.command += 1;
+                (5, node.0 as u64, 0)
+            }
+            Ev::NodeUp { node, .. } => {
+                self.stats.kinds.node_up += 1;
+                (6, node.0 as u64, 0)
+            }
+            Ev::NodeDown { node } => {
+                self.stats.kinds.node_down += 1;
+                (7, node.0 as u64, 0)
+            }
+            Ev::ConnClosed { node, peer } => {
+                self.stats.kinds.conn_closed += 1;
+                (8, node.0 as u64, peer.0 as u64)
+            }
+        };
+        let mut h = self.trace;
+        for v in [at.0, tag, a, b] {
+            h ^= v;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.trace = h;
+    }
+
+    /// Running digest of every event processed so far. Two runs with the
+    /// same seed and call sequence produce the same digest at every point —
+    /// the cheap way to assert the determinism contract end to end.
+    pub fn trace_digest(&self) -> u64 {
+        self.trace
     }
 
     /// Current virtual time.
@@ -283,11 +366,10 @@ impl<M, C> SimCore<M, C> {
         self.slots[node.idx()].region
     }
 
-    /// Snapshot of a node's open connections.
-    pub fn connections(&self, node: NodeId) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.slots[node.idx()].conns.keys().copied().collect();
-        v.sort();
-        v
+    /// A node's open connections in ascending peer order, without
+    /// allocating (the table is kept sorted).
+    pub fn connections(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots[node.idx()].conns.peers()
     }
 
     /// Number of open connections.
@@ -348,13 +430,14 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
     pub fn is_relayed(&self, peer: NodeId) -> bool {
         self.core.slots[self.me.idx()]
             .conns
-            .get(&peer)
-            .map(|m| m.relayed)
+            .get_relayed(peer)
             .unwrap_or(false)
     }
 
-    /// Connected peers, sorted for determinism.
-    pub fn connections(&self) -> Vec<NodeId> {
+    /// Connected peers in ascending id order (deterministic), without
+    /// allocating. Collect into a `Vec` first if you need to mutate
+    /// connections while walking them.
+    pub fn connections(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.core.connections(self.me)
     }
 
@@ -510,15 +593,19 @@ pub struct Sim<A: Actor> {
 impl<A: Actor> Sim<A> {
     /// Create an engine with the given config, latency model and RNG seed.
     pub fn new(cfg: SimConfig, latency: LatencyModel, seed: u64) -> Sim<A> {
+        let (lat_base, lat_dim) = latency.to_flat();
         Sim {
             core: SimCore {
                 cfg,
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue: TimerWheel::new(),
                 slots: Vec::new(),
-                latency,
+                lat_base,
+                lat_dim,
+                lat_jitter: latency.jitter(),
                 rng: StdRng::seed_from_u64(seed),
+                trace: FNV_OFFSET,
                 stats: SimStats::default(),
             },
             actors: Vec::new(),
@@ -529,12 +616,14 @@ impl<A: Actor> Sim<A> {
     /// current time so `on_start` runs through the normal event path.
     pub fn add_node(&mut self, actor: A, setup: NodeSetup) -> NodeId {
         let id = NodeId(self.core.slots.len() as u32);
+        let region_idx = (setup.region.0 as usize).min(self.core.lat_dim - 1) as u16;
         self.core.slots.push(NodeState {
             online: false,
             dialable: setup.dialable,
             addr: setup.addr,
             region: setup.region,
-            conns: HashMap::new(),
+            region_idx,
+            conns: ConnTable::new(),
         });
         self.actors.push(Some(actor));
         if setup.online {
@@ -588,13 +677,14 @@ impl<A: Actor> Sim<A> {
 
     /// Process a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(qev) = self.core.queue.pop() else {
+        let Some((at, _seq, ev)) = self.core.queue.pop() else {
             return false;
         };
-        debug_assert!(qev.at >= self.core.now, "time went backwards");
-        self.core.now = qev.at;
+        debug_assert!(at >= self.core.now, "time went backwards");
+        self.core.now = at;
         self.core.stats.events += 1;
-        self.dispatch(qev.ev);
+        self.core.note_event(at, &ev);
+        self.dispatch(ev);
         true
     }
 
@@ -602,8 +692,8 @@ impl<A: Actor> Sim<A> {
     /// `now() == t` even if the queue drained early.
     pub fn run_until(&mut self, t: SimTime) {
         let mut processed: u64 = 0;
-        while let Some(top) = self.core.queue.peek() {
-            if top.at > t {
+        while let Some(top_at) = self.core.queue.peek_at() {
+            if top_at > t {
                 break;
             }
             processed += 1;
@@ -764,12 +854,10 @@ impl<A: Actor> Sim<A> {
                 }
                 self.with_actor(node, |a, ctx| a.on_stop(ctx));
                 self.core.slots[node.idx()].online = false;
-                let mut peers: Vec<NodeId> =
-                    self.core.slots[node.idx()].conns.keys().copied().collect();
-                // Sort for cross-run determinism (HashMap order is seeded).
-                peers.sort();
-                for p in peers {
-                    self.core.drop_conn(node, p);
+                // The table is sorted, so teardown order is deterministic.
+                for entry in self.core.slots[node.idx()].conns.take_all() {
+                    let p = entry.peer;
+                    self.core.slots[p.idx()].conns.remove(node);
                     self.core.push(
                         self.core.now,
                         Ev::ConnClosed {

@@ -56,17 +56,39 @@ impl LatencyModel {
         self.base.len()
     }
 
+    /// The jitter amplitude.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Row-major copy of the base matrix plus its dimension — the engine
+    /// caches this flat form so the per-send lookup is one indexed load.
+    pub fn to_flat(&self) -> (Vec<Dur>, usize) {
+        let n = self.base.len();
+        let mut flat = Vec::with_capacity(n * n);
+        for row in &self.base {
+            flat.extend_from_slice(row);
+        }
+        (flat, n)
+    }
+
     /// Sample a one-way latency between two regions.
     pub fn sample(&self, rng: &mut impl Rng, a: RegionId, b: RegionId) -> Dur {
         let i = (a.0 as usize).min(self.base.len() - 1);
         let j = (b.0 as usize).min(self.base.len() - 1);
-        let base = self.base[i][j];
-        if self.jitter <= 0.0 {
-            return base;
-        }
-        let factor = 1.0 + rng.random_range(-self.jitter..self.jitter);
-        base * factor
+        apply_jitter(self.base[i][j], self.jitter, rng)
     }
+}
+
+/// Apply multiplicative jitter to a base latency — the single definition of
+/// the jitter formula, shared by [`LatencyModel::sample`] and the engine's
+/// flattened fast path in `SimCore`.
+pub fn apply_jitter(base: Dur, jitter: f64, rng: &mut impl Rng) -> Dur {
+    if jitter <= 0.0 {
+        return base;
+    }
+    let factor = 1.0 + rng.random_range(-jitter..jitter);
+    base * factor
 }
 
 #[cfg(test)]

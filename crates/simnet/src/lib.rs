@@ -7,16 +7,30 @@
 //! the [`Actor`] trait; measurement tools are actors too, exactly as the
 //! paper's tools were ordinary participants of the real network.
 //!
+//! Built for scale: the event queue is a hierarchical timer wheel
+//! ([`wheel`]) so near-future traffic inserts in O(1); per-node connection
+//! sets are sorted small-vec tables ([`conn`]) iterated without allocation;
+//! latency sampling reads a flattened region matrix. See
+//! [`engine`] for the scheduler layout and the determinism contract
+//! ([`SimCore::trace_digest`] folds every processed event into a running
+//! hash so runs can be compared byte-for-byte).
+//!
 //! Design follows the sans-io idiom of the session guides (smoltcp, Tokio
 //! tutorial): no I/O and no wall clock inside protocol state machines,
 //! `Dur`-based timeouts, cancellation-safe callback boundaries.
 
 pub mod churn;
+pub mod conn;
 pub mod engine;
 pub mod latency;
 pub mod time;
+pub mod wheel;
 
 pub use churn::{ChurnModel, LogNormal};
-pub use engine::{Actor, Ctx, NodeId, NodeSetup, Sim, SimConfig, SimCore, SimStats};
+pub use conn::{ConnEntry, ConnTable};
+pub use engine::{
+    Actor, Ctx, EventKindCounts, NodeId, NodeSetup, Sim, SimConfig, SimCore, SimStats,
+};
 pub use latency::{LatencyModel, RegionId};
 pub use time::{Dur, SimTime};
+pub use wheel::TimerWheel;

@@ -62,7 +62,7 @@ fn main() {
             let class = classify_provider(&[rec], is_cloud);
             if class == ProviderClass::Nat {
                 nat_records += 1;
-                for addr in &rec.addrs {
+                for addr in rec.addrs.iter() {
                     if addr.is_circuit() {
                         let relay_ip = addr.ip4().expect("circuit has relay ip");
                         if is_cloud(relay_ip) {
