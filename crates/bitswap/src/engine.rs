@@ -76,6 +76,11 @@ impl BsOutput {
 pub struct Bitswap {
     sessions: HashMap<Cid, FetchSession>,
     ledgers: HashMap<PeerId, Ledger>,
+    /// Reverse index of registered wants: `Cid → peers wanting it`, kept
+    /// exactly consistent with the per-ledger want maps. Serving a received
+    /// block is a single index lookup instead of a scan over every ledger
+    /// (monitors and gateways hold thousands).
+    want_index: HashMap<Cid, Vec<PeerId>>,
 }
 
 impl Bitswap {
@@ -184,9 +189,43 @@ impl Bitswap {
 
     /// Forget a disconnected peer's ledger wants (keep counters).
     pub fn peer_disconnected(&mut self, peer: &PeerId) {
-        if let Some(l) = self.ledgers.get_mut(peer) {
+        let Bitswap {
+            ledgers,
+            want_index,
+            ..
+        } = self;
+        if let Some(l) = ledgers.get_mut(peer) {
+            for cid in l.wants.keys() {
+                index_remove(want_index, cid, peer);
+            }
             l.wants.clear();
         }
+    }
+
+    /// Debugging/test oracle: panic unless the want-index mirrors the
+    /// per-ledger want maps exactly (every registered want indexed, no
+    /// stale index entries, no duplicates).
+    pub fn assert_want_index_consistent(&self) {
+        let mut expected: std::collections::BTreeMap<Cid, Vec<PeerId>> = Default::default();
+        for (peer, l) in &self.ledgers {
+            for cid in l.wants.keys() {
+                expected.entry(*cid).or_default().push(*peer);
+            }
+        }
+        for v in expected.values_mut() {
+            v.sort();
+        }
+        let mut actual: std::collections::BTreeMap<Cid, Vec<PeerId>> = Default::default();
+        for (cid, peers) in &self.want_index {
+            assert!(!peers.is_empty(), "empty index bucket for {cid:?}");
+            let mut v = peers.clone();
+            v.sort();
+            let n = v.len();
+            v.dedup();
+            assert_eq!(n, v.len(), "duplicate index entries for {cid:?}");
+            actual.insert(*cid, v);
+        }
+        assert_eq!(expected, actual, "want-index diverged from ledgers");
     }
 
     /// Feed an incoming message. `store` is consulted to serve wants and
@@ -215,8 +254,16 @@ impl Bitswap {
         store: &MemoryBlockstore,
     ) -> BsOutput {
         let mut out = BsOutput::default();
-        let ledger = self.ledgers.entry(from).or_default();
+        let Bitswap {
+            ledgers,
+            want_index,
+            ..
+        } = self;
+        let ledger = ledgers.entry(from).or_default();
         if full {
+            for cid in ledger.wants.keys() {
+                index_remove(want_index, cid, &from);
+            }
             ledger.wants.clear();
         }
         let mut have = Vec::new();
@@ -224,7 +271,9 @@ impl Bitswap {
         let mut blocks = Vec::new();
         for e in entries {
             if e.cancel {
-                ledger.wants.remove(&e.cid);
+                if ledger.wants.remove(&e.cid).is_some() {
+                    index_remove(want_index, &e.cid, &from);
+                }
                 continue;
             }
             match e.ty {
@@ -235,7 +284,9 @@ impl Bitswap {
                         if e.send_dont_have {
                             dont_have.push(e.cid);
                         }
-                        ledger.wants.insert(e.cid, WantType::Have);
+                        if ledger.wants.insert(e.cid, WantType::Have).is_none() {
+                            index_add(want_index, e.cid, from);
+                        }
                     }
                 }
                 WantType::Block => {
@@ -247,7 +298,9 @@ impl Bitswap {
                         if e.send_dont_have {
                             dont_have.push(e.cid);
                         }
-                        ledger.wants.insert(e.cid, WantType::Block);
+                        if ledger.wants.insert(e.cid, WantType::Block).is_none() {
+                            index_add(want_index, e.cid, from);
+                        }
                     }
                 }
             }
@@ -298,16 +351,30 @@ impl Bitswap {
                     }
                 }
             }
-            // Serve peers that registered wants for this block.
+            // Serve peers that registered wants for this block: one index
+            // lookup instead of a scan over every ledger.
             let mut wanters: Vec<(PeerId, WantType)> = self
-                .ledgers
-                .iter()
-                .filter(|(p, _)| **p != from)
-                .filter_map(|(p, l)| l.wants.get(&b.cid).map(|t| (*p, *t)))
-                .collect();
-            // Deterministic service order (HashMap iteration is seeded).
+                .want_index
+                .get(&b.cid)
+                .map(|peers| {
+                    peers
+                        .iter()
+                        .filter(|p| **p != from)
+                        .map(|p| {
+                            let t = self
+                                .ledgers
+                                .get(p)
+                                .and_then(|l| l.wants.get(&b.cid))
+                                .expect("want-index entry backed by ledger want");
+                            (*p, *t)
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            // Deterministic service order (index order is insertion-driven).
             wanters.sort_by_key(|(p, _)| *p);
             for (p, t) in wanters {
+                index_remove(&mut self.want_index, &b.cid, &p);
                 match t {
                     WantType::Block => {
                         let l = self.ledgers.get_mut(&p).expect("wanter has ledger");
@@ -365,6 +432,25 @@ impl Bitswap {
     /// Drop a finished or abandoned session, returning it.
     pub fn take_session(&mut self, cid: &Cid) -> Option<FetchSession> {
         self.sessions.remove(cid)
+    }
+}
+
+/// Register `peer` as a wanter of `cid`. Callers add only on a fresh
+/// ledger-want insert, so the bucket never holds duplicates.
+fn index_add(index: &mut HashMap<Cid, Vec<PeerId>>, cid: Cid, peer: PeerId) {
+    index.entry(cid).or_default().push(peer);
+}
+
+/// Drop `peer` from `cid`'s wanter bucket (no-op when absent), pruning the
+/// bucket when it empties.
+fn index_remove(index: &mut HashMap<Cid, Vec<PeerId>>, cid: &Cid, peer: &PeerId) {
+    if let Some(peers) = index.get_mut(cid) {
+        if let Some(pos) = peers.iter().position(|p| p == peer) {
+            peers.swap_remove(pos);
+        }
+        if peers.is_empty() {
+            index.remove(cid);
+        }
     }
 }
 
@@ -529,6 +615,86 @@ mod tests {
             "second Have does not trigger another request"
         );
         assert_eq!(a.session(&c).unwrap().haves.len(), 2);
+    }
+
+    #[test]
+    fn want_index_consistent_through_cancel() {
+        // The satellite invariant: registering, cancelling and re-registering
+        // wants keeps the Cid→wanters index exactly in sync with the ledgers.
+        let mut a = Bitswap::new();
+        let mut store = MemoryBlockstore::new();
+        let (c1, c2) = (cid(1), cid(2));
+        for (p, entries) in [
+            (peer(2), vec![WantEntry::block(c1), WantEntry::have(c2)]),
+            (peer(3), vec![WantEntry::block(c1)]),
+        ] {
+            a.handle_message(
+                SimTime::ZERO,
+                p,
+                BitswapMessage::Wantlist {
+                    entries,
+                    full: false,
+                },
+                &mut store,
+            );
+            a.assert_want_index_consistent();
+        }
+        // Cancel one of two wanters of c1.
+        a.handle_message(
+            SimTime::ZERO,
+            peer(2),
+            BitswapMessage::Wantlist {
+                entries: vec![WantEntry::cancel(c1)],
+                full: false,
+            },
+            &mut store,
+        );
+        a.assert_want_index_consistent();
+        // Cancelling an unregistered want is a no-op for the index too.
+        a.handle_message(
+            SimTime::ZERO,
+            peer(9),
+            BitswapMessage::Wantlist {
+                entries: vec![WantEntry::cancel(c1)],
+                full: false,
+            },
+            &mut store,
+        );
+        a.assert_want_index_consistent();
+        // The cancelled peer must not be served; the remaining wanter must.
+        let out = a.handle_message(
+            SimTime::ZERO,
+            peer(7),
+            BitswapMessage::Blocks {
+                blocks: vec![Block { cid: c1, size: 8 }],
+            },
+            &mut store,
+        );
+        let served: Vec<PeerId> = out
+            .sends
+            .iter()
+            .filter(|(_, m)| matches!(m, BitswapMessage::Blocks { .. }))
+            .map(|(p, _)| *p)
+            .collect();
+        assert_eq!(served, vec![peer(3)], "only the live wanter is served");
+        a.assert_want_index_consistent();
+        // Full-replace and disconnect also keep the index in sync.
+        a.handle_message(
+            SimTime::ZERO,
+            peer(2),
+            BitswapMessage::Wantlist {
+                entries: vec![WantEntry::block(c1)],
+                full: true,
+            },
+            &mut store,
+        );
+        a.assert_want_index_consistent();
+        a.peer_disconnected(&peer(2));
+        a.assert_want_index_consistent();
+        assert!(
+            a.ledger(&peer(2)).unwrap().wants().next().is_none(),
+            "disconnect clears wants"
+        );
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub struct CampaignOptions {
     /// Whether to schedule the content/request workload (crawl-only
     /// campaigns skip it to save events).
     pub with_workload: bool,
+    /// Whether to schedule the fetch/HTTP request side of the workload.
+    /// `false` keeps publishes (so provider records exist) but drops the
+    /// retrieval traffic — the cheap configuration for resilience probes.
+    pub with_requests: bool,
     /// Override the engine seed (defaults to scenario seed).
     pub engine_seed: Option<u64>,
 }
@@ -39,9 +43,23 @@ impl Default for CampaignOptions {
             dial_timeout: Dur::from_secs(8),
             loss: 0.002,
             with_workload: true,
+            with_requests: true,
             engine_seed: None,
         }
     }
+}
+
+/// Outcome of one provider-record resolution (searcher-side view).
+#[derive(Clone, Debug)]
+pub struct ResolvedProviders {
+    /// The resolved content.
+    pub cid: Cid,
+    /// Collected provider records.
+    pub records: Vec<ProviderRecord>,
+    /// Peers contacted during the walk.
+    pub contacted: usize,
+    /// Virtual time the lookup took.
+    pub elapsed: Dur,
 }
 
 /// A live campaign: scenario + simulation + tools.
@@ -239,7 +257,12 @@ impl Campaign {
                     );
                 }
             }
-            for req in &scenario.requests {
+            let requests: &[Request] = if opts.with_requests {
+                &scenario.requests
+            } else {
+                &[]
+            };
+            for req in requests {
                 match *req {
                     Request::Http {
                         at, gateway, item, ..
@@ -358,6 +381,21 @@ impl Campaign {
         exhaustive: bool,
         spacing: Dur,
     ) -> Vec<(Cid, Vec<ProviderRecord>, usize)> {
+        self.resolve_providers_timed(cids, exhaustive, spacing)
+            .into_iter()
+            .map(|r| (r.cid, r.records, r.contacted))
+            .collect()
+    }
+
+    /// [`Campaign::resolve_providers`] plus per-lookup latency — the
+    /// resilience experiments compare lookup latency before and after an
+    /// intervention.
+    pub fn resolve_providers_timed(
+        &mut self,
+        cids: &[Cid],
+        exhaustive: bool,
+        spacing: Dur,
+    ) -> Vec<ResolvedProviders> {
         let t0 = self.sim.core().now();
         for (i, cid) in cids.iter().enumerate() {
             self.sim.schedule_command(
@@ -378,9 +416,15 @@ impl Campaign {
                 cid,
                 records,
                 contacted,
+                elapsed,
             } = ev
             {
-                out.push((cid, records, contacted));
+                out.push(ResolvedProviders {
+                    cid,
+                    records,
+                    contacted,
+                    elapsed,
+                });
             }
         }
         out

@@ -24,7 +24,7 @@ pub use analysis::{
     percentile, share_of_top, CidCloudStats, DegreeStats, Graph, LorenzPoint, ProviderClass,
     RemovalStrategy, ResilienceCurve, UnionFind,
 };
-pub use campaign::{Campaign, CampaignOptions};
+pub use campaign::{Campaign, CampaignOptions, ResolvedProviders};
 pub use counting::{
     an_cloud_status, an_count, dataset_stats, gip_count, majority_label, shares, CloudStatus,
     DatasetStats,

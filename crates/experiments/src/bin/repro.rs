@@ -5,9 +5,11 @@
 //! repro list                                  # enumerate artefacts
 //! repro table1|stats|fig03..fig08             # crawl-group artefacts
 //! repro fig09..fig16|fig17..fig20             # workload-group artefacts
+//! repro whatif-cloud-exit                     # counterfactual sweep
+//! repro engine                                # scheduler counters only
 //! ```
 
-use experiments::{crawl_exp, entry_exp, traffic_exp, Scale, SCALES};
+use experiments::{crawl_exp, entry_exp, resilience_exp, traffic_exp, Scale, SCALES};
 
 /// Every producible artefact: `(name, what it regenerates)`.
 const ARTEFACTS: &[(&str, &str)] = &[
@@ -32,6 +34,14 @@ const ARTEFACTS: &[(&str, &str)] = &[
     ("fig18", "Fig. 18 — gateway frontend attribution"),
     ("fig19", "Fig. 19 — gateway frontend geolocation"),
     ("fig20", "Fig. 20 — ENS content attribution"),
+    (
+        "whatif-cloud-exit",
+        "counterfactual — lookup health vs fraction of cloud peers removed",
+    ),
+    (
+        "engine",
+        "engine counters for the crawl campaign at the chosen scale (scheduler health)",
+    ),
 ];
 
 fn print_list() {
@@ -65,7 +75,10 @@ fn main() {
     }
     if !ARTEFACTS.iter().any(|(name, _)| *name == cmd) {
         eprintln!("error: unknown artefact {cmd:?}");
-        eprintln!("       known artefacts: all, table1, stats, fig03..fig20");
+        eprintln!(
+            "       known artefacts: all, table1, stats, fig03..fig20, \
+whatif-cloud-exit, engine"
+        );
         eprintln!("       run `repro list` for the full annotated index");
         std::process::exit(2);
     }
@@ -124,6 +137,26 @@ fn main() {
             }
         }
         "table1" => println!("{}", crawl_exp::table1()),
+        "whatif-cloud-exit" => {
+            // Seed derivation matches `run_all` so the standalone artefact
+            // reproduces the EXPERIMENTS.md section bit-for-bit.
+            println!(
+                "{}",
+                resilience_exp::whatif_cloud_exit(scale, seed ^ 0xC10D)
+            );
+        }
+        "engine" => {
+            let data = crawl_exp::collect(scale.config(seed), scale.crawls());
+            println!(
+                "{}",
+                experiments::report::engine_report(
+                    "engine-crawl",
+                    &format!("Engine counters — crawl campaign ({})", scale.name()),
+                    &data.engine,
+                    data.wall_secs,
+                )
+            );
+        }
         "stats" | "fig03" | "fig04" | "fig05" | "fig06" | "fig07" | "fig08" => {
             let data = crawl_exp::collect(scale.config(seed), scale.crawls());
             let r = match cmd.as_str() {

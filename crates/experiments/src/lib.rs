@@ -6,13 +6,16 @@
 //!
 //! * **crawl group** (`crawl_exp`): T1, stats, Figs. 3–8;
 //! * **workload group** (`traffic_exp`): Figs. 9–16, 18–20;
-//! * **static group** (`entry_exp`): Fig. 17.
+//! * **static group** (`entry_exp`): Fig. 17;
+//! * **counterfactual group** (`resilience_exp`): the `whatif-cloud-exit`
+//!   sweep executing the paper's cloud-exit scenario mid-campaign.
 //!
 //! The `repro` binary dispatches these and can emit EXPERIMENTS.md.
 
 pub mod crawl_exp;
 pub mod entry_exp;
 pub mod report;
+pub mod resilience_exp;
 pub mod traffic_exp;
 
 pub use report::{Report, Row, Unit};
@@ -151,6 +154,11 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<Report> {
     reports.push(r19);
     reports.push(traffic_exp::fig20(&mut wl, scale.ens_sample()));
     reports.push(traffic_exp::engine(&wl));
+    drop(wl);
+
+    // Counterfactual group.
+    eprintln!("[repro] running what-if cloud-exit sweep ({scale:?}) …");
+    reports.push(resilience_exp::whatif_cloud_exit(scale, seed ^ 0xC10D));
     reports
 }
 

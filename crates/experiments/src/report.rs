@@ -164,7 +164,7 @@ pub fn engine_report(id: &str, title: &str, stats: &SimStats, wall_secs: f64) ->
     let k = &stats.kinds;
     r.note(format!(
         "events by kind: deliver {} · dial-arrive {} · dial-outcome {} · timer {} · \
-command {} · node-up {} · node-down {} · conn-closed {}",
+command {} · node-up {} · node-down {} · conn-closed {} · fault {}",
         k.deliver,
         k.dial_arrive,
         k.dial_outcome,
@@ -172,7 +172,8 @@ command {} · node-up {} · node-down {} · conn-closed {}",
         k.command,
         k.node_up,
         k.node_down,
-        k.conn_closed
+        k.conn_closed,
+        k.fault
     ));
     r
 }

@@ -186,6 +186,7 @@ enum Op {
     },
     Resolve {
         cid: Cid,
+        started: simnet::SimTime,
     },
 }
 
@@ -718,7 +719,13 @@ impl IpfsNode {
                     Some(cid),
                     LookupKind::FindProviders { exhaustive },
                 );
-                self.ops.insert(op_id, Op::Resolve { cid });
+                self.ops.insert(
+                    op_id,
+                    Op::Resolve {
+                        cid,
+                        started: ctx.now(),
+                    },
+                );
                 self.lookup_to_op.insert(lookup, op_id);
                 self.drive_lookup(ctx, lookup);
             }
@@ -887,11 +894,12 @@ impl IpfsNode {
                     self.fail_fetch(ctx, op_id);
                 }
             }
-            Op::Resolve { cid } => {
+            Op::Resolve { cid, started } => {
                 self.record(NodeEvent::ProvidersResolved {
                     cid,
                     records: result.providers.clone(),
                     contacted: result.contacted,
+                    elapsed: ctx.now().since(started),
                 });
             }
         }

@@ -163,6 +163,9 @@ pub enum NodeEvent {
         records: Vec<kademlia::ProviderRecord>,
         /// Peers contacted during the walk.
         contacted: usize,
+        /// Virtual time from command to completion (lookup latency — the
+        /// resilience experiments track its degradation under cloud exit).
+        elapsed: simnet::Dur,
     },
     /// An HTTP request was answered (gateway side).
     HttpServed {

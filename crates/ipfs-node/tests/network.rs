@@ -345,6 +345,7 @@ fn resolve_providers_exhaustive_collects_records() {
             cid: c,
             records,
             contacted,
+            ..
         } if *c == cid => Some((records.len(), *contacted)),
         _ => None,
     });

@@ -31,6 +31,7 @@ impl ScenarioConfig {
             conn_floor: 20,
             http_share: 0.45,
             hybrid_fraction: 0.006,
+            interventions: vec![],
         }
     }
 
@@ -58,6 +59,7 @@ impl ScenarioConfig {
             conn_floor: 30,
             http_share: 0.45,
             hybrid_fraction: 0.006,
+            interventions: vec![],
         }
     }
 
@@ -85,6 +87,7 @@ impl ScenarioConfig {
             conn_floor: 40,
             http_share: 0.45,
             hybrid_fraction: 0.006,
+            interventions: vec![],
         }
     }
 
@@ -116,6 +119,7 @@ impl ScenarioConfig {
             conn_floor: 60,
             http_share: 0.45,
             hybrid_fraction: 0.006,
+            interventions: vec![],
         }
     }
 
@@ -142,6 +146,7 @@ impl ScenarioConfig {
             conn_floor: 60,
             http_share: 0.45,
             hybrid_fraction: 0.006,
+            interventions: vec![],
         }
     }
 }

@@ -178,6 +178,96 @@ pub struct GatewaySpec {
     pub traffic_weight: f64,
 }
 
+/// Which nodes a scripted intervention removes or isolates. Targets are
+/// resolved against the generated population by the `whatif` engine, always
+/// deterministically (random culls carry their own seed).
+#[derive(Clone, Debug, PartialEq)]
+pub enum InterventionTarget {
+    /// Every node hosted by a named cloud provider (`"choopa"`,
+    /// `"amazon_aws"`, … — see `plan::CLOUD_PROVIDERS`).
+    Provider(&'static str),
+    /// Every node of a platform (e.g. [`Platform::Hydra`] for the
+    /// real-world Hydra-booster shutdown counterfactual).
+    Platform(Platform),
+    /// Every node in a latency region (a coarse AS/geo partition lens).
+    Region(u16),
+    /// A seeded random sample of `fraction` of *all* nodes.
+    RandomFraction {
+        /// Share of the population, in `[0, 1]`.
+        fraction: f64,
+        /// Selection seed (independent of the scenario seed).
+        seed: u64,
+    },
+    /// A seeded random sample of `fraction` of the *cloud-hosted* nodes
+    /// (the paper's headline counterfactual: what if the cloud leaves?).
+    CloudFraction {
+        /// Share of cloud-hosted nodes, in `[0, 1]`.
+        fraction: f64,
+        /// Selection seed.
+        seed: u64,
+    },
+}
+
+/// How targeted nodes leave the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExitStyle {
+    /// Process kill: connections drop without FIN, peers discover the
+    /// death through their own timeouts.
+    Abrupt,
+    /// Clean shutdown: sessions close with notifications; provider records
+    /// pointing at the node expire naturally afterwards.
+    Graceful,
+}
+
+/// What an intervention does to its target set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InterventionKind {
+    /// Permanent exit at `InterventionSpec::at` (churn re-joins are
+    /// suppressed afterwards).
+    Exit {
+        /// Abrupt kill vs graceful disconnect.
+        style: ExitStyle,
+    },
+    /// Cut the target set off from the rest of the network, optionally
+    /// healing at a later time.
+    Partition {
+        /// When connectivity is restored (`None` = never).
+        heal_at: Option<SimTime>,
+    },
+}
+
+/// One scripted mid-campaign event: at `at`, do `kind` to `target`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InterventionSpec {
+    /// When the intervention fires.
+    pub at: SimTime,
+    /// Which nodes it hits.
+    pub target: InterventionTarget,
+    /// What happens to them.
+    pub kind: InterventionKind,
+}
+
+impl InterventionSpec {
+    /// A permanent exit of `target` at `at`.
+    pub fn exit(at: SimTime, target: InterventionTarget, style: ExitStyle) -> InterventionSpec {
+        InterventionSpec {
+            at,
+            target,
+            kind: InterventionKind::Exit { style },
+        }
+    }
+
+    /// The Hydra-fleet shutdown counterfactual (abrupt, as in the real
+    /// 2023 decommissioning the paper discusses).
+    pub fn hydra_shutdown(at: SimTime) -> InterventionSpec {
+        InterventionSpec::exit(
+            at,
+            InterventionTarget::Platform(Platform::Hydra),
+            ExitStyle::Abrupt,
+        )
+    }
+}
+
 /// Size/shape knobs for scenario generation. See `paper.rs` for presets.
 #[derive(Clone, Debug)]
 pub struct ScenarioConfig {
@@ -222,6 +312,17 @@ pub struct ScenarioConfig {
     /// Fraction of publisher nodes announcing a second address of the
     /// opposite cloudness (the hybrid/BOTH populations).
     pub hybrid_fraction: f64,
+    /// Scripted mid-campaign interventions (empty = none; executed by the
+    /// `whatif` engine when the campaign is instantiated through it).
+    pub interventions: Vec<InterventionSpec>,
+}
+
+impl ScenarioConfig {
+    /// Attach an intervention plan (builder-style).
+    pub fn with_interventions(mut self, plan: Vec<InterventionSpec>) -> ScenarioConfig {
+        self.interventions = plan;
+        self
+    }
 }
 
 /// A fully generated scenario.

@@ -122,6 +122,49 @@ impl Default for SimConfig {
     }
 }
 
+/// Engine-level fault/intervention primitives — the levers the `whatif`
+/// counterfactual engine pulls. Scheduled through the ordinary event queue
+/// (same `(time, seq)` ordering, same trace digest) so an intervention plan
+/// is as deterministic as the workload it perturbs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Abrupt process kill: the node goes offline *without* `on_stop`, and
+    /// its connections vanish from both endpoints without any FIN — peers
+    /// get no [`Actor::on_connection_closed`] callback and discover the
+    /// death only through their own failed sends and RPC timeouts.
+    Kill {
+        /// The node to kill.
+        node: NodeId,
+    },
+    /// Decommission a node: any future `NodeUp` (e.g. a churn schedule
+    /// queued before the intervention) is ignored. Does not by itself take
+    /// the node down — pair with `Kill` or a scheduled down.
+    Retire {
+        /// The node to retire.
+        node: NodeId,
+    },
+    /// Assign a partition class (effective while a [`Fault::Partition`] is
+    /// active; all nodes start in class 0).
+    SetNetClass {
+        /// The node to re-class.
+        node: NodeId,
+        /// Its new class.
+        class: u16,
+    },
+    /// Activate or heal a network partition. Activations nest (a depth
+    /// counter, so overlapping partitions compose: healing one leaves the
+    /// others enforced — reset the healed set's classes to rejoin it to
+    /// the main island). While any partition is active, dials between
+    /// nodes of different classes fail (after the dial timeout, like any
+    /// unreachable target); on activation every open connection crossing a
+    /// class boundary is severed with `ConnClosed` notifications to both
+    /// sides, in ascending node order.
+    Partition {
+        /// `true` = split, `false` = heal.
+        active: bool,
+    },
+}
+
 /// Events processed, broken out by kind (scheduler observability: a
 /// regression in e.g. dial handling shows up here before it shows up in the
 /// experiment tables).
@@ -143,6 +186,8 @@ pub struct EventKindCounts {
     pub node_down: u64,
     /// Connection-closed notifications.
     pub conn_closed: u64,
+    /// Fault-injection events (kills, retirements, partitions).
+    pub fault: u64,
 }
 
 /// Aggregate engine counters (cheap sanity instrumentation; the paper's
@@ -180,6 +225,10 @@ struct NodeState {
     online: bool,
     /// Whether direct inbound dials succeed (false = behind NAT).
     dialable: bool,
+    /// Decommissioned by a [`Fault::Retire`]: future `NodeUp`s are ignored.
+    retired: bool,
+    /// Partition class (compared only while a partition is active).
+    net_class: u16,
     addr: SocketAddrV4,
     region: RegionId,
     /// Region clamped against the latency matrix, cached for the send path.
@@ -200,6 +249,8 @@ pub struct SimCore<M, C> {
     lat_dim: usize,
     lat_jitter: f64,
     rng: StdRng,
+    /// Number of currently active [`Fault::Partition`]s (they nest).
+    partition_depth: u32,
     /// Running FNV-1a fold of every processed event (time, kind, operands).
     trace: u64,
     /// Engine counters.
@@ -243,6 +294,7 @@ enum Ev<M, C> {
         node: NodeId,
         peer: NodeId,
     },
+    Fault(Fault),
 }
 
 /// FNV-1a prime (the digest fold in [`SimCore::trace_digest`]).
@@ -280,6 +332,12 @@ impl<M, C> SimCore<M, C> {
     fn drop_conn(&mut self, a: NodeId, b: NodeId) {
         self.slots[a.idx()].conns.remove(b);
         self.slots[b.idx()].conns.remove(a);
+    }
+
+    /// Whether the fabric lets `a` and `b` talk (partition check). Free
+    /// when no partition is active — the common case is one branch.
+    fn link_allowed(&self, a: NodeId, b: NodeId) -> bool {
+        self.partition_depth == 0 || self.slots[a.idx()].net_class == self.slots[b.idx()].net_class
     }
 
     /// Fold one processed event into the trace digest and bump its kind
@@ -320,6 +378,18 @@ impl<M, C> SimCore<M, C> {
                 self.stats.kinds.conn_closed += 1;
                 (8, node.0 as u64, peer.0 as u64)
             }
+            Ev::Fault(f) => {
+                self.stats.kinds.fault += 1;
+                let (a, b) = match f {
+                    Fault::Kill { node } => (node.0 as u64, 0),
+                    Fault::Retire { node } => (node.0 as u64, 1),
+                    Fault::SetNetClass { node, class } => {
+                        (node.0 as u64, 2 | ((*class as u64) << 8))
+                    }
+                    Fault::Partition { active } => (u64::MAX, 3 | ((*active as u64) << 8)),
+                };
+                (9, a, b)
+            }
         };
         let mut h = self.trace;
         for v in [at.0, tag, a, b] {
@@ -354,6 +424,21 @@ impl<M, C> SimCore<M, C> {
     /// Whether a node accepts direct inbound dials.
     pub fn is_dialable(&self, node: NodeId) -> bool {
         self.slots[node.idx()].dialable
+    }
+
+    /// Whether a node has been retired by a [`Fault::Retire`].
+    pub fn is_retired(&self, node: NodeId) -> bool {
+        self.slots[node.idx()].retired
+    }
+
+    /// A node's partition class (0 unless re-classed by a fault).
+    pub fn net_class(&self, node: NodeId) -> u16 {
+        self.slots[node.idx()].net_class
+    }
+
+    /// Whether any partition is currently active.
+    pub fn partition_active(&self) -> bool {
+        self.partition_depth > 0
     }
 
     /// A node's current socket address (harness-side oracle).
@@ -605,6 +690,7 @@ impl<A: Actor> Sim<A> {
                 lat_dim,
                 lat_jitter: latency.jitter(),
                 rng: StdRng::seed_from_u64(seed),
+                partition_depth: 0,
                 trace: FNV_OFFSET,
                 stats: SimStats::default(),
             },
@@ -620,6 +706,8 @@ impl<A: Actor> Sim<A> {
         self.core.slots.push(NodeState {
             online: false,
             dialable: setup.dialable,
+            retired: false,
+            net_class: 0,
             addr: setup.addr,
             region: setup.region,
             region_idx,
@@ -673,6 +761,12 @@ impl<A: Actor> Sim<A> {
     /// Schedule a harness command for a node at `at`.
     pub fn schedule_command(&mut self, at: SimTime, node: NodeId, cmd: A::Cmd) {
         self.core.push(at, Ev::Command { node, cmd });
+    }
+
+    /// Schedule a fault-injection event (the `whatif` engine's entry point).
+    /// Faults queued at the same instant execute in scheduling order.
+    pub fn schedule_fault(&mut self, at: SimTime, fault: Fault) {
+        self.core.push(at, Ev::Fault(fault));
     }
 
     /// Process a single event. Returns `false` when the queue is empty.
@@ -768,9 +862,13 @@ impl<A: Actor> Sim<A> {
                         Some(relay) => {
                             self.core.slots[relay.idx()].online
                                 && self.core.connected(relay, target)
+                                && self.core.link_allowed(dialer, relay)
                         }
                     };
-                    t.online && reachable && dialer != target
+                    t.online
+                        && reachable
+                        && dialer != target
+                        && self.core.link_allowed(dialer, target)
                 };
                 let relayed = via.is_some();
                 if ok {
@@ -839,7 +937,7 @@ impl<A: Actor> Sim<A> {
                 self.with_actor(node, |a, ctx| a.on_command(ctx, cmd));
             }
             Ev::NodeUp { node, addr } => {
-                if self.core.slots[node.idx()].online {
+                if self.core.slots[node.idx()].online || self.core.slots[node.idx()].retired {
                     return;
                 }
                 if let Some(addr) = addr {
@@ -872,6 +970,57 @@ impl<A: Actor> Sim<A> {
                     return;
                 }
                 self.with_actor(node, |a, ctx| a.on_connection_closed(ctx, peer));
+            }
+            Ev::Fault(f) => self.dispatch_fault(f),
+        }
+    }
+
+    fn dispatch_fault(&mut self, f: Fault) {
+        match f {
+            Fault::Kill { node } => {
+                if !self.core.slots[node.idx()].online {
+                    return;
+                }
+                // No `on_stop`, no FIN: the process is simply gone. Both
+                // conn-table sides are cleared so the fabric stays
+                // symmetric, but peers receive no ConnClosed — their
+                // node-level session state goes stale until their own
+                // operations fail, exactly like writes on a dead TCP
+                // socket.
+                self.core.slots[node.idx()].online = false;
+                for entry in self.core.slots[node.idx()].conns.take_all() {
+                    self.core.slots[entry.peer.idx()].conns.remove(node);
+                }
+            }
+            Fault::Retire { node } => {
+                self.core.slots[node.idx()].retired = true;
+            }
+            Fault::SetNetClass { node, class } => {
+                self.core.slots[node.idx()].net_class = class;
+            }
+            Fault::Partition { active } => {
+                if !active {
+                    self.core.partition_depth = self.core.partition_depth.saturating_sub(1);
+                    return;
+                }
+                self.core.partition_depth += 1;
+                // Sever every crossing connection, in ascending (node,
+                // peer) order so teardown notifications are deterministic.
+                for i in 0..self.core.slots.len() {
+                    let a = NodeId(i as u32);
+                    let crossing: Vec<NodeId> = self
+                        .core
+                        .connections(a)
+                        .filter(|&b| b.idx() > i && !self.core.link_allowed(a, b))
+                        .collect();
+                    for b in crossing {
+                        self.core.drop_conn(a, b);
+                        self.core
+                            .push(self.core.now, Ev::ConnClosed { node: a, peer: b });
+                        self.core
+                            .push(self.core.now, Ev::ConnClosed { node: b, peer: a });
+                    }
+                }
             }
         }
     }
@@ -1177,6 +1326,104 @@ mod tests {
         let mut s = sim();
         s.run_until(SimTime::ZERO + Dur::from_secs(100));
         assert_eq!(s.core().now().as_secs(), 100);
+    }
+
+    #[test]
+    fn kill_is_silent_and_symmetric() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
+        let b = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
+        s.schedule_command(SimTime::ZERO + Dur::from_secs(1), b, "dial0");
+        s.run_for(Dur::from_secs(2));
+        assert!(s.core().connected(a, b));
+        s.schedule_fault(s.core().now(), Fault::Kill { node: a });
+        s.run_for(Dur::from_secs(5));
+        // No FIN: b never hears the connection close, and a's actor never
+        // ran on_stop.
+        assert!(s.actor(b).closed.is_empty(), "kill must not notify peers");
+        assert_eq!(s.actor(a).stopped, 0, "kill must skip on_stop");
+        assert!(!s.core().is_online(a));
+        assert!(!s.core().connected(a, b) && !s.core().connected(b, a));
+        // A non-retired killed node can still be revived.
+        s.schedule_up(s.core().now(), a, None);
+        s.run_for(Dur::from_secs(1));
+        assert!(s.core().is_online(a));
+        assert_eq!(s.actor(a).started, 2);
+    }
+
+    #[test]
+    fn retire_blocks_future_node_up() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
+        s.schedule_down(SimTime::ZERO + Dur::from_secs(1), a);
+        s.schedule_fault(SimTime::ZERO + Dur::from_secs(1), Fault::Retire { node: a });
+        // A churn re-join queued for later must be swallowed.
+        s.schedule_up(SimTime::ZERO + Dur::from_secs(10), a, None);
+        s.run_for(Dur::from_secs(20));
+        assert!(!s.core().is_online(a));
+        assert!(s.core().is_retired(a));
+        assert_eq!(s.actor(a).started, 1, "retired node must not restart");
+    }
+
+    #[test]
+    fn partition_severs_and_blocks_cross_class_dials() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
+        let b = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
+        let c = s.add_node(Echo::default(), NodeSetup::public(ip(3)));
+        s.core.connect(a, b, false);
+        s.core.connect(a, c, false);
+        let t = SimTime::ZERO + Dur::from_secs(1);
+        s.schedule_fault(t, Fault::SetNetClass { node: b, class: 1 });
+        s.schedule_fault(t, Fault::Partition { active: true });
+        s.run_for(Dur::from_secs(2));
+        // a–b crossed the boundary and was severed with notifications …
+        assert!(!s.core().connected(a, b));
+        assert_eq!(s.actor(a).closed, vec![b]);
+        assert_eq!(s.actor(b).closed, vec![a]);
+        // … while same-class a–c survived.
+        assert!(s.core().connected(a, c));
+        // Cross-class dials fail (after the dial timeout), same-class work.
+        s.schedule_command(s.core().now(), b, "dial0");
+        s.run_for(Dur::from_secs(30));
+        assert_eq!(s.actor(b).dial_ok.last(), Some(&(a, false, false)));
+        // Heal: dialing works again.
+        s.schedule_fault(s.core().now(), Fault::Partition { active: false });
+        s.schedule_command(s.core().now() + Dur::from_secs(1), b, "dial0");
+        s.run_for(Dur::from_secs(30));
+        assert_eq!(s.actor(b).dial_ok.last(), Some(&(a, true, false)));
+    }
+
+    #[test]
+    fn overlapping_partitions_nest() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
+        let b = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
+        let c = s.add_node(Echo::default(), NodeSetup::public(ip(3)));
+        let t = |secs| SimTime::ZERO + Dur::from_secs(secs);
+        // Partition 1 isolates b (class 1), partition 2 isolates c (class 2).
+        s.schedule_fault(t(1), Fault::SetNetClass { node: b, class: 1 });
+        s.schedule_fault(t(1), Fault::Partition { active: true });
+        s.schedule_fault(t(2), Fault::SetNetClass { node: c, class: 2 });
+        s.schedule_fault(t(2), Fault::Partition { active: true });
+        // Heal partition 1 only: b rejoins the main island, c stays cut.
+        s.schedule_fault(t(3), Fault::Partition { active: false });
+        s.schedule_fault(t(3), Fault::SetNetClass { node: b, class: 0 });
+        s.schedule_command(t(4), b, "dial0");
+        s.run_for(Dur::from_secs(10));
+        assert!(s.core().partition_active(), "second split still enforced");
+        assert_eq!(
+            s.actor(b).dial_ok.last(),
+            Some(&(a, true, false)),
+            "healed island dials again"
+        );
+        s.schedule_command(s.core().now(), c, "dial0");
+        s.run_for(Dur::from_secs(30));
+        assert_eq!(
+            s.actor(c).dial_ok.last(),
+            Some(&(a, false, false)),
+            "unhealed island stays cut"
+        );
     }
 
     #[test]

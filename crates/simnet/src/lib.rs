@@ -29,7 +29,7 @@ pub mod wheel;
 pub use churn::{ChurnModel, LogNormal};
 pub use conn::{ConnEntry, ConnTable};
 pub use engine::{
-    Actor, Ctx, EventKindCounts, NodeId, NodeSetup, Sim, SimConfig, SimCore, SimStats,
+    Actor, Ctx, EventKindCounts, Fault, NodeId, NodeSetup, Sim, SimConfig, SimCore, SimStats,
 };
 pub use latency::{LatencyModel, RegionId};
 pub use time::{Dur, SimTime};

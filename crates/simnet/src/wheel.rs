@@ -21,9 +21,13 @@
 //! replaces): events pop in strictly ascending `(time, seq)` order, where
 //! `seq` is the caller-supplied insertion sequence number — FIFO within a
 //! tick, ties never depend on memory layout. Same-slot ordering is enforced
-//! by a small *staging* heap holding only the slot currently being drained,
-//! so the per-event comparison cost is `O(log(slot population))` instead of
-//! `O(log(total population))`.
+//! by a small *staging* buffer holding only the slot currently being
+//! drained: the slot's bucket is swapped in wholesale (a pointer swap, no
+//! element copies — entries carry the full event payload, ~150 bytes for
+//! the ecosystem's `Ev<WireMsg, _>`), sorted in place descending, and
+//! popped from the tail. The old design pushed every entry through a
+//! `BinaryHeap`, paying one large memmove per event on the way in and
+//! sift-down shuffles on the way out.
 
 use crate::time::SimTime;
 use std::collections::BinaryHeap;
@@ -116,8 +120,10 @@ pub struct TimerWheel<T> {
     coarse: Vec<Vec<Entry<T>>>,
     coarse_bits: Bitmap,
     far: BinaryHeap<Entry<T>>,
-    /// Events of the slot currently being drained (plus any "late" inserts).
-    staging: BinaryHeap<Entry<T>>,
+    /// Events of the slot currently being drained (plus any "late"
+    /// inserts), sorted descending by `(at, seq)` so the next event pops
+    /// from the tail without moving the rest.
+    staging: Vec<Entry<T>>,
     /// Absolute near slot of the staging frontier: staging holds every
     /// queued event whose near slot is `<= cur_near`.
     cur_near: u64,
@@ -141,7 +147,7 @@ impl<T> TimerWheel<T> {
             coarse: (0..COARSE_SLOTS).map(|_| Vec::new()).collect(),
             coarse_bits: Bitmap::new(),
             far: BinaryHeap::new(),
-            staging: BinaryHeap::new(),
+            staging: Vec::new(),
             cur_near: 0,
             cur_coarse: 0,
             len: 0,
@@ -169,7 +175,7 @@ impl<T> TimerWheel<T> {
         };
         let ns = e.at >> NEAR_SHIFT;
         if ns <= self.cur_near {
-            self.staging.push(e);
+            self.stage_sorted(e);
             return;
         }
         let cs = e.at >> COARSE_SHIFT;
@@ -186,6 +192,22 @@ impl<T> TimerWheel<T> {
         }
     }
 
+    /// Insert a "late" event (at or before the staging frontier) into the
+    /// already-sorted staging buffer. Staging holds one slot's population,
+    /// so the shift is short; the hot path (future slots) never comes here.
+    fn stage_sorted(&mut self, e: Entry<T>) {
+        let key = (e.at, e.seq);
+        let pos = self.staging.partition_point(|x| (x.at, x.seq) > key);
+        self.staging.insert(pos, e);
+    }
+
+    /// Restore the descending `(at, seq)` staging order after a bulk
+    /// append (slot swap-in or coarse cascade).
+    fn sort_staging(&mut self) {
+        self.staging
+            .sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+    }
+
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
         self.refill_staging();
@@ -200,11 +222,12 @@ impl<T> TimerWheel<T> {
     /// past empty slots; this never changes the pop order.
     pub fn peek_at(&mut self) -> Option<SimTime> {
         self.refill_staging();
-        self.staging.peek().map(|e| SimTime(e.at))
+        self.staging.last().map(|e| SimTime(e.at))
     }
 
     /// Route an event whose coarse slot is within `[cur_coarse,
-    /// cur_coarse + COARSE_SLOTS)` into staging / near / coarse.
+    /// cur_coarse + COARSE_SLOTS)` into staging / near / coarse. Staging
+    /// appends are raw; callers re-sort once after the bulk move.
     fn route_within_window(&mut self, e: Entry<T>) {
         let ns = e.at >> NEAR_SHIFT;
         if ns <= self.cur_near {
@@ -260,11 +283,11 @@ impl<T> TimerWheel<T> {
             if let Some(idx) = self.near_bits.next_set_from(from) {
                 self.cur_near = (self.cur_coarse << NEAR_BITS) | idx as u64;
                 self.near_bits.clear(idx);
-                let mut bucket = std::mem::take(&mut self.near[idx]);
-                for e in bucket.drain(..) {
-                    self.staging.push(e);
-                }
-                self.near[idx] = bucket; // hand the capacity back
+                // Swap the whole bucket in (no per-entry copies; the empty
+                // staging vec hands its capacity back to the slot) and sort
+                // it in place.
+                std::mem::swap(&mut self.staging, &mut self.near[idx]);
+                self.sort_staging();
                 continue;
             }
             // 2. Current coarse span exhausted: cascade the next one.
@@ -279,6 +302,7 @@ impl<T> TimerWheel<T> {
                 }
                 self.coarse[idx] = bucket;
                 self.pull_far();
+                self.sort_staging();
                 continue;
             }
             // 3. Both wheels empty: jump straight to the far horizon.
@@ -289,6 +313,7 @@ impl<T> TimerWheel<T> {
             self.cur_coarse = cs;
             self.cur_near = cs << NEAR_BITS;
             self.pull_far();
+            self.sort_staging();
         }
     }
 }

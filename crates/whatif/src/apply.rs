@@ -1,0 +1,74 @@
+//! Intervention scheduling: compiled plans become ordinary engine events.
+//!
+//! Nothing here executes immediately — every lever is queued through the
+//! simulator's `(time, seq)` event order, so an intervention interleaves
+//! with the workload exactly the same way on every run with the same seed.
+
+use crate::compile::{compile, CompiledIntervention};
+use netgen::{ExitStyle, InterventionKind};
+use simnet::Fault;
+use tcsb_core::Campaign;
+
+/// Compile and schedule the campaign scenario's intervention plan.
+/// Call once, right after `Campaign::new` (events may be scheduled at any
+/// future virtual time). Returns the compiled plan for reporting.
+pub fn apply(campaign: &mut Campaign) -> Vec<CompiledIntervention> {
+    let plan = compile(&campaign.scenario);
+    schedule(campaign, &plan);
+    plan
+}
+
+/// Schedule an already-compiled plan.
+pub fn schedule(campaign: &mut Campaign, plan: &[CompiledIntervention]) {
+    for (n, ci) in plan.iter().enumerate() {
+        let at = ci.spec.at;
+        match ci.spec.kind {
+            InterventionKind::Exit { style } => {
+                for &i in &ci.nodes {
+                    let node = campaign.node_ids[i];
+                    match style {
+                        // Process kill: no on_stop, no FIN — peers learn of
+                        // the death only through their own failed sends.
+                        ExitStyle::Abrupt => {
+                            campaign.sim.schedule_fault(at, Fault::Kill { node });
+                        }
+                        // Clean shutdown through the normal lifecycle:
+                        // sessions close with notifications, and provider
+                        // records pointing at the node expire on TTL.
+                        ExitStyle::Graceful => campaign.sim.schedule_down(at, node),
+                    }
+                    // The exit is permanent: churn re-joins already queued
+                    // for this node are swallowed from here on.
+                    campaign.sim.schedule_fault(at, Fault::Retire { node });
+                }
+            }
+            InterventionKind::Partition { heal_at } => {
+                // Interventions get distinct classes so overlapping
+                // partitions do not merge their islands; activations nest
+                // in the engine, so healing this one (class reset + depth
+                // decrement) leaves the others enforced.
+                let class = (n + 1) as u16;
+                for &i in &ci.nodes {
+                    let node = campaign.node_ids[i];
+                    campaign
+                        .sim
+                        .schedule_fault(at, Fault::SetNetClass { node, class });
+                }
+                campaign
+                    .sim
+                    .schedule_fault(at, Fault::Partition { active: true });
+                if let Some(heal) = heal_at {
+                    campaign
+                        .sim
+                        .schedule_fault(heal, Fault::Partition { active: false });
+                    for &i in &ci.nodes {
+                        let node = campaign.node_ids[i];
+                        campaign
+                            .sim
+                            .schedule_fault(heal, Fault::SetNetClass { node, class: 0 });
+                    }
+                }
+            }
+        }
+    }
+}

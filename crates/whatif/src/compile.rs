@@ -1,0 +1,66 @@
+//! Intervention compilation: from a target description to a concrete,
+//! deterministic set of scenario node indices.
+
+use netgen::{InterventionSpec, InterventionTarget, Scenario};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One intervention with its target resolved against the population.
+#[derive(Clone, Debug)]
+pub struct CompiledIntervention {
+    /// The originating spec.
+    pub spec: InterventionSpec,
+    /// Scenario node indices hit by it, ascending.
+    pub nodes: Vec<usize>,
+}
+
+/// Resolve a target against the population. Selection is deterministic:
+/// attribute targets enumerate in index order; random culls shuffle with
+/// their own seed, independent of the scenario seed, then re-sort.
+pub fn resolve_target(scenario: &Scenario, target: &InterventionTarget) -> Vec<usize> {
+    let all = || 0..scenario.nodes.len();
+    match target {
+        InterventionTarget::Provider(name) => all()
+            .filter(|&i| scenario.nodes[i].provider == Some(name))
+            .collect(),
+        InterventionTarget::Platform(p) => all()
+            .filter(|&i| scenario.nodes[i].platform == Some(*p))
+            .collect(),
+        InterventionTarget::Region(r) => {
+            all().filter(|&i| scenario.nodes[i].region == *r).collect()
+        }
+        InterventionTarget::RandomFraction { fraction, seed } => {
+            sample_fraction(all().collect(), *fraction, *seed)
+        }
+        InterventionTarget::CloudFraction { fraction, seed } => {
+            let cloud: Vec<usize> = all()
+                .filter(|&i| scenario.nodes[i].provider.is_some())
+                .collect();
+            sample_fraction(cloud, *fraction, *seed)
+        }
+    }
+}
+
+fn sample_fraction(mut candidates: Vec<usize>, fraction: f64, seed: u64) -> Vec<usize> {
+    let k = (candidates.len() as f64 * fraction.clamp(0.0, 1.0)).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    candidates.shuffle(&mut rng);
+    candidates.truncate(k);
+    candidates.sort_unstable();
+    candidates
+}
+
+/// Compile the scenario's whole intervention plan
+/// (`scenario.cfg.interventions`), in plan order.
+pub fn compile(scenario: &Scenario) -> Vec<CompiledIntervention> {
+    scenario
+        .cfg
+        .interventions
+        .iter()
+        .map(|spec| CompiledIntervention {
+            spec: spec.clone(),
+            nodes: resolve_target(scenario, &spec.target),
+        })
+        .collect()
+}

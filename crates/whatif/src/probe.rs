@@ -1,0 +1,62 @@
+//! DHT health probes: the measurement side of a counterfactual.
+//!
+//! A probe drives the campaign's provider-record searcher over a sample of
+//! CIDs and summarizes what a user would experience: did the lookup return
+//! anything, is any returned provider actually reachable, how many peers
+//! did the walk contact, how long did it take. Ran before and after an
+//! intervention, the delta *is* the resilience result.
+
+use ipfs_types::Cid;
+use simnet::Dur;
+use tcsb_core::Campaign;
+
+/// Aggregate DHT health over one probe batch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DhtHealth {
+    /// Lookups issued.
+    pub lookups: usize,
+    /// Lookups that completed at all (the rest timed out mid-walk).
+    pub completed: usize,
+    /// Share of lookups yielding ≥1 *reachable* provider — the user-facing
+    /// success rate (denominator: all issued lookups).
+    pub success_rate: f64,
+    /// Share of lookups yielding ≥1 provider record, reachable or not —
+    /// record availability decays on TTL after an exit, reachability
+    /// collapses immediately.
+    pub record_availability: f64,
+    /// Mean peers contacted per completed walk (lookup effort; rises as
+    /// the keyspace empties out).
+    pub mean_contacted: f64,
+    /// Mean virtual lookup latency over completed walks.
+    pub mean_elapsed: Dur,
+}
+
+/// Probe the campaign's DHT through its searcher node. Advances virtual
+/// time by roughly `spacing × cids.len()` plus a settle tail.
+pub fn dht_health(campaign: &mut Campaign, cids: &[Cid], spacing: Dur) -> DhtHealth {
+    let resolved = campaign.resolve_providers_timed(cids, false, spacing);
+    let mut ok = 0usize;
+    let mut any = 0usize;
+    let mut contacted = 0usize;
+    let mut elapsed = 0u64;
+    for r in &resolved {
+        if !r.records.is_empty() {
+            any += 1;
+        }
+        if r.records.iter().any(|rec| campaign.record_reachable(rec)) {
+            ok += 1;
+        }
+        contacted += r.contacted;
+        elapsed += r.elapsed.0;
+    }
+    let n = cids.len().max(1) as f64;
+    let done = resolved.len().max(1) as f64;
+    DhtHealth {
+        lookups: cids.len(),
+        completed: resolved.len(),
+        success_rate: ok as f64 / n,
+        record_availability: any as f64 / n,
+        mean_contacted: contacted as f64 / done,
+        mean_elapsed: Dur((elapsed as f64 / done) as u64),
+    }
+}

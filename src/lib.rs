@@ -10,3 +10,4 @@ pub use kademlia;
 pub use netgen;
 pub use simnet;
 pub use tcsb_core as core;
+pub use whatif;

@@ -19,6 +19,8 @@ fn umbrella_reexports_resolve() {
     let _reg = tcsb::ens::Registry::default();
     let _node_cfg = tcsb::ipfs_node::NodeConfig::regular(1);
     let _scale = tcsb::experiments::Scale::Tiny;
+    let _style = tcsb::netgen::ExitStyle::Abrupt;
+    let _health: Option<tcsb::whatif::DhtHealth> = None;
 }
 
 #[test]
