@@ -155,6 +155,42 @@ fn json_line(name: &str, stats: &SimStats, wall: f64) -> String {
     )
 }
 
+/// One shard-scaling workload line: the same stress campaign slice on `n`
+/// shards. The digest pins the determinism contract (identical history on
+/// every row); wall-clock is the scaling metric.
+fn measure_stress_slice(n: usize, base_wall: f64) -> (String, f64) {
+    let scenario = netgen::build(netgen::ScenarioConfig::stress(7).with_shards(n));
+    let mut campaign = tcsb_core::Campaign::new(
+        scenario,
+        tcsb_core::CampaignOptions {
+            with_workload: true,
+            ..Default::default()
+        },
+    );
+    let t = Instant::now();
+    campaign.run_for(Dur::from_hours(6));
+    let wall = t.elapsed().as_secs_f64();
+    let stats = campaign.sim.stats();
+    let speedup = if base_wall > 0.0 {
+        base_wall / wall
+    } else {
+        1.0
+    };
+    let line = format!(
+        "  \"campaign_stress_6h_shards{n}\": {{ \"events\": {}, \"wall_secs\": {:.3}, \
+\"events_per_sec\": {:.0}, \"peak_queue_len\": {}, \"msgs_delivered\": {}, \
+\"digest\": \"{:#018x}\", \"speedup_vs_1shard\": {:.2} }}",
+        stats.events,
+        wall,
+        stats.events as f64 / wall.max(1e-9),
+        stats.peak_queue_len,
+        stats.msgs_delivered,
+        campaign.sim.trace_digest(),
+        speedup
+    );
+    (line, wall)
+}
+
 fn write_engine_json() {
     let (pp_stats, pp_wall) = measure(pingpong_sim(512), Dur::from_secs(60));
     let (st_stats, st_wall) = measure(storm_sim(1024), Dur::from_mins(10));
@@ -173,11 +209,25 @@ fn write_engine_json() {
     let camp_wall = t.elapsed().as_secs_f64();
     let camp_stats = campaign.sim.core().stats.clone();
 
+    // Shard scaling: 1/2/4 shards over the identical stress slice. On a
+    // multi-core host the wall-clock drops with the shard count; the
+    // digest row proves the history did not change. `host_cpus` records
+    // how many cores were actually available to scale onto.
+    let (s1, base_wall) = measure_stress_slice(1, 0.0);
+    let (s2, _) = measure_stress_slice(2, base_wall);
+    let (s4, _) = measure_stress_slice(4, base_wall);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
     let body = format!(
-        "{{\n  \"schema\": \"tcsb-bench-engine/1\",\n{},\n{},\n{}\n}}\n",
+        "{{\n  \"schema\": \"tcsb-bench-engine/2\",\n  \"host_cpus\": {host_cpus},\n{},\n{},\n{},\n{},\n{},\n{}\n}}\n",
         json_line("pingpong_512pairs_60s", &pp_stats, pp_wall),
         json_line("timer_storm_1024_10min", &st_stats, st_wall),
         json_line("campaign_tiny_12h", &camp_stats, camp_wall),
+        s1,
+        s2,
+        s4,
     );
     // `cargo bench` runs with the package dir as CWD; anchor the file at the
     // workspace root where CI (and readers) expect it.

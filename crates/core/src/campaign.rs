@@ -97,7 +97,13 @@ impl Campaign {
         };
         let latency = LatencyModel::continents(4, Dur::from_millis(12), Dur::from_millis(90), 0.3);
         let seed = opts.engine_seed.unwrap_or(scenario.cfg.seed ^ 0x51u64);
-        let mut sim: Sim<EcoActor> = Sim::new(cfg, latency, seed);
+        // Shard count: explicit `ScenarioConfig::shards`, else TCSB_SHARDS,
+        // else 1. Nodes are placed with `netgen::shard_for`, which keeps
+        // regions whole per shard so the executor's lookahead is the
+        // inter-region latency floor. Output is byte-identical across
+        // shard counts; only wall-clock changes.
+        let shards = scenario.cfg.effective_shards();
+        let mut sim: Sim<EcoActor> = Sim::new_sharded(cfg, latency, seed, shards);
 
         // Bootstrap identities are known up front (first N nodes).
         let bootstrap: Vec<(PeerId, NodeId)> = (0..scenario.bootstrap_count)
@@ -175,7 +181,7 @@ impl Campaign {
                 }
                 EcoActor::Node(Box::new(IpfsNode::new(nc)))
             };
-            let id = sim.add_node(actor, setup);
+            let id = sim.add_node_in(actor, setup, netgen::shard_for(spec.region, shards));
             if spec.platform == Some(Platform::Hydra) {
                 hydras.push(id);
             }
@@ -309,6 +315,11 @@ impl Campaign {
     /// Bootstrap pairs handed to tools.
     pub fn bootstrap_pairs(&self) -> Vec<(PeerId, NodeId)> {
         self.bootstrap.clone()
+    }
+
+    /// Engine shards this campaign runs on.
+    pub fn shards(&self) -> usize {
+        self.sim.n_shards()
     }
 
     /// Advance virtual time.

@@ -1,0 +1,55 @@
+//! Campaign-level shard invariance: a full ecosystem campaign (IPFS nodes,
+//! Hydra hosts, crawler, monitor, gateway frontends, churn schedules)
+//! produces byte-identical trace digests and engine counters for every
+//! engine shard count. This is the end-to-end version of the oracle that
+//! `simnet/tests/shard_equivalence.rs` checks at the actor level.
+
+use netgen::ScenarioConfig;
+use simnet::Dur;
+use tcsb_core::{Campaign, CampaignOptions};
+
+fn fingerprint(cfg: ScenarioConfig, hours: u64) -> (u64, u64, u64, u64, usize) {
+    let scenario = netgen::build(cfg);
+    let mut campaign = Campaign::new(
+        scenario,
+        CampaignOptions {
+            with_workload: true,
+            with_requests: false,
+            ..Default::default()
+        },
+    );
+    campaign.run_for(Dur::from_hours(hours));
+    let stats = campaign.sim.stats();
+    (
+        campaign.sim.trace_digest(),
+        stats.events,
+        stats.msgs_delivered,
+        stats.dials_ok,
+        campaign
+            .sim
+            .actor(campaign.crawler)
+            .crawler()
+            .snapshots
+            .len(),
+    )
+}
+
+#[test]
+fn tiny_campaign_matches_across_shard_counts() {
+    let one = fingerprint(ScenarioConfig::tiny(42).with_shards(1), 8);
+    assert!(one.1 > 50_000, "campaign actually ran: {one:?}");
+    for shards in [2usize, 4] {
+        let many = fingerprint(ScenarioConfig::tiny(42).with_shards(shards), 8);
+        assert_eq!(one, many, "{shards}-shard tiny campaign diverged");
+    }
+}
+
+#[test]
+fn quick_campaign_slice_matches_across_shard_counts() {
+    // A bounded slice of the Quick preset (bootstrap + first workload
+    // hours): big enough to cross every shard boundary continuously,
+    // small enough for CI.
+    let one = fingerprint(ScenarioConfig::quick(7).with_shards(1), 2);
+    let four = fingerprint(ScenarioConfig::quick(7).with_shards(4), 2);
+    assert_eq!(one, four, "4-shard quick campaign slice diverged");
+}

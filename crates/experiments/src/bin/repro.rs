@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro all   [--scale tiny|small|quick|stress|paper] [--seed N] [--md PATH]
+//! repro all   [--scale tiny|small|quick|stress|paper] [--seed N] [--shards N] [--md PATH]
 //! repro list                                  # enumerate artefacts
 //! repro table1|stats|fig03..fig08             # crawl-group artefacts
 //! repro fig09..fig16|fig17..fig20             # workload-group artefacts
@@ -51,13 +51,17 @@ fn print_list() {
     }
     let scales: Vec<&str> = SCALES.iter().map(|s| s.name()).collect();
     println!("\nscales: {} (default: small)", scales.join(", "));
-    println!("flags:  --scale <s>  --seed <u64>  --md <path (with `all`)>");
+    println!("flags:  --scale <s>  --seed <u64>  --shards <n>  --md <path (with `all`)>");
+    println!(
+        "        --shards N runs the engine on N cores (default 1, or TCSB_SHARDS);\n\
+         all tables and digests are byte-identical for every shard count"
+    );
 }
 
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro <all|list|table1|stats|figNN> \
-[--scale tiny|small|quick|stress|paper] [--seed N] [--md PATH]\n\
+[--scale tiny|small|quick|stress|paper] [--seed N] [--shards N] [--md PATH]\n\
        run `repro list` to see every artefact name"
     );
     std::process::exit(2);
@@ -84,6 +88,7 @@ whatif-cloud-exit, engine"
     }
     let mut scale = Scale::Small;
     let mut seed = 42u64;
+    let mut shards = 0usize; // 0 = auto (TCSB_SHARDS or 1)
     let mut md_path: Option<String> = None;
     let mut i = 1;
     let value_of = |args: &[String], i: usize| -> String {
@@ -113,6 +118,17 @@ whatif-cloud-exit, engine"
                 });
                 i += 2;
             }
+            "--shards" => {
+                shards = value_of(&args, i).parse().unwrap_or_else(|_| {
+                    eprintln!("shards must be a positive integer");
+                    std::process::exit(2);
+                });
+                if shards == 0 {
+                    eprintln!("shards must be >= 1");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
             "--md" => {
                 md_path = Some(value_of(&args, i));
                 i += 2;
@@ -126,7 +142,7 @@ whatif-cloud-exit, engine"
 
     match cmd.as_str() {
         "all" => {
-            let reports = experiments::run_all(scale, seed);
+            let reports = experiments::run_all(scale, seed, shards);
             for r in &reports {
                 println!("{r}");
             }
@@ -142,11 +158,11 @@ whatif-cloud-exit, engine"
             // reproduces the EXPERIMENTS.md section bit-for-bit.
             println!(
                 "{}",
-                resilience_exp::whatif_cloud_exit(scale, seed ^ 0xC10D)
+                resilience_exp::whatif_cloud_exit(scale, seed ^ 0xC10D, shards)
             );
         }
         "engine" => {
-            let data = crawl_exp::collect(scale.config(seed), scale.crawls());
+            let data = crawl_exp::collect(scale.config(seed).with_shards(shards), scale.crawls());
             println!(
                 "{}",
                 experiments::report::engine_report(
@@ -154,11 +170,12 @@ whatif-cloud-exit, engine"
                     &format!("Engine counters — crawl campaign ({})", scale.name()),
                     &data.engine,
                     data.wall_secs,
+                    data.shards,
                 )
             );
         }
         "stats" | "fig03" | "fig04" | "fig05" | "fig06" | "fig07" | "fig08" => {
-            let data = crawl_exp::collect(scale.config(seed), scale.crawls());
+            let data = crawl_exp::collect(scale.config(seed).with_shards(shards), scale.crawls());
             let r = match cmd.as_str() {
                 "stats" => crawl_exp::stats(&data),
                 "fig03" => crawl_exp::fig03(&data),
@@ -172,7 +189,7 @@ whatif-cloud-exit, engine"
         }
         "fig09" | "fig10" | "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "fig17"
         | "fig18" | "fig19" | "fig20" => {
-            let mut wl = traffic_exp::run_workload(scale.config(seed ^ 0xBEEF));
+            let mut wl = traffic_exp::run_workload(scale.config(seed ^ 0xBEEF).with_shards(shards));
             let r = match cmd.as_str() {
                 "fig09" => traffic_exp::fig09(&wl),
                 "fig10" => traffic_exp::fig10(&wl),

@@ -24,6 +24,8 @@ pub struct CrawlData {
     pub engine: simnet::SimStats,
     /// Host wall-clock seconds the campaign took.
     pub wall_secs: f64,
+    /// Engine shards the campaign ran on.
+    pub shards: usize,
 }
 
 /// Run the crawl campaign: `n_crawls` crawls spread over the scenario
@@ -55,6 +57,7 @@ pub fn collect(cfg: ScenarioConfig, n_crawls: usize) -> CrawlData {
         n_cloud_planted,
         engine: campaign.sim.core().stats.clone(),
         wall_secs: started.elapsed().as_secs_f64(),
+        shards: campaign.shards(),
     }
 }
 

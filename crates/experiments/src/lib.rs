@@ -111,14 +111,15 @@ impl Scale {
 }
 
 /// Run every experiment at the given scale; returns all reports in paper
-/// order.
-pub fn run_all(scale: Scale, seed: u64) -> Vec<Report> {
+/// order. `shards` is the engine shard count (0 = auto via `TCSB_SHARDS`);
+/// every table is byte-identical for every shard count.
+pub fn run_all(scale: Scale, seed: u64, shards: usize) -> Vec<Report> {
     let mut reports = Vec::new();
     reports.push(crawl_exp::table1());
 
     // Crawl group.
     eprintln!("[repro] running crawl campaign ({scale:?}) …");
-    let crawl = crawl_exp::collect(scale.config(seed), scale.crawls());
+    let crawl = crawl_exp::collect(scale.config(seed).with_shards(shards), scale.crawls());
     reports.push(crawl_exp::stats(&crawl));
     reports.push(crawl_exp::fig03(&crawl));
     reports.push(crawl_exp::fig04(&crawl));
@@ -131,12 +132,13 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<Report> {
         "Engine counters — crawl campaign",
         &crawl.engine,
         crawl.wall_secs,
+        crawl.shards,
     ));
     drop(crawl);
 
     // Workload group.
     eprintln!("[repro] running workload campaign ({scale:?}) …");
-    let mut wl = traffic_exp::run_workload(scale.config(seed ^ 0xBEEF));
+    let mut wl = traffic_exp::run_workload(scale.config(seed ^ 0xBEEF).with_shards(shards));
     reports.push(traffic_exp::fig09(&wl));
     reports.push(traffic_exp::fig10(&wl));
     reports.push(traffic_exp::fig11(&wl));
@@ -158,7 +160,11 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<Report> {
 
     // Counterfactual group.
     eprintln!("[repro] running what-if cloud-exit sweep ({scale:?}) …");
-    reports.push(resilience_exp::whatif_cloud_exit(scale, seed ^ 0xC10D));
+    reports.push(resilience_exp::whatif_cloud_exit(
+        scale,
+        seed ^ 0xC10D,
+        shards,
+    ));
     reports
 }
 

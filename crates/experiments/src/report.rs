@@ -125,24 +125,21 @@ impl Report {
 
 /// Scheduler/engine counters for one campaign as a report section, so
 /// regressions in the event core are visible in EXPERIMENTS.md output, not
-/// only in the criterion benches. `wall_secs` is the host wall-clock time
-/// the campaign took (throughput denominator); pass `0.0` when unknown.
-pub fn engine_report(id: &str, title: &str, stats: &SimStats, wall_secs: f64) -> Report {
+/// only in the criterion benches. Every *table* row is deterministic per
+/// seed and shard-invariant (the acceptance oracle for the sharded
+/// executor); host-dependent figures — wall time, throughput, per-queue
+/// peak — and the shard count go into a clearly-marked note instead.
+/// `wall_secs` is the host wall-clock time the campaign took; pass `0.0`
+/// when unknown.
+pub fn engine_report(
+    id: &str,
+    title: &str,
+    stats: &SimStats,
+    wall_secs: f64,
+    shards: usize,
+) -> Report {
     let mut r = Report::new(id, title);
     r.val("events processed", stats.events as f64, Unit::Count);
-    if wall_secs > 0.0 {
-        r.val(
-            "events per wall-second",
-            stats.events as f64 / wall_secs,
-            Unit::Count,
-        );
-        r.val("campaign wall time", wall_secs, Unit::Secs);
-    }
-    r.val(
-        "peak event-queue length",
-        stats.peak_queue_len as f64,
-        Unit::Count,
-    );
     r.val("messages sent", stats.msgs_sent as f64, Unit::Count);
     r.val(
         "messages delivered",
@@ -163,10 +160,12 @@ pub fn engine_report(id: &str, title: &str, stats: &SimStats, wall_secs: f64) ->
     r.val("dials failed", stats.dials_failed as f64, Unit::Count);
     let k = &stats.kinds;
     r.note(format!(
-        "events by kind: deliver {} · dial-arrive {} · dial-outcome {} · timer {} · \
-command {} · node-up {} · node-down {} · conn-closed {} · fault {}",
+        "events by kind: deliver {} · dial-arrive {} · handshake {} · relay-hop {} · \
+dial-outcome {} · timer {} · command {} · node-up {} · node-down {} · conn-closed {} · fault {}",
         k.deliver,
         k.dial_arrive,
+        k.handshake,
+        k.relay_hop,
         k.dial_outcome,
         k.timer,
         k.command,
@@ -175,6 +174,16 @@ command {} · node-up {} · node-down {} · conn-closed {} · fault {}",
         k.conn_closed,
         k.fault
     ));
+    if wall_secs > 0.0 {
+        r.note(format!(
+            "host metrics (non-deterministic, excluded from the byte-identity contract): \
+wall {:.1}s · {:.0} events/s · peak shard-queue {} · shards {}",
+            wall_secs,
+            stats.events as f64 / wall_secs,
+            stats.peak_queue_len,
+            shards
+        ));
+    }
     r
 }
 

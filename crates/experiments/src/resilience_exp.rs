@@ -15,7 +15,7 @@
 use crate::report::{Report, Unit};
 use crate::Scale;
 use ipfs_types::Cid;
-use netgen::{ExitStyle, InterventionSpec, InterventionTarget, PAPER};
+use netgen::{ExitStyle, InterventionKind, InterventionSpec, InterventionTarget, PAPER};
 use simnet::{Dur, SimTime};
 use tcsb_core::{Campaign, CampaignOptions};
 use whatif::DhtHealth;
@@ -24,6 +24,8 @@ use whatif::DhtHealth;
 const T_EXIT: Dur = Dur(34 * 3_600 * 1_000_000_000);
 /// Virtual settle time between the exit and the post-probe.
 const SETTLE: Dur = Dur(2 * 3_600 * 1_000_000_000);
+/// How long the region partition lasts before healing.
+const PARTITION_HEAL: Dur = Dur(6 * 3_600 * 1_000_000_000);
 
 /// One row of the sweep.
 struct RowResult {
@@ -35,6 +37,8 @@ struct RowResult {
     cloud_server_share: f64,
     pre: DhtHealth,
     post: DhtHealth,
+    /// Probe taken after a partition healed (partition rows only).
+    healed: Option<DhtHealth>,
     digest: u64,
 }
 
@@ -82,12 +86,32 @@ fn sweep(seed: u64) -> Vec<(String, Vec<InterventionSpec>)> {
         "all Hydras exit (abrupt)".into(),
         vec![InterventionSpec::hydra_shutdown(at)],
     ));
+    // Eclipse-style region partition (per Prünster et al.): one latency
+    // region severed from the rest of the network, healing 6 virtual hours
+    // later — the post-probe lands mid-partition, the healed probe after
+    // recovery, so the row measures both the outage and the heal time.
+    rows.push((
+        "EU region partitioned (heals at T+6h)".into(),
+        vec![InterventionSpec {
+            at,
+            target: InterventionTarget::Region(1),
+            kind: InterventionKind::Partition {
+                heal_at: Some(at + PARTITION_HEAL),
+            },
+        }],
+    ));
     rows
 }
 
 /// Run one row: a fresh campaign (same scenario seed ⇒ identical until the
 /// intervention), probed before and after.
-fn run_row(scale: Scale, seed: u64, label: &str, plan: Vec<InterventionSpec>) -> RowResult {
+fn run_row(
+    scale: Scale,
+    seed: u64,
+    label: &str,
+    plan: Vec<InterventionSpec>,
+    shards: usize,
+) -> RowResult {
     // The counterfactual needs a settled, well-provided network — not a
     // multi-week campaign. Cap the virtual span and drop the request
     // workload (publishes still run; they create the provider records the
@@ -95,7 +119,15 @@ fn run_row(scale: Scale, seed: u64, label: &str, plan: Vec<InterventionSpec>) ->
     let mut cfg = scale.config(seed);
     cfg.duration = Dur::from_hours(48).min(cfg.duration);
     cfg.n_requests = 0;
+    cfg.shards = shards;
     let plan_is_empty = plan.is_empty();
+    let heal_at = plan
+        .iter()
+        .filter_map(|sp| match sp.kind {
+            InterventionKind::Partition { heal_at } => heal_at,
+            _ => None,
+        })
+        .max();
     cfg.interventions = plan;
     let scenario = netgen::build(cfg);
     let share = cloud_server_share(&scenario);
@@ -135,6 +167,12 @@ fn run_row(scale: Scale, seed: u64, label: &str, plan: Vec<InterventionSpec>) ->
         .saturating_sub(campaign.now().0);
     campaign.run_for(Dur(past_exit));
     let post = whatif::dht_health(&mut campaign, &cids, spacing);
+    // Partition rows: run past the heal and probe again (recovery view).
+    let healed = heal_at.map(|h| {
+        let past_heal = (h + SETTLE).0.saturating_sub(campaign.now().0);
+        campaign.run_for(Dur(past_heal));
+        whatif::dht_health(&mut campaign, &cids, spacing)
+    });
     RowResult {
         label: label.to_string(),
         removed,
@@ -142,12 +180,13 @@ fn run_row(scale: Scale, seed: u64, label: &str, plan: Vec<InterventionSpec>) ->
         cloud_server_share: share,
         pre,
         post,
+        healed,
         digest: campaign.sim.core().trace_digest(),
     }
 }
 
 /// The `whatif-cloud-exit` artefact.
-pub fn whatif_cloud_exit(scale: Scale, seed: u64) -> Report {
+pub fn whatif_cloud_exit(scale: Scale, seed: u64, shards: usize) -> Report {
     let mut r = Report::new(
         "whatif-cloud-exit",
         "Counterfactual: lookup health under cloud exit",
@@ -157,16 +196,26 @@ pub fn whatif_cloud_exit(scale: Scale, seed: u64) -> Report {
     let mut server_share = 0.0;
     for (i, (label, plan)) in rows.into_iter().enumerate() {
         eprintln!("[repro] whatif row {}/{n_rows}: {label} …", i + 1);
-        let row = run_row(scale, seed, &label, plan);
+        let row = run_row(scale, seed, &label, plan, shards);
         server_share = row.cloud_server_share;
         r.val(
             &format!("lookup success — {}", row.label),
             row.post.success_rate,
             Unit::Pct,
         );
+        let healed_part = row
+            .healed
+            .map(|h| {
+                format!(
+                    " · healed {:.1}% (latency {:.2}s)",
+                    h.success_rate * 100.0,
+                    h.mean_elapsed.as_secs_f64()
+                )
+            })
+            .unwrap_or_default();
         r.note(format!(
-            "{}: removed {}/{} nodes · success {:.1}% → {:.1}% · records {:.1}% → {:.1}% · \
-contacted {:.1} → {:.1} · latency {:.2}s → {:.2}s · digest {:#018x}",
+            "{}: targeted {}/{} nodes · success {:.1}% → {:.1}% · records {:.1}% → {:.1}% · \
+contacted {:.1} → {:.1} · latency {:.2}s → {:.2}s{} · digest {:#018x}",
             row.label,
             row.removed,
             row.population,
@@ -178,6 +227,7 @@ contacted {:.1} → {:.1} · latency {:.2}s → {:.2}s · digest {:#018x}",
             row.post.mean_contacted,
             row.pre.mean_elapsed.as_secs_f64(),
             row.post.mean_elapsed.as_secs_f64(),
+            healed_part,
             row.digest,
         ));
     }
@@ -191,7 +241,8 @@ contacted {:.1} → {:.1} · latency {:.2}s → {:.2}s · digest {:#018x}",
         "Each row is its own campaign, identical to the baseline up to the intervention \
 (same scenario seed). Success = ≥1 reachable provider; record availability decays only \
 with the 24 h TTL, so it outlives reachability after an exit. Same seed ⇒ identical \
-digests per row.",
+digests per row, for every engine shard count. The partition row isolates one latency \
+region (eclipse-style) and probes again after the heal.",
     );
     r.note(
         "Paper anchors: ≈79.6% of DHT servers are cloud-hosted (A-N, Fig. 3) and the DHT \

@@ -112,6 +112,7 @@ pub fn engine(data: &WorkloadData) -> Report {
         "Engine counters — workload campaign",
         &data.engine,
         data.wall_secs,
+        data.campaign.shards(),
     )
 }
 

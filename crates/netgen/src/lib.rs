@@ -18,6 +18,6 @@ pub use plan::{
     DATACAMP, RESIDENTIAL_BLOCKS,
 };
 pub use scenario::{
-    region_of, ContentItem, ExitStyle, GatewaySpec, InterventionKind, InterventionSpec,
+    region_of, shard_for, ContentItem, ExitStyle, GatewaySpec, InterventionKind, InterventionSpec,
     InterventionTarget, NodeSpec, Platform, Request, Scenario, ScenarioConfig, Segment, Session,
 };

@@ -32,6 +32,7 @@ impl ScenarioConfig {
             http_share: 0.45,
             hybrid_fraction: 0.006,
             interventions: vec![],
+            shards: 0,
         }
     }
 
@@ -60,6 +61,7 @@ impl ScenarioConfig {
             http_share: 0.45,
             hybrid_fraction: 0.006,
             interventions: vec![],
+            shards: 0,
         }
     }
 
@@ -88,6 +90,7 @@ impl ScenarioConfig {
             http_share: 0.45,
             hybrid_fraction: 0.006,
             interventions: vec![],
+            shards: 0,
         }
     }
 
@@ -120,6 +123,7 @@ impl ScenarioConfig {
             http_share: 0.45,
             hybrid_fraction: 0.006,
             interventions: vec![],
+            shards: 0,
         }
     }
 
@@ -147,6 +151,7 @@ impl ScenarioConfig {
             http_share: 0.45,
             hybrid_fraction: 0.006,
             interventions: vec![],
+            shards: 0,
         }
     }
 }

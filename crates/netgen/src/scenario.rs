@@ -315,6 +315,13 @@ pub struct ScenarioConfig {
     /// Scripted mid-campaign interventions (empty = none; executed by the
     /// `whatif` engine when the campaign is instantiated through it).
     pub interventions: Vec<InterventionSpec>,
+    /// Engine shards the campaign runs on (`0` = auto: the `TCSB_SHARDS`
+    /// environment variable, defaulting to 1). Node→shard assignment is
+    /// [`shard_for`] over latency regions, so regions are never split
+    /// across shards and the executor's lookahead stays at the
+    /// inter-region latency floor. Results are byte-identical for every
+    /// shard count — only wall-clock changes.
+    pub shards: usize,
 }
 
 impl ScenarioConfig {
@@ -323,7 +330,28 @@ impl ScenarioConfig {
         self.interventions = plan;
         self
     }
+
+    /// Set the engine shard count (builder-style).
+    pub fn with_shards(mut self, shards: usize) -> ScenarioConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Resolve the effective shard count: an explicit setting wins,
+    /// otherwise the `TCSB_SHARDS` environment variable, otherwise 1.
+    pub fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards;
+        }
+        std::env::var("TCSB_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    }
 }
+
+pub use simnet::shard_for;
 
 /// A fully generated scenario.
 #[derive(Debug)]

@@ -10,17 +10,34 @@
 //! already in deterministic ascending order and allocation-free.
 
 use crate::engine::NodeId;
+use std::net::{Ipv4Addr, SocketAddrV4};
 
 /// Connections stored inline before spilling to the heap.
 const INLINE_CAP: usize = 8;
 
-/// One connection record.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// One connection record. Each endpoint owns *its half* of a connection:
+/// the entry also captures the remote socket address observed during the
+/// handshake (what a TCP accept/connect would report), so address lookups
+/// for connected peers never read another node's slot — the property the
+/// sharded executor relies on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ConnEntry {
     /// The remote endpoint.
     pub peer: NodeId,
     /// Whether the connection was established through a circuit relay.
     pub relayed: bool,
+    /// Remote address captured at connection time.
+    pub addr: SocketAddrV4,
+}
+
+impl Default for ConnEntry {
+    fn default() -> Self {
+        ConnEntry {
+            peer: NodeId(0),
+            relayed: false,
+            addr: SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, 0),
+        }
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -85,9 +102,22 @@ impl ConnTable {
             .map(|i| entries[i].relayed)
     }
 
+    /// The captured remote address for `peer`, if connected.
+    pub fn get_addr(&self, peer: NodeId) -> Option<SocketAddrV4> {
+        let entries = self.entries();
+        entries
+            .binary_search_by_key(&peer, |e| e.peer)
+            .ok()
+            .map(|i| entries[i].addr)
+    }
+
     /// Insert or update the entry for `peer`.
-    pub fn insert(&mut self, peer: NodeId, relayed: bool) {
-        let entry = ConnEntry { peer, relayed };
+    pub fn insert(&mut self, peer: NodeId, relayed: bool, addr: SocketAddrV4) {
+        let entry = ConnEntry {
+            peer,
+            relayed,
+            addr,
+        };
         match &mut self.0 {
             Slots::Inline { len, buf } => {
                 let n = *len as usize;
@@ -171,11 +201,15 @@ mod tests {
         NodeId(i)
     }
 
+    fn a(i: u32) -> SocketAddrV4 {
+        SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, i as u8), 4001)
+    }
+
     #[test]
     fn insert_sorted_and_lookup() {
         let mut t = ConnTable::new();
         for i in [5u32, 1, 9, 3, 7] {
-            t.insert(n(i), i % 2 == 0);
+            t.insert(n(i), i % 2 == 0, a(i));
         }
         assert_eq!(t.len(), 5);
         let order: Vec<u32> = t.peers().map(|p| p.0).collect();
@@ -189,8 +223,8 @@ mod tests {
     #[test]
     fn insert_updates_existing() {
         let mut t = ConnTable::new();
-        t.insert(n(1), false);
-        t.insert(n(1), true);
+        t.insert(n(1), false, a(1));
+        t.insert(n(1), true, a(1));
         assert_eq!(t.len(), 1);
         assert_eq!(t.get_relayed(n(1)), Some(true));
     }
@@ -200,7 +234,7 @@ mod tests {
         let mut t = ConnTable::new();
         // Insert in descending order to stress the sorted-insert path.
         for i in (0..100u32).rev() {
-            t.insert(n(i), false);
+            t.insert(n(i), false, a(i));
         }
         assert_eq!(t.len(), 100);
         let order: Vec<u32> = t.peers().map(|p| p.0).collect();
@@ -214,8 +248,8 @@ mod tests {
     #[test]
     fn remove_inline_and_missing() {
         let mut t = ConnTable::new();
-        t.insert(n(1), false);
-        t.insert(n(2), false);
+        t.insert(n(1), false, a(1));
+        t.insert(n(2), false, a(2));
         assert!(t.remove(n(1)));
         assert!(!t.remove(n(1)));
         assert_eq!(t.peers().map(|p| p.0).collect::<Vec<_>>(), vec![2]);
@@ -225,14 +259,14 @@ mod tests {
     fn take_all_empties() {
         let mut t = ConnTable::new();
         for i in 0..20u32 {
-            t.insert(n(i), i == 3);
+            t.insert(n(i), i == 3, a(i));
         }
         let all = t.take_all();
         assert_eq!(all.len(), 20);
         assert!(all[3].relayed);
         assert!(t.is_empty());
         // Table is reusable afterwards.
-        t.insert(n(7), false);
+        t.insert(n(7), false, a(7));
         assert_eq!(t.len(), 1);
     }
 }

@@ -4,29 +4,48 @@
 //! platform fleets, monitors, Hydra boosters, crawlers, gateways — is an
 //! [`Actor`] registered with a [`Sim`]. The engine owns virtual time, a
 //! deterministic event queue, the connection fabric (including NAT dialing
-//! rules and circuit-relay dials), per-node liveness, and a single seeded
-//! RNG. Actors are sans-io state machines: they react to callbacks and emit
+//! rules and circuit-relay dials), per-node liveness, and per-node seeded
+//! RNGs. Actors are sans-io state machines: they react to callbacks and emit
 //! effects through [`Ctx`]; they never see wall-clock time or OS sockets.
 //!
-//! Hot-path layout (the paper's campaign fires millions of timers and
-//! messages; see `crates/bench/benches/engine.rs` for the tracked numbers):
+//! # Sharded execution
 //!
-//! * the event queue is a hierarchical [`TimerWheel`](crate::wheel) —
-//!   near-future buckets for message deliveries, a coarse wheel for
-//!   protocol timers, a far heap for churn schedules — instead of one
-//!   global binary heap;
-//! * each node's connection set is a sorted small-vec
-//!   [`ConnTable`](crate::conn) — membership is a binary search and
-//!   [`Ctx::connections`] iterates without allocating or sorting;
-//! * per-send latency sampling reads a flattened region matrix cached in
-//!   the core with pre-clamped per-node region indices.
+//! Nodes are partitioned into N *shards*. Each shard owns its slice of the
+//! node population — per-node state, connection halves, RNGs — plus its own
+//! timer wheel. Cross-shard events travel through per-pair mailboxes drained
+//! under conservative epoch synchronization (see `crate::shard`): a shard
+//! never executes past `T_min + lookahead`, where `lookahead` is the minimum
+//! cross-shard link latency, so no shard can receive an event "from the
+//! past". `Sim::new` builds a single-shard engine (the plain sequential
+//! path); [`Sim::new_sharded`] enables multi-core campaigns.
 //!
-//! Determinism contract: with the same seed and the same call sequence, the
-//! engine produces byte-identical event traces. Events are processed in
-//! ascending `(time, seq)` order where `seq` is the global insertion
-//! sequence number — FIFO within a tick, never dependent on memory layout.
-//! [`SimCore::trace_digest`] folds every processed event into a running
-//! hash so two runs can be compared cheaply.
+//! # Determinism contract (v2, shard-invariant)
+//!
+//! With the same seed and the same harness call sequence, the engine
+//! produces identical results **for every shard count**: per-node event
+//! histories, all [`SimStats`] counters except `peak_queue_len` (a
+//! per-queue pressure gauge), and the merged trace digest are byte-identical
+//! whether the run used 1 shard or 8. Three mechanisms deliver this:
+//!
+//! * **content-addressed ordering** — every event carries a `(time, origin,
+//!   origin-seq)` key, where `origin` is the node (or the harness) that
+//!   scheduled it and `origin-seq` is that origin's private counter. Each
+//!   shard pops in ascending `(time, key)` order, so a node's inbound event
+//!   sequence never depends on how nodes are distributed over shards;
+//! * **per-node RNGs** — every node draws from its own seeded generator
+//!   (latency jitter from the scheduling node's, loss from the receiver's),
+//!   so draw order is a function of per-node history only;
+//! * **endpoint-owned connection halves** — each node's [`ConnTable`] holds
+//!   *its* half of every connection, including the peer address captured at
+//!   handshake time, so event dispatch never reads another shard's state.
+//!   Cross-node effects (dial handshakes, FINs, relay hops) travel as
+//!   events with link latency, exactly like real sockets.
+//!
+//! [`Sim::trace_digest`] folds every processed event into a commutative
+//! per-shard accumulator (FNV-1a per event, `wrapping_add` across events);
+//! the merged digest folds the per-shard digests in shard order. Addition is
+//! commutative, so the merged digest is invariant under re-sharding — the
+//! cheap oracle that a 4-shard run replayed the 1-shard history exactly.
 
 use crate::conn::ConnTable;
 use crate::latency::{LatencyModel, RegionId};
@@ -55,12 +74,14 @@ impl NodeId {
 
 /// Behaviour of a simulated network participant.
 ///
-/// All methods have no-op defaults so small test actors stay small.
-pub trait Actor: Sized {
+/// All methods have no-op defaults so small test actors stay small. Actors
+/// (and their message/command types) must be `Send`: the sharded executor
+/// moves each shard's actors to a worker thread for the duration of a run.
+pub trait Actor: Sized + Send {
     /// Wire message type exchanged between actors.
-    type Msg: Clone + std::fmt::Debug;
+    type Msg: Clone + std::fmt::Debug + Send;
     /// Harness command type (workload injection).
-    type Cmd: std::fmt::Debug;
+    type Cmd: std::fmt::Debug + Send;
 
     /// Node came online (initial start or churn re-join).
     fn on_start(&mut self, _ctx: &mut Ctx<'_, Self::Msg, Self::Cmd>) {}
@@ -124,8 +145,12 @@ impl Default for SimConfig {
 
 /// Engine-level fault/intervention primitives — the levers the `whatif`
 /// counterfactual engine pulls. Scheduled through the ordinary event queue
-/// (same `(time, seq)` ordering, same trace digest) so an intervention plan
-/// is as deterministic as the workload it perturbs.
+/// (same `(time, key)` ordering, same trace digest) so an intervention plan
+/// is as deterministic as the workload it perturbs. Faults that touch
+/// replicated state (partition classes, kills) are broadcast to every shard
+/// under one harness key; only the *primary* copy (the target's owner, or
+/// shard 0 for global faults) is counted in the digest and kind counters, so
+/// the counted event multiset is shard-invariant.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Fault {
     /// Abrupt process kill: the node goes offline *without* `on_stop`, and
@@ -158,7 +183,7 @@ pub enum Fault {
     /// nodes of different classes fail (after the dial timeout, like any
     /// unreachable target); on activation every open connection crossing a
     /// class boundary is severed with `ConnClosed` notifications to both
-    /// sides, in ascending node order.
+    /// sides.
     Partition {
         /// `true` = split, `false` = heal.
         active: bool,
@@ -174,6 +199,10 @@ pub struct EventKindCounts {
     pub deliver: u64,
     /// Dial arrivals at the target.
     pub dial_arrive: u64,
+    /// Handshake completions at the accepting side.
+    pub handshake: u64,
+    /// Circuit-relay hops processed at the relay.
+    pub relay_hop: u64,
     /// Dial outcomes reported back to the dialer.
     pub dial_outcome: u64,
     /// Timer expirations (including stale ones for offline nodes).
@@ -186,12 +215,31 @@ pub struct EventKindCounts {
     pub node_down: u64,
     /// Connection-closed notifications.
     pub conn_closed: u64,
-    /// Fault-injection events (kills, retirements, partitions).
+    /// Fault-injection events (kills, retirements, partitions; broadcast
+    /// replicas are not counted).
     pub fault: u64,
 }
 
+impl EventKindCounts {
+    fn add(&mut self, o: &EventKindCounts) {
+        self.deliver += o.deliver;
+        self.dial_arrive += o.dial_arrive;
+        self.handshake += o.handshake;
+        self.relay_hop += o.relay_hop;
+        self.dial_outcome += o.dial_outcome;
+        self.timer += o.timer;
+        self.command += o.command;
+        self.node_up += o.node_up;
+        self.node_down += o.node_down;
+        self.conn_closed += o.conn_closed;
+        self.fault += o.fault;
+    }
+}
+
 /// Aggregate engine counters (cheap sanity instrumentation; the paper's
-/// measurements come from actor logs, not from these).
+/// measurements come from actor logs, not from these). All counters are
+/// shard-invariant event-multiset sums except [`SimStats::peak_queue_len`],
+/// which gauges per-queue pressure (aggregated as the max across shards).
 #[derive(Clone, Debug, Default)]
 pub struct SimStats {
     /// Messages submitted via [`Ctx::send`].
@@ -212,52 +260,137 @@ pub struct SimStats {
     pub commands: u64,
     /// Commands dropped because the node was offline.
     pub commands_dropped: u64,
-    /// Total events processed.
+    /// Total events processed (broadcast fault replicas excluded).
     pub events: u64,
-    /// Largest event-queue population ever observed (scheduler pressure).
+    /// Largest event-queue population ever observed on any single shard
+    /// (scheduler pressure; engine-configuration-dependent, *not* part of
+    /// the deterministic output contract).
     pub peak_queue_len: u64,
     /// Processed events by kind.
     pub kinds: EventKindCounts,
 }
 
-#[derive(Debug)]
+impl SimStats {
+    /// Fold another shard's counters into an aggregate view.
+    fn add(&mut self, o: &SimStats) {
+        self.msgs_sent += o.msgs_sent;
+        self.msgs_delivered += o.msgs_delivered;
+        self.msgs_lost += o.msgs_lost;
+        self.msgs_dropped += o.msgs_dropped;
+        self.dials_ok += o.dials_ok;
+        self.dials_failed += o.dials_failed;
+        self.timers_fired += o.timers_fired;
+        self.commands += o.commands;
+        self.commands_dropped += o.commands_dropped;
+        self.events += o.events;
+        self.peak_queue_len = self.peak_queue_len.max(o.peak_queue_len);
+        self.kinds.add(&o.kinds);
+    }
+}
+
+#[derive(Debug, Clone)]
 struct NodeState {
     online: bool,
     /// Whether direct inbound dials succeed (false = behind NAT).
     dialable: bool,
     /// Decommissioned by a [`Fault::Retire`]: future `NodeUp`s are ignored.
     retired: bool,
-    /// Partition class (compared only while a partition is active).
+    /// Partition class (compared only while a partition is active;
+    /// replicated to every shard by fault broadcast).
     net_class: u16,
     addr: SocketAddrV4,
     region: RegionId,
     /// Region clamped against the latency matrix, cached for the send path.
     region_idx: u16,
+    /// This node's half of every open connection (authoritative at the
+    /// owner shard only).
     conns: ConnTable,
+    /// Per-node deterministic RNG (advanced at the owner shard only).
+    rng: StdRng,
+    /// Per-origin event sequence counter: the tie-break half of this
+    /// node's event keys. Advanced at the owner shard only.
+    oseq: u32,
+    /// Inbound handshakes accepted at DialArrive but not yet completed
+    /// (`(dialer, outcome_at)`): a graceful shutdown in that window FINs
+    /// the dialer *after* its DialOutcome lands, so a dial that reported
+    /// success against a dying target still gets its close notification.
+    /// Cleared silently on [`Fault::Kill`], like the open halves.
+    pending_accepts: Vec<(NodeId, SimTime)>,
 }
 
-/// Everything the engine owns apart from the actors themselves; split out so
-/// a [`Ctx`] can borrow it while one actor is checked out.
+/// Origin id used for events scheduled by the harness rather than a node.
+const HARNESS_ORIGIN: u32 = u32::MAX;
+
+/// Compose a wheel tie-break key from an origin and its private counter.
+/// `(origin, oseq)` pairs are unique, so `(time, key)` is a total order
+/// that does not depend on execution interleaving.
+fn ev_key(origin: u32, oseq: u32) -> u64 {
+    ((origin as u64) << 32) | oseq as u64
+}
+
+/// Deterministic default node→shard assignment: regions map whole onto
+/// shards (`region % shards`), so two nodes sharing a region always share
+/// a shard and the minimum cross-shard latency is the inter-region floor
+/// of the latency matrix — the lookahead that lets shards run
+/// concurrently. The single definition of the rule: `netgen` re-exports
+/// it and [`Sim::add_node`] applies it.
+pub fn shard_for(region: u16, shards: usize) -> u16 {
+    if shards <= 1 {
+        0
+    } else {
+        region % shards as u16
+    }
+}
+
+/// Derive a node's private RNG seed from the engine seed (SplitMix-style
+/// mix so adjacent node ids land far apart).
+fn node_seed(engine_seed: u64, node: u32) -> u64 {
+    engine_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node as u64 + 0x51))
+}
+
+/// Everything one shard owns apart from the actors themselves; split out so
+/// a [`Ctx`] can borrow it while one actor is checked out. With
+/// `shards = 1` this is the whole engine state; with more, each shard holds
+/// the authoritative state for its owned nodes plus replicas of the
+/// broadcast-maintained fields (partition classes, partition depth).
 pub struct SimCore<M, C> {
     cfg: SimConfig,
-    now: SimTime,
-    seq: u64,
-    queue: TimerWheel<Ev<M, C>>,
+    /// This shard's index.
+    shard: u16,
+    pub(crate) now: SimTime,
+    pub(crate) queue: TimerWheel<Ev<M, C>>,
+    /// Full-length node table; authoritative only where
+    /// `shard_of[i] == shard` (replica fields: `net_class`, `region_idx`).
     slots: Vec<NodeState>,
+    /// Owning shard per node (full length, identical on every shard).
+    shard_of: Vec<u16>,
     /// Row-major base latency matrix (flattened from the [`LatencyModel`]).
     lat_base: Vec<Dur>,
     lat_dim: usize,
     lat_jitter: f64,
-    rng: StdRng,
-    /// Number of currently active [`Fault::Partition`]s (they nest).
+    /// Number of currently active [`Fault::Partition`]s (replicated).
     partition_depth: u32,
-    /// Running FNV-1a fold of every processed event (time, kind, operands).
+    /// Commutative digest accumulator: `wrapping_add` of per-event FNV-1a
+    /// hashes over every event this shard processed.
     trace: u64,
+    /// Conservative sync bound, set by the executor for the duration of a
+    /// multi-shard run (debug-asserted on cross-shard pushes).
+    pub(crate) lookahead: Dur,
+    /// Events bound for other shards, flushed to mailboxes at epoch
+    /// boundaries (`outbox[dst]`; own index unused).
+    pub(crate) outbox: Vec<Vec<OutEv<M, C>>>,
     /// Engine counters.
     pub stats: SimStats,
 }
 
-enum Ev<M, C> {
+/// A queued cross-shard event in flight between epoch barriers.
+pub(crate) struct OutEv<M, C> {
+    pub(crate) at: SimTime,
+    pub(crate) key: u64,
+    pub(crate) ev: Ev<M, C>,
+}
+
+pub(crate) enum Ev<M, C> {
     Deliver {
         from: NodeId,
         to: NodeId,
@@ -265,14 +398,42 @@ enum Ev<M, C> {
     },
     DialArrive {
         dialer: NodeId,
+        /// Dialer address as presented in the handshake (captured by the
+        /// target's connection half).
+        dialer_addr: SocketAddrV4,
         target: NodeId,
-        via: Option<NodeId>,
+        relayed: bool,
+        started: SimTime,
+    },
+    /// Circuit-relay hop: the dial request arriving at the relay, which
+    /// forwards it to the target (or reports failure) based on *its own*
+    /// state only.
+    RelayHop {
+        dialer: NodeId,
+        dialer_addr: SocketAddrV4,
+        relay: NodeId,
+        target: NodeId,
         started: SimTime,
     },
     DialOutcome {
         dialer: NodeId,
         target: NodeId,
+        /// Target address for the dialer's connection half (meaningful on
+        /// success).
+        target_addr: SocketAddrV4,
         ok: bool,
+        relayed: bool,
+    },
+    /// Handshake completion at the *accepting* side: opens the target's
+    /// half and fires `on_inbound_connection`, at the same virtual instant
+    /// the dialer processes its `DialOutcome`. Deferring the accept to
+    /// here means nothing the acceptor sends can arrive before the dialer
+    /// considers the connection open — the TCP property the old
+    /// both-sides-at-arrival model got for free.
+    HandshakeDone {
+        dialer: NodeId,
+        dialer_addr: SocketAddrV4,
+        target: NodeId,
         relayed: bool,
     },
     Timer {
@@ -294,55 +455,93 @@ enum Ev<M, C> {
         node: NodeId,
         peer: NodeId,
     },
-    Fault(Fault),
+    Fault {
+        fault: Fault,
+        /// Whether this copy is the counted one (digest + kind counters).
+        /// Broadcast replicas on non-owning shards carry `false`.
+        primary: bool,
+    },
 }
 
-/// FNV-1a prime (the digest fold in [`SimCore::trace_digest`]).
+/// FNV-1a prime (the per-event hash in the trace digest).
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 /// FNV-1a offset basis.
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 
 impl<M, C> SimCore<M, C> {
-    fn push(&mut self, at: SimTime, ev: Ev<M, C>) {
-        let at = at.max(self.now);
-        self.queue.push(at, self.seq, ev);
-        self.seq += 1;
+    /// Enqueue locally with peak tracking.
+    fn enqueue_local(&mut self, at: SimTime, key: u64, ev: Ev<M, C>) {
+        self.queue.push(at, key, ev);
         let len = self.queue.len() as u64;
         if len > self.stats.peak_queue_len {
             self.stats.peak_queue_len = len;
         }
     }
 
-    fn lat(&mut self, a: NodeId, b: NodeId) -> Dur {
+    /// Enqueue an event drained from another shard's mailbox.
+    pub(crate) fn enqueue_external(&mut self, at: SimTime, key: u64, ev: Ev<M, C>) {
+        self.enqueue_local(at, key, ev);
+    }
+
+    /// Route an event to the shard owning `target` under an existing key.
+    fn route(&mut self, key: u64, target: NodeId, at: SimTime, ev: Ev<M, C>) {
+        let at = at.max(self.now);
+        let dst = self.shard_of[target.idx()];
+        if dst == self.shard {
+            self.enqueue_local(at, key, ev);
+        } else {
+            debug_assert!(
+                at >= self.now + self.lookahead,
+                "cross-shard event violates the lookahead bound \
+                 (at {at:?}, now {:?}, lookahead {:?})",
+                self.now,
+                self.lookahead
+            );
+            self.outbox[dst as usize].push(OutEv { at, key, ev });
+        }
+    }
+
+    /// Route an event scheduled by node `origin` (consumes one of its
+    /// sequence numbers — the deterministic tie-break).
+    fn push_from(&mut self, origin: NodeId, target: NodeId, at: SimTime, ev: Ev<M, C>) {
+        let oseq = {
+            let s = &mut self.slots[origin.idx()];
+            debug_assert!(s.oseq < u32::MAX, "per-origin sequence overflow");
+            let q = s.oseq;
+            s.oseq += 1;
+            q
+        };
+        self.route(ev_key(origin.0, oseq), target, at, ev);
+    }
+
+    /// Sample the one-way latency from `a` to `b`, drawing jitter from
+    /// `origin`'s RNG (`origin` must be owned by this shard).
+    fn lat(&mut self, origin: NodeId, a: NodeId, b: NodeId) -> Dur {
         let ia = self.slots[a.idx()].region_idx as usize;
         let ib = self.slots[b.idx()].region_idx as usize;
         let base = self.lat_base[ia * self.lat_dim + ib];
-        crate::latency::apply_jitter(base, self.lat_jitter, &mut self.rng)
+        crate::latency::apply_jitter(base, self.lat_jitter, &mut self.slots[origin.idx()].rng)
     }
 
-    fn connected(&self, a: NodeId, b: NodeId) -> bool {
+    /// Whether `a`'s half of a connection to `b` exists. At quiesce points
+    /// the fabric is symmetric; mid-handshake and mid-FIN it is
+    /// intentionally half-open, like real sockets.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
         self.slots[a.idx()].conns.contains(b)
-    }
-
-    fn connect(&mut self, a: NodeId, b: NodeId, relayed: bool) {
-        self.slots[a.idx()].conns.insert(b, relayed);
-        self.slots[b.idx()].conns.insert(a, relayed);
-    }
-
-    fn drop_conn(&mut self, a: NodeId, b: NodeId) {
-        self.slots[a.idx()].conns.remove(b);
-        self.slots[b.idx()].conns.remove(a);
     }
 
     /// Whether the fabric lets `a` and `b` talk (partition check). Free
     /// when no partition is active — the common case is one branch.
+    /// `net_class` is replicated to every shard, so this never needs a
+    /// cross-shard read.
     fn link_allowed(&self, a: NodeId, b: NodeId) -> bool {
         self.partition_depth == 0 || self.slots[a.idx()].net_class == self.slots[b.idx()].net_class
     }
 
     /// Fold one processed event into the trace digest and bump its kind
-    /// counter.
-    fn note_event(&mut self, at: SimTime, ev: &Ev<M, C>) {
+    /// counter. Returns whether the event counts toward `stats.events`
+    /// (broadcast fault replicas do not).
+    fn note_event(&mut self, at: SimTime, ev: &Ev<M, C>) -> bool {
         let (tag, a, b) = match ev {
             Ev::Deliver { from, to, .. } => {
                 self.stats.kinds.deliver += 1;
@@ -378,9 +577,12 @@ impl<M, C> SimCore<M, C> {
                 self.stats.kinds.conn_closed += 1;
                 (8, node.0 as u64, peer.0 as u64)
             }
-            Ev::Fault(f) => {
+            Ev::Fault { fault, primary } => {
+                if !*primary {
+                    return false;
+                }
                 self.stats.kinds.fault += 1;
-                let (a, b) = match f {
+                let (a, b) = match fault {
                     Fault::Kill { node } => (node.0 as u64, 0),
                     Fault::Retire { node } => (node.0 as u64, 1),
                     Fault::SetNetClass { node, class } => {
@@ -390,18 +592,38 @@ impl<M, C> SimCore<M, C> {
                 };
                 (9, a, b)
             }
+            Ev::RelayHop {
+                dialer,
+                relay,
+                target,
+                ..
+            } => {
+                self.stats.kinds.relay_hop += 1;
+                (
+                    10,
+                    dialer.0 as u64,
+                    ((relay.0 as u64) << 32) | target.0 as u64,
+                )
+            }
+            Ev::HandshakeDone { dialer, target, .. } => {
+                self.stats.kinds.handshake += 1;
+                (11, dialer.0 as u64, target.0 as u64)
+            }
         };
-        let mut h = self.trace;
+        let mut h = FNV_OFFSET;
         for v in [at.0, tag, a, b] {
             h ^= v;
             h = h.wrapping_mul(FNV_PRIME);
         }
-        self.trace = h;
+        // Commutative fold: the shard digest is order-independent, so the
+        // merged digest is invariant under re-sharding of the same event
+        // multiset.
+        self.trace = self.trace.wrapping_add(h);
+        true
     }
 
-    /// Running digest of every event processed so far. Two runs with the
-    /// same seed and call sequence produce the same digest at every point —
-    /// the cheap way to assert the determinism contract end to end.
+    /// This shard's digest accumulator (fold across shards with
+    /// `wrapping_add` for the merged run digest — [`Sim::trace_digest`]).
     pub fn trace_digest(&self) -> u64 {
         self.trace
     }
@@ -416,7 +638,7 @@ impl<M, C> SimCore<M, C> {
         self.slots.len()
     }
 
-    /// Whether a node is currently online (harness-side oracle).
+    /// Whether a node is currently online (authoritative at its owner).
     pub fn is_online(&self, node: NodeId) -> bool {
         self.slots[node.idx()].online
     }
@@ -441,7 +663,7 @@ impl<M, C> SimCore<M, C> {
         self.partition_depth > 0
     }
 
-    /// A node's current socket address (harness-side oracle).
+    /// A node's current socket address (authoritative at its owner).
     pub fn addr(&self, node: NodeId) -> SocketAddrV4 {
         self.slots[node.idx()].addr
     }
@@ -492,18 +714,15 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
         self.core.slots[self.me.idx()].dialable
     }
 
-    /// The deterministic engine RNG.
+    /// This node's deterministic RNG.
     pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.core.rng
+        &mut self.core.slots[self.me.idx()].rng
     }
 
-    /// Remote address of a *connected* peer (what a TCP accept would show).
+    /// Remote address of a *connected* peer, as captured from the
+    /// handshake (what a TCP accept would show).
     pub fn addr_of(&self, peer: NodeId) -> Option<SocketAddrV4> {
-        if self.core.connected(self.me, peer) {
-            Some(self.core.slots[peer.idx()].addr)
-        } else {
-            None
-        }
+        self.core.slots[self.me.idx()].conns.get_addr(peer)
     }
 
     /// Whether we currently hold a connection to `peer`.
@@ -538,9 +757,11 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
             return false;
         }
         self.core.stats.msgs_sent += 1;
-        let lat = self.core.lat(self.me, to);
+        let lat = self.core.lat(self.me, self.me, to);
         let at = self.core.now + lat;
-        self.core.push(
+        self.core.push_from(
+            self.me,
+            to,
             at,
             Ev::Deliver {
                 from: self.me,
@@ -554,44 +775,58 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
     /// Dial a peer directly. The outcome arrives via
     /// [`Actor::on_dial_result`]; failures take `dial_timeout`.
     pub fn dial(&mut self, target: NodeId) {
-        let lat = self.core.lat(self.me, target);
+        let lat = self.core.lat(self.me, self.me, target);
         let at = self.core.now + lat;
-        self.core.push(
+        let dialer_addr = self.core.slots[self.me.idx()].addr;
+        self.core.push_from(
+            self.me,
+            target,
             at,
             Ev::DialArrive {
                 dialer: self.me,
+                dialer_addr,
                 target,
-                via: None,
+                relayed: false,
                 started: self.core.now,
             },
         );
     }
 
     /// Dial a NAT-ed peer through a relay we are connected to (circuit
-    /// relay). On success the connection is immediately hole-punched to a
-    /// direct one (DCUtR), so it does not depend on the relay staying up.
+    /// relay). The request is routed *through* the relay: the relay
+    /// forwards it to the target if it is still up and still holds the
+    /// target connection. On success the connection is immediately
+    /// hole-punched to a direct one (DCUtR), so it does not depend on the
+    /// relay staying up.
     pub fn dial_via(&mut self, relay: NodeId, target: NodeId) {
-        let l1 = self.core.lat(self.me, relay);
-        let l2 = self.core.lat(relay, target);
-        let at = self.core.now + l1 + l2;
-        self.core.push(
+        let l1 = self.core.lat(self.me, self.me, relay);
+        let at = self.core.now + l1;
+        let dialer_addr = self.core.slots[self.me.idx()].addr;
+        self.core.push_from(
+            self.me,
+            relay,
             at,
-            Ev::DialArrive {
+            Ev::RelayHop {
                 dialer: self.me,
+                dialer_addr,
+                relay,
                 target,
-                via: Some(relay),
                 started: self.core.now,
             },
         );
     }
 
-    /// Close the connection to `peer` (no-op when not connected). The remote
-    /// side is notified at the current virtual time.
+    /// Close the connection to `peer` (no-op when not connected). Our half
+    /// closes immediately; the remote side learns of it when the FIN
+    /// arrives, one link latency later.
     pub fn disconnect(&mut self, peer: NodeId) {
-        if self.core.connected(self.me, peer) {
-            self.core.drop_conn(self.me, peer);
-            self.core.push(
-                self.core.now,
+        if self.core.slots[self.me.idx()].conns.remove(peer) {
+            let lat = self.core.lat(self.me, self.me, peer);
+            let at = self.core.now + lat;
+            self.core.push_from(
+                self.me,
+                peer,
+                at,
                 Ev::ConnClosed {
                     node: peer,
                     peer: self.me,
@@ -603,7 +838,9 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
     /// Arm a one-shot timer firing after `delay` with an opaque token.
     pub fn set_timer(&mut self, delay: Dur, token: u64) {
         let at = self.core.now + delay;
-        self.core.push(
+        self.core.push_from(
+            self.me,
+            self.me,
             at,
             Ev::Timer {
                 node: self.me,
@@ -617,7 +854,8 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
     /// command path the harness uses.
     pub fn schedule_self(&mut self, delay: Dur, cmd: C) {
         let at = self.core.now + delay;
-        self.core.push(at, Ev::Command { node: self.me, cmd });
+        self.core
+            .push_from(self.me, self.me, at, Ev::Command { node: self.me, cmd });
     }
 }
 
@@ -669,157 +907,14 @@ impl NodeSetup {
     }
 }
 
-/// The simulator: engine core plus the actor for every node.
-pub struct Sim<A: Actor> {
-    core: SimCore<A::Msg, A::Cmd>,
+/// One shard: its engine core plus the actors it owns.
+pub(crate) struct Shard<A: Actor> {
+    pub(crate) core: SimCore<A::Msg, A::Cmd>,
+    /// Full-length; `Some` only at owned indices.
     actors: Vec<Option<A>>,
 }
 
-impl<A: Actor> Sim<A> {
-    /// Create an engine with the given config, latency model and RNG seed.
-    pub fn new(cfg: SimConfig, latency: LatencyModel, seed: u64) -> Sim<A> {
-        let (lat_base, lat_dim) = latency.to_flat();
-        Sim {
-            core: SimCore {
-                cfg,
-                now: SimTime::ZERO,
-                seq: 0,
-                queue: TimerWheel::new(),
-                slots: Vec::new(),
-                lat_base,
-                lat_dim,
-                lat_jitter: latency.jitter(),
-                rng: StdRng::seed_from_u64(seed),
-                partition_depth: 0,
-                trace: FNV_OFFSET,
-                stats: SimStats::default(),
-            },
-            actors: Vec::new(),
-        }
-    }
-
-    /// Register a node. If `setup.online`, an up-event is queued at the
-    /// current time so `on_start` runs through the normal event path.
-    pub fn add_node(&mut self, actor: A, setup: NodeSetup) -> NodeId {
-        let id = NodeId(self.core.slots.len() as u32);
-        let region_idx = (setup.region.0 as usize).min(self.core.lat_dim - 1) as u16;
-        self.core.slots.push(NodeState {
-            online: false,
-            dialable: setup.dialable,
-            retired: false,
-            net_class: 0,
-            addr: setup.addr,
-            region: setup.region,
-            region_idx,
-            conns: ConnTable::new(),
-        });
-        self.actors.push(Some(actor));
-        if setup.online {
-            self.core.push(
-                self.core.now,
-                Ev::NodeUp {
-                    node: id,
-                    addr: None,
-                },
-            );
-        }
-        id
-    }
-
-    /// Engine core accessor (harness-side oracle: addresses, liveness,
-    /// connections, stats).
-    pub fn core(&self) -> &SimCore<A::Msg, A::Cmd> {
-        &self.core
-    }
-
-    /// Immutable actor accessor (e.g. to read a monitor's log after a run).
-    pub fn actor(&self, node: NodeId) -> &A {
-        self.actors[node.idx()].as_ref().expect("actor checked out")
-    }
-
-    /// Mutable actor accessor (harness-side configuration between runs).
-    pub fn actor_mut(&mut self, node: NodeId) -> &mut A {
-        self.actors[node.idx()].as_mut().expect("actor checked out")
-    }
-
-    /// Change a node's dialability (e.g. it acquired a public IP).
-    pub fn set_dialable(&mut self, node: NodeId, dialable: bool) {
-        self.core.slots[node.idx()].dialable = dialable;
-    }
-
-    /// Schedule a node to come online at `at`, optionally with a new address
-    /// (IP rotation on re-join).
-    pub fn schedule_up(&mut self, at: SimTime, node: NodeId, addr: Option<SocketAddrV4>) {
-        self.core.push(at, Ev::NodeUp { node, addr });
-    }
-
-    /// Schedule a node to go offline at `at`.
-    pub fn schedule_down(&mut self, at: SimTime, node: NodeId) {
-        self.core.push(at, Ev::NodeDown { node });
-    }
-
-    /// Schedule a harness command for a node at `at`.
-    pub fn schedule_command(&mut self, at: SimTime, node: NodeId, cmd: A::Cmd) {
-        self.core.push(at, Ev::Command { node, cmd });
-    }
-
-    /// Schedule a fault-injection event (the `whatif` engine's entry point).
-    /// Faults queued at the same instant execute in scheduling order.
-    pub fn schedule_fault(&mut self, at: SimTime, fault: Fault) {
-        self.core.push(at, Ev::Fault(fault));
-    }
-
-    /// Process a single event. Returns `false` when the queue is empty.
-    pub fn step(&mut self) -> bool {
-        let Some((at, _seq, ev)) = self.core.queue.pop() else {
-            return false;
-        };
-        debug_assert!(at >= self.core.now, "time went backwards");
-        self.core.now = at;
-        self.core.stats.events += 1;
-        self.core.note_event(at, &ev);
-        self.dispatch(ev);
-        true
-    }
-
-    /// Run until virtual time `t` (inclusive of events at `t`); afterwards
-    /// `now() == t` even if the queue drained early.
-    pub fn run_until(&mut self, t: SimTime) {
-        let mut processed: u64 = 0;
-        while let Some(top_at) = self.core.queue.peek_at() {
-            if top_at > t {
-                break;
-            }
-            processed += 1;
-            if processed > self.core.cfg.max_events {
-                panic!(
-                    "simulation exceeded max_events = {}",
-                    self.core.cfg.max_events
-                );
-            }
-            self.step();
-        }
-        self.core.now = self.core.now.max(t);
-    }
-
-    /// Run for `d` of virtual time.
-    pub fn run_for(&mut self, d: Dur) {
-        let t = self.core.now + d;
-        self.run_until(t);
-    }
-
-    /// Drain every queued event (use only for bounded scenarios).
-    pub fn run_to_completion(&mut self) {
-        while self.step() {
-            if self.core.stats.events > self.core.cfg.max_events {
-                panic!(
-                    "simulation exceeded max_events = {}",
-                    self.core.cfg.max_events
-                );
-            }
-        }
-    }
-
+impl<A: Actor> Shard<A> {
     fn with_actor<R>(
         &mut self,
         node: NodeId,
@@ -835,71 +930,155 @@ impl<A: Actor> Sim<A> {
         r
     }
 
+    /// Process the next event if it falls before `horizon_excl` (exclusive,
+    /// when given) and at or before `until_incl`. Returns whether an event
+    /// was processed.
+    pub(crate) fn step_bounded(&mut self, horizon_excl: Option<u64>, until_incl: SimTime) -> bool {
+        let Some(at) = self.core.queue.peek_at() else {
+            return false;
+        };
+        if at > until_incl {
+            return false;
+        }
+        if let Some(h) = horizon_excl {
+            if at.0 >= h {
+                return false;
+            }
+        }
+        let (at, _key, ev) = self.core.queue.pop().expect("peeked");
+        debug_assert!(at >= self.core.now, "time went backwards");
+        self.core.now = at;
+        if self.core.note_event(at, &ev) {
+            self.core.stats.events += 1;
+        }
+        self.dispatch(ev);
+        true
+    }
+
     fn dispatch(&mut self, ev: Ev<A::Msg, A::Cmd>) {
         match ev {
             Ev::Deliver { from, to, msg } => {
-                if !self.core.slots[to.idx()].online || !self.core.connected(from, to) {
+                // Receiver-side checks only: the receiver must be up and
+                // must still hold its half of the connection.
+                let slot = &self.core.slots[to.idx()];
+                if !slot.online || !slot.conns.contains(from) {
                     self.core.stats.msgs_dropped += 1;
                     return;
                 }
-                if self.core.cfg.loss > 0.0 && self.core.rng.random_bool(self.core.cfg.loss) {
-                    self.core.stats.msgs_lost += 1;
-                    return;
+                if self.core.cfg.loss > 0.0 {
+                    let loss = self.core.cfg.loss;
+                    if self.core.slots[to.idx()].rng.random_bool(loss) {
+                        self.core.stats.msgs_lost += 1;
+                        return;
+                    }
                 }
                 self.core.stats.msgs_delivered += 1;
                 self.with_actor(to, |a, ctx| a.on_message(ctx, from, msg));
             }
             Ev::DialArrive {
                 dialer,
+                dialer_addr,
                 target,
-                via,
+                relayed,
                 started,
             } => {
                 let ok = {
                     let t = &self.core.slots[target.idx()];
-                    let reachable = match via {
-                        None => t.dialable,
-                        Some(relay) => {
-                            self.core.slots[relay.idx()].online
-                                && self.core.connected(relay, target)
-                                && self.core.link_allowed(dialer, relay)
-                        }
-                    };
                     t.online
-                        && reachable
+                        && (relayed || t.dialable)
                         && dialer != target
                         && self.core.link_allowed(dialer, target)
                 };
-                let relayed = via.is_some();
                 if ok {
-                    if !self.core.connected(dialer, target) {
-                        self.core.connect(dialer, target, relayed);
-                        self.with_actor(target, |a, ctx| {
-                            a.on_inbound_connection(ctx, dialer, relayed)
-                        });
-                    }
-                    let back = self.core.lat(target, dialer);
+                    let target_addr = self.core.slots[target.idx()].addr;
+                    let back = self.core.lat(target, target, dialer);
                     let at = self.core.now + back;
-                    self.core.push(
+                    self.core.push_from(
+                        target,
+                        dialer,
                         at,
                         Ev::DialOutcome {
                             dialer,
                             target,
+                            target_addr,
                             ok: true,
                             relayed,
                         },
                     );
+                    // Our own half opens when the handshake completes — the
+                    // same virtual instant the dialer's outcome lands.
+                    self.core.push_from(
+                        target,
+                        target,
+                        at,
+                        Ev::HandshakeDone {
+                            dialer,
+                            dialer_addr,
+                            target,
+                            relayed,
+                        },
+                    );
+                    self.core.slots[target.idx()]
+                        .pending_accepts
+                        .push((dialer, at));
                 } else {
                     // Unreachable targets look like silence: the dialer's
                     // timeout fires relative to when the dial started.
                     let at = started + self.core.cfg.dial_timeout;
-                    self.core.push(
+                    self.core.push_from(
+                        target,
+                        dialer,
                         at,
                         Ev::DialOutcome {
                             dialer,
                             target,
+                            target_addr: SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, 0),
                             ok: false,
                             relayed,
+                        },
+                    );
+                }
+            }
+            Ev::RelayHop {
+                dialer,
+                dialer_addr,
+                relay,
+                target,
+                started,
+            } => {
+                // The relay forwards the circuit request based on its own
+                // state: it must be up, still hold the target connection,
+                // and be reachable from the dialer across any partition.
+                let r = &self.core.slots[relay.idx()];
+                let ok =
+                    r.online && r.conns.contains(target) && self.core.link_allowed(dialer, relay);
+                if ok {
+                    let l2 = self.core.lat(relay, relay, target);
+                    let at = self.core.now + l2;
+                    self.core.push_from(
+                        relay,
+                        target,
+                        at,
+                        Ev::DialArrive {
+                            dialer,
+                            dialer_addr,
+                            target,
+                            relayed: true,
+                            started,
+                        },
+                    );
+                } else {
+                    let at = started + self.core.cfg.dial_timeout;
+                    self.core.push_from(
+                        relay,
+                        dialer,
+                        at,
+                        Ev::DialOutcome {
+                            dialer,
+                            target,
+                            target_addr: SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, 0),
+                            ok: false,
+                            relayed: true,
                         },
                     );
                 }
@@ -907,19 +1086,65 @@ impl<A: Actor> Sim<A> {
             Ev::DialOutcome {
                 dialer,
                 target,
+                target_addr,
                 ok,
                 relayed,
             } => {
                 if !self.core.slots[dialer.idx()].online {
                     return;
                 }
-                let ok = ok && self.core.connected(dialer, target);
+                // A partition activated mid-handshake blocks the final ACK:
+                // the dial fails and no half opens. `link_allowed` reads
+                // replicated state updated at the same virtual instant on
+                // every shard, and the paired HandshakeDone runs the same
+                // check at the same time, so both ends agree — for every
+                // shard count.
+                let ok = ok && self.core.link_allowed(dialer, target);
                 if ok {
+                    // The dialer's half opens when the handshake completes
+                    // (the target's half opens at the same instant).
+                    self.core.slots[dialer.idx()]
+                        .conns
+                        .insert(target, relayed, target_addr);
                     self.core.stats.dials_ok += 1;
                 } else {
                     self.core.stats.dials_failed += 1;
                 }
                 self.with_actor(dialer, |a, ctx| a.on_dial_result(ctx, target, ok, relayed));
+            }
+            Ev::HandshakeDone {
+                dialer,
+                dialer_addr,
+                target,
+                relayed,
+            } => {
+                // Consume the matching pending accept. A shutdown or kill
+                // in the handshake window cleared it (and, for a graceful
+                // shutdown, FIN-ed the dialer), so its absence means this
+                // accept belongs to a session that no longer exists — e.g.
+                // the target bounced and rejoined within the window.
+                let pending = &mut self.core.slots[target.idx()].pending_accepts;
+                let Some(pos) = pending.iter().position(|&(d, _)| d == dialer) else {
+                    return;
+                };
+                pending.remove(pos);
+                if !self.core.slots[target.idx()].online {
+                    return;
+                }
+                // Mirror of the DialOutcome partition check: a split that
+                // activated mid-handshake blocks the accept too, so neither
+                // half opens across the boundary.
+                if !self.core.link_allowed(dialer, target) {
+                    return;
+                }
+                if !self.core.slots[target.idx()].conns.contains(dialer) {
+                    self.core.slots[target.idx()]
+                        .conns
+                        .insert(dialer, relayed, dialer_addr);
+                    self.with_actor(target, |a, ctx| {
+                        a.on_inbound_connection(ctx, dialer, relayed)
+                    });
+                }
             }
             Ev::Timer { node, token } => {
                 if !self.core.slots[node.idx()].online {
@@ -952,14 +1177,37 @@ impl<A: Actor> Sim<A> {
                 }
                 self.with_actor(node, |a, ctx| a.on_stop(ctx));
                 self.core.slots[node.idx()].online = false;
-                // The table is sorted, so teardown order is deterministic.
+                // Our halves close now; each peer gets a FIN one link
+                // latency later (ascending peer order — the table is
+                // sorted, so the latency draw sequence is deterministic).
                 for entry in self.core.slots[node.idx()].conns.take_all() {
                     let p = entry.peer;
-                    self.core.slots[p.idx()].conns.remove(node);
-                    self.core.push(
-                        self.core.now,
+                    let lat = self.core.lat(node, node, p);
+                    let at = self.core.now + lat;
+                    self.core.push_from(
+                        node,
+                        p,
+                        at,
                         Ev::ConnClosed {
                             node: p,
+                            peer: node,
+                        },
+                    );
+                }
+                // Half-open inbound handshakes get a FIN too — scheduled no
+                // earlier than the dialer's DialOutcome, so a dial that
+                // reported success against a dying target is closed right
+                // after it opens instead of leaking a stale half.
+                let pending = std::mem::take(&mut self.core.slots[node.idx()].pending_accepts);
+                for (dialer, outcome_at) in pending {
+                    let lat = self.core.lat(node, node, dialer);
+                    let at = (self.core.now + lat).max(outcome_at);
+                    self.core.push_from(
+                        node,
+                        dialer,
+                        at,
+                        Ev::ConnClosed {
+                            node: dialer,
                             peer: node,
                         },
                     );
@@ -969,33 +1217,52 @@ impl<A: Actor> Sim<A> {
                 if !self.core.slots[node.idx()].online {
                     return;
                 }
-                self.with_actor(node, |a, ctx| a.on_connection_closed(ctx, peer));
+                // FIN arrival: close our half if it is still open. A half
+                // already gone (we disconnected concurrently, or a kill
+                // swept it) is swallowed — both ends already knew.
+                if self.core.slots[node.idx()].conns.remove(peer) {
+                    self.with_actor(node, |a, ctx| a.on_connection_closed(ctx, peer));
+                }
             }
-            Ev::Fault(f) => self.dispatch_fault(f),
+            Ev::Fault { fault, primary } => self.dispatch_fault(fault, primary),
         }
     }
 
-    fn dispatch_fault(&mut self, f: Fault) {
+    fn dispatch_fault(&mut self, f: Fault, primary: bool) {
         match f {
             Fault::Kill { node } => {
-                if !self.core.slots[node.idx()].online {
-                    return;
+                // No `on_stop`, no FIN: the process is simply gone. The
+                // fault is broadcast, so every shard sweeps its own nodes'
+                // halves toward the victim at the same virtual instant —
+                // the fabric stays symmetric but peers receive no
+                // ConnClosed; their node-level session state goes stale
+                // until their own operations fail, exactly like writes on
+                // a dead TCP socket. The sweep is unconditional on the
+                // victim's liveness (non-owner shards cannot read it), so
+                // a kill landing while a graceful shutdown's FINs are
+                // still in flight sweeps the peer half early and the FIN
+                // is swallowed without an `on_connection_closed` — peers
+                // then clean up through RPC timeouts, the same path any
+                // kill relies on. Bounded, deterministic, and identical
+                // for every shard count.
+                if primary {
+                    self.core.slots[node.idx()].online = false;
+                    self.core.slots[node.idx()].conns = ConnTable::new();
+                    self.core.slots[node.idx()].pending_accepts.clear();
                 }
-                // No `on_stop`, no FIN: the process is simply gone. Both
-                // conn-table sides are cleared so the fabric stays
-                // symmetric, but peers receive no ConnClosed — their
-                // node-level session state goes stale until their own
-                // operations fail, exactly like writes on a dead TCP
-                // socket.
-                self.core.slots[node.idx()].online = false;
-                for entry in self.core.slots[node.idx()].conns.take_all() {
-                    self.core.slots[entry.peer.idx()].conns.remove(node);
+                let me = self.core.shard;
+                for i in 0..self.core.slots.len() {
+                    if i != node.idx() && self.core.shard_of[i] == me {
+                        self.core.slots[i].conns.remove(node);
+                    }
                 }
             }
             Fault::Retire { node } => {
                 self.core.slots[node.idx()].retired = true;
             }
             Fault::SetNetClass { node, class } => {
+                // Replicated on every shard: partition checks must never
+                // read across a shard boundary.
                 self.core.slots[node.idx()].net_class = class;
             }
             Fault::Partition { active } => {
@@ -1004,24 +1271,483 @@ impl<A: Actor> Sim<A> {
                     return;
                 }
                 self.core.partition_depth += 1;
-                // Sever every crossing connection, in ascending (node,
-                // peer) order so teardown notifications are deterministic.
+                // Sever every crossing connection held by an owned node, in
+                // ascending (node, peer) order. The closure itself happens
+                // through zero-delay local ConnClosed events, so the actor
+                // callback ordering is deterministic and shard-invariant;
+                // the peer's side runs the same sweep on its own shard at
+                // the same virtual instant.
+                let me = self.core.shard;
                 for i in 0..self.core.slots.len() {
+                    if self.core.shard_of[i] != me {
+                        continue;
+                    }
                     let a = NodeId(i as u32);
                     let crossing: Vec<NodeId> = self
                         .core
                         .connections(a)
-                        .filter(|&b| b.idx() > i && !self.core.link_allowed(a, b))
+                        .filter(|&b| !self.core.link_allowed(a, b))
                         .collect();
                     for b in crossing {
-                        self.core.drop_conn(a, b);
+                        let now = self.core.now;
                         self.core
-                            .push(self.core.now, Ev::ConnClosed { node: a, peer: b });
-                        self.core
-                            .push(self.core.now, Ev::ConnClosed { node: b, peer: a });
+                            .push_from(a, a, now, Ev::ConnClosed { node: a, peer: b });
                     }
                 }
             }
+        }
+    }
+}
+
+/// The simulator: one or more shards, each holding an engine core and the
+/// actors it owns.
+pub struct Sim<A: Actor> {
+    pub(crate) shards: Vec<Shard<A>>,
+    /// Sequence counter for harness-scheduled events.
+    harness_seq: u32,
+    /// Engine seed (derives per-node RNG seeds).
+    seed: u64,
+    /// Cached conservative lookahead; invalidated by `add_node`.
+    lookahead_cache: Option<Dur>,
+}
+
+/// Read-only merged view over every shard, for harness-side oracles. All
+/// methods assume the engine is quiesced (between `run_*` calls).
+pub struct CoreView<'a, A: Actor> {
+    sim: &'a Sim<A>,
+    /// Aggregated counters across shards (kind counts and totals are
+    /// shard-invariant sums; `peak_queue_len` is the max across shards).
+    pub stats: SimStats,
+}
+
+impl<'a, A: Actor> CoreView<'a, A> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Number of registered nodes (online or not).
+    pub fn node_count(&self) -> usize {
+        self.sim.shards[0].core.slots.len()
+    }
+
+    /// Merged run digest (per-shard digests folded in shard order).
+    pub fn trace_digest(&self) -> u64 {
+        self.sim.trace_digest()
+    }
+
+    /// Whether a node is currently online.
+    pub fn is_online(&self, node: NodeId) -> bool {
+        self.sim.owner_core(node).is_online(node)
+    }
+
+    /// Whether a node accepts direct inbound dials.
+    pub fn is_dialable(&self, node: NodeId) -> bool {
+        self.sim.owner_core(node).is_dialable(node)
+    }
+
+    /// Whether a node has been retired by a [`Fault::Retire`].
+    pub fn is_retired(&self, node: NodeId) -> bool {
+        self.sim.owner_core(node).is_retired(node)
+    }
+
+    /// A node's partition class.
+    pub fn net_class(&self, node: NodeId) -> u16 {
+        self.sim.owner_core(node).net_class(node)
+    }
+
+    /// Whether any partition is currently active.
+    pub fn partition_active(&self) -> bool {
+        self.sim.shards[0].core.partition_active()
+    }
+
+    /// A node's current socket address.
+    pub fn addr(&self, node: NodeId) -> SocketAddrV4 {
+        self.sim.owner_core(node).addr(node)
+    }
+
+    /// A node's region.
+    pub fn region(&self, node: NodeId) -> RegionId {
+        self.sim.owner_core(node).region(node)
+    }
+
+    /// Whether `a` holds its half of a connection to `b` (symmetric at
+    /// quiesce points).
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.sim.owner_core(a).connected(a, b)
+    }
+
+    /// A node's open connections in ascending peer order.
+    pub fn connections(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.sim.owner_core(node).connections(node)
+    }
+
+    /// Number of open connections.
+    pub fn connection_count(&self, node: NodeId) -> usize {
+        self.sim.owner_core(node).connection_count(node)
+    }
+}
+
+impl<A: Actor> Sim<A> {
+    /// Create a single-shard engine with the given config, latency model
+    /// and RNG seed — the plain sequential scheduler.
+    pub fn new(cfg: SimConfig, latency: LatencyModel, seed: u64) -> Sim<A> {
+        Sim::new_sharded(cfg, latency, seed, 1)
+    }
+
+    /// Create an engine partitioned into `n_shards` shards. Node→shard
+    /// assignment defaults to `region % n_shards` ([`Sim::add_node`]);
+    /// override per node with [`Sim::add_node_in`]. Results are identical
+    /// for every shard count (see the module docs for the contract).
+    pub fn new_sharded(
+        cfg: SimConfig,
+        latency: LatencyModel,
+        seed: u64,
+        n_shards: usize,
+    ) -> Sim<A> {
+        let n_shards = n_shards.clamp(1, u16::MAX as usize);
+        let (lat_base, lat_dim) = latency.to_flat();
+        let shards = (0..n_shards)
+            .map(|s| Shard {
+                core: SimCore {
+                    cfg: cfg.clone(),
+                    shard: s as u16,
+                    now: SimTime::ZERO,
+                    queue: TimerWheel::new(),
+                    slots: Vec::new(),
+                    shard_of: Vec::new(),
+                    lat_base: lat_base.clone(),
+                    lat_dim,
+                    lat_jitter: latency.jitter(),
+                    partition_depth: 0,
+                    trace: 0,
+                    lookahead: Dur::ZERO,
+                    outbox: (0..n_shards).map(|_| Vec::new()).collect(),
+                    stats: SimStats::default(),
+                },
+                actors: Vec::new(),
+            })
+            .collect();
+        Sim {
+            shards,
+            harness_seq: 0,
+            seed,
+            lookahead_cache: None,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn owner_core(&self, node: NodeId) -> &SimCore<A::Msg, A::Cmd> {
+        let s = self.shards[0].core.shard_of[node.idx()];
+        &self.shards[s as usize].core
+    }
+
+    fn next_harness_key(&mut self) -> u64 {
+        debug_assert!(self.harness_seq < u32::MAX, "harness sequence overflow");
+        let k = ev_key(HARNESS_ORIGIN, self.harness_seq);
+        self.harness_seq += 1;
+        k
+    }
+
+    /// Register a node in the shard chosen by the default assignment
+    /// (`region % n_shards`, matching `netgen`'s deterministic placement).
+    /// If `setup.online`, an up-event is queued at the current time so
+    /// `on_start` runs through the normal event path.
+    pub fn add_node(&mut self, actor: A, setup: NodeSetup) -> NodeId {
+        let shard = shard_for(setup.region.0, self.shards.len());
+        self.add_node_in(actor, setup, shard)
+    }
+
+    /// Register a node in an explicit shard.
+    pub fn add_node_in(&mut self, actor: A, setup: NodeSetup, shard: u16) -> NodeId {
+        assert!((shard as usize) < self.shards.len(), "shard out of range");
+        let id = NodeId(self.shards[0].core.slots.len() as u32);
+        let lat_dim = self.shards[0].core.lat_dim;
+        let region_idx = (setup.region.0 as usize).min(lat_dim - 1) as u16;
+        let state = NodeState {
+            online: false,
+            dialable: setup.dialable,
+            retired: false,
+            net_class: 0,
+            addr: setup.addr,
+            region: setup.region,
+            region_idx,
+            conns: ConnTable::new(),
+            rng: StdRng::seed_from_u64(node_seed(self.seed, id.0)),
+            oseq: 0,
+            pending_accepts: Vec::new(),
+        };
+        for sh in self.shards.iter_mut() {
+            sh.core.slots.push(state.clone());
+            sh.core.shard_of.push(shard);
+            sh.actors.push(None);
+        }
+        self.shards[shard as usize].actors[id.idx()] = Some(actor);
+        self.lookahead_cache = None;
+        if setup.online {
+            let k = self.next_harness_key();
+            let sh = &mut self.shards[shard as usize];
+            let now = sh.core.now;
+            sh.core.enqueue_local(
+                now,
+                k,
+                Ev::NodeUp {
+                    node: id,
+                    addr: None,
+                },
+            );
+        }
+        id
+    }
+
+    /// Merged engine view (harness-side oracle: addresses, liveness,
+    /// connections, aggregated stats). Valid between `run_*` calls.
+    pub fn core(&self) -> CoreView<'_, A> {
+        CoreView {
+            sim: self,
+            stats: self.stats(),
+        }
+    }
+
+    /// Aggregated counters across every shard.
+    pub fn stats(&self) -> SimStats {
+        let mut agg = SimStats::default();
+        for sh in &self.shards {
+            agg.add(&sh.core.stats);
+        }
+        agg
+    }
+
+    /// Merged run digest: per-shard digest accumulators folded in shard
+    /// order (`wrapping_add`, so the result is invariant under
+    /// re-sharding of the same event multiset).
+    pub fn trace_digest(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0u64, |acc, sh| acc.wrapping_add(sh.core.trace))
+    }
+
+    /// Current virtual time (shards agree at quiesce points).
+    pub fn now(&self) -> SimTime {
+        self.shards[0].core.now
+    }
+
+    /// Immutable actor accessor (e.g. to read a monitor's log after a run).
+    pub fn actor(&self, node: NodeId) -> &A {
+        let s = self.shards[0].core.shard_of[node.idx()];
+        self.shards[s as usize].actors[node.idx()]
+            .as_ref()
+            .expect("actor checked out")
+    }
+
+    /// Mutable actor accessor (harness-side configuration between runs).
+    pub fn actor_mut(&mut self, node: NodeId) -> &mut A {
+        let s = self.shards[0].core.shard_of[node.idx()];
+        self.shards[s as usize].actors[node.idx()]
+            .as_mut()
+            .expect("actor checked out")
+    }
+
+    /// Change a node's dialability (e.g. it acquired a public IP).
+    pub fn set_dialable(&mut self, node: NodeId, dialable: bool) {
+        let s = self.shards[0].core.shard_of[node.idx()];
+        self.shards[s as usize].core.slots[node.idx()].dialable = dialable;
+    }
+
+    /// Open a connection between `a` and `b` directly (both halves, with
+    /// captured addresses) — harness/test fabric bootstrap that skips the
+    /// dial handshake.
+    pub fn connect_pair(&mut self, a: NodeId, b: NodeId, relayed: bool) {
+        let addr_a = self.owner_core(a).addr(a);
+        let addr_b = self.owner_core(b).addr(b);
+        let sa = self.shards[0].core.shard_of[a.idx()] as usize;
+        let sb = self.shards[0].core.shard_of[b.idx()] as usize;
+        self.shards[sa].core.slots[a.idx()]
+            .conns
+            .insert(b, relayed, addr_b);
+        self.shards[sb].core.slots[b.idx()]
+            .conns
+            .insert(a, relayed, addr_a);
+    }
+
+    fn push_harness(&mut self, target: NodeId, at: SimTime, ev: Ev<A::Msg, A::Cmd>) {
+        let k = self.next_harness_key();
+        let s = self.shards[0].core.shard_of[target.idx()] as usize;
+        let sh = &mut self.shards[s];
+        let at = at.max(sh.core.now);
+        sh.core.enqueue_local(at, k, ev);
+    }
+
+    /// Schedule a node to come online at `at`, optionally with a new address
+    /// (IP rotation on re-join).
+    pub fn schedule_up(&mut self, at: SimTime, node: NodeId, addr: Option<SocketAddrV4>) {
+        self.push_harness(node, at, Ev::NodeUp { node, addr });
+    }
+
+    /// Schedule a node to go offline at `at`.
+    pub fn schedule_down(&mut self, at: SimTime, node: NodeId) {
+        self.push_harness(node, at, Ev::NodeDown { node });
+    }
+
+    /// Schedule a harness command for a node at `at`.
+    pub fn schedule_command(&mut self, at: SimTime, node: NodeId, cmd: A::Cmd) {
+        self.push_harness(node, at, Ev::Command { node, cmd });
+    }
+
+    /// Schedule a fault-injection event (the `whatif` engine's entry
+    /// point). Faults queued at the same instant execute in scheduling
+    /// order. Faults touching replicated or cross-shard state (kills,
+    /// class changes, partitions) are broadcast to every shard under one
+    /// harness key; the owning shard's copy is the counted one.
+    pub fn schedule_fault(&mut self, at: SimTime, fault: Fault) {
+        let k = self.next_harness_key();
+        let owner = |sim: &Sim<A>, node: NodeId| sim.shards[0].core.shard_of[node.idx()];
+        let (broadcast, primary_shard) = match fault {
+            Fault::Retire { node } => (false, owner(self, node)),
+            Fault::Kill { node } | Fault::SetNetClass { node, .. } => (true, owner(self, node)),
+            Fault::Partition { .. } => (true, 0),
+        };
+        if broadcast {
+            for s in 0..self.shards.len() {
+                let sh = &mut self.shards[s];
+                let at = at.max(sh.core.now);
+                sh.core.enqueue_local(
+                    at,
+                    k,
+                    Ev::Fault {
+                        fault,
+                        primary: s as u16 == primary_shard,
+                    },
+                );
+            }
+        } else {
+            let sh = &mut self.shards[primary_shard as usize];
+            let at = at.max(sh.core.now);
+            sh.core.enqueue_local(
+                at,
+                k,
+                Ev::Fault {
+                    fault,
+                    primary: true,
+                },
+            );
+        }
+    }
+
+    /// Conservative lookahead: the minimum possible latency of a link
+    /// whose endpoints live on different shards (jitter floor applied).
+    /// Cross-shard events always arrive at least this far in the future,
+    /// which is what lets shards run an epoch concurrently.
+    pub fn lookahead(&mut self) -> Dur {
+        if let Some(l) = self.lookahead_cache {
+            return l;
+        }
+        let core0 = &self.shards[0].core;
+        let n = self.shards.len();
+        let dim = core0.lat_dim;
+        // Region occupancy per shard.
+        let mut occupied = vec![vec![false; dim]; n];
+        for (i, slot) in core0.slots.iter().enumerate() {
+            occupied[core0.shard_of[i] as usize][slot.region_idx as usize] = true;
+        }
+        let mut min_base: Option<Dur> = None;
+        for s1 in 0..n {
+            for s2 in (s1 + 1)..n {
+                for r1 in 0..dim {
+                    if !occupied[s1][r1] {
+                        continue;
+                    }
+                    for r2 in 0..dim {
+                        if !occupied[s2][r2] {
+                            continue;
+                        }
+                        let d = core0.lat_base[r1 * dim + r2].min(core0.lat_base[r2 * dim + r1]);
+                        min_base = Some(min_base.map_or(d, |m| m.min(d)));
+                    }
+                }
+            }
+        }
+        let l = match min_base {
+            // No cross-shard pairs at all: a single epoch can run to the
+            // horizon.
+            None => Dur(u64::MAX / 4),
+            Some(base) => {
+                // Multiplicative jitter draws from (1-j, 1+j) exclusive;
+                // flooring at (1-j) is a safe conservative bound.
+                let floor = (base.0 as f64 * (1.0 - core0.lat_jitter).max(0.0)).floor() as u64;
+                Dur(floor)
+            }
+        };
+        self.lookahead_cache = Some(l);
+        l
+    }
+
+    /// Run until virtual time `t` (inclusive of events at `t`); afterwards
+    /// `now() == t` even if the queue drained early.
+    pub fn run_until(&mut self, t: SimTime) {
+        if self.shards.len() == 1 {
+            let max_events = self.shards[0].core.cfg.max_events;
+            let mut processed: u64 = 0;
+            let sh = &mut self.shards[0];
+            while sh.step_bounded(None, t) {
+                processed += 1;
+                if processed > max_events {
+                    panic!("simulation exceeded max_events = {max_events}");
+                }
+            }
+            sh.core.now = sh.core.now.max(t);
+        } else {
+            let lookahead = self.lookahead();
+            assert!(
+                lookahead > Dur::ZERO,
+                "sharded execution requires a strictly positive minimum \
+                 cross-shard link latency (got a zero-latency cross-shard pair)"
+            );
+            // Failed dials report at `started + dial_timeout`, pushed from
+            // the far end after up to two link latencies — conservative
+            // sync needs that report to still be at least `lookahead` in
+            // the pushing shard's future. A debug_assert in `route` guards
+            // each push; this guards the configuration itself so release
+            // builds cannot silently break the shard-invariance contract.
+            let core0 = &self.shards[0].core;
+            let max_base = core0.lat_base.iter().copied().max().unwrap_or(Dur::ZERO);
+            let max_lat = Dur((max_base.0 as f64 * (1.0 + core0.lat_jitter)).ceil() as u64);
+            assert!(
+                core0.cfg.dial_timeout >= max_lat * 2 + lookahead,
+                "sharded execution requires dial_timeout ({:?}) >= twice the \
+                 maximum link latency plus the lookahead ({:?})",
+                core0.cfg.dial_timeout,
+                max_lat * 2 + lookahead
+            );
+            let max_events = self.shards[0].core.cfg.max_events;
+            crate::shard::run_epochs(&mut self.shards, lookahead, max_events, t);
+        }
+    }
+
+    /// Run for `d` of virtual time.
+    pub fn run_for(&mut self, d: Dur) {
+        let t = self.now() + d;
+        self.run_until(t);
+    }
+
+    /// Drain every queued event (use only for bounded scenarios).
+    pub fn run_to_completion(&mut self) {
+        loop {
+            let horizon = self
+                .shards
+                .iter_mut()
+                .filter_map(|sh| sh.core.queue.peek_at())
+                .max();
+            let Some(first) = horizon else {
+                return;
+            };
+            // Run in generous windows: events may beget later events, so
+            // loop until every queue is empty.
+            self.run_until(first + Dur::from_hours(1));
         }
     }
 }
@@ -1104,6 +1830,21 @@ mod tests {
         Ipv4Addr::new(10, 0, 0, last)
     }
 
+    /// Run `f` inside a [`Ctx`] for `node` (test-only direct effect
+    /// injection, bypassing the event queue).
+    fn with_ctx<R>(
+        s: &mut Sim<Echo>,
+        node: NodeId,
+        f: impl FnOnce(&mut Ctx<'_, u32, &'static str>) -> R,
+    ) -> R {
+        let shard = s.shards[0].core.shard_of[node.idx()] as usize;
+        let mut ctx = Ctx {
+            core: &mut s.shards[shard].core,
+            me: node,
+        };
+        f(&mut ctx)
+    }
+
     #[test]
     fn dial_send_echo_roundtrip() {
         let mut s = sim();
@@ -1128,7 +1869,7 @@ mod tests {
         assert_eq!(s.actor(a).inbound, vec![b]);
         // b sent 1 on dial success; a does not echo, b echoes — a.got = [(b,1)]
         assert_eq!(s.actor(a).got, vec![(b, 1)]);
-        assert!(s.core().connected(a, b));
+        assert!(s.core().connected(a, b) && s.core().connected(b, a));
         assert_eq!(s.core().stats.dials_ok, 1);
     }
 
@@ -1160,15 +1901,12 @@ mod tests {
         let target = s.add_node(Echo::default(), NodeSetup::nat(ip(1)));
         let relay = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
         let dialer = s.add_node(Echo::default(), NodeSetup::public(ip(3)));
-        // Pre-establish target↔relay (the NAT-ed node keeps a relay slot).
-        s.core.connect(target, relay, false);
-        // Dialer must be able to reach the relay's circuit: dial via relay.
-        s.core.connect(dialer, relay, false);
-        let mut ctx = Ctx {
-            core: &mut s.core,
-            me: dialer,
-        };
-        ctx.dial_via(relay, target);
+        s.run_for(Dur::from_millis(1)); // process the initial NodeUps
+                                        // Pre-establish target↔relay (the NAT-ed node keeps a relay slot)
+                                        // and dialer↔relay (the dialer reaches the relay's circuit).
+        s.connect_pair(target, relay, false);
+        s.connect_pair(dialer, relay, false);
+        with_ctx(&mut s, dialer, |ctx| ctx.dial_via(relay, target));
         s.run_for(Dur::from_secs(5));
         assert_eq!(s.actor(dialer).dial_ok, vec![(target, true, true)]);
         assert!(s.core().connected(dialer, target));
@@ -1177,6 +1915,21 @@ mod tests {
         s.schedule_down(s.core().now(), relay);
         s.run_for(Dur::from_secs(1));
         assert!(s.core().connected(dialer, target));
+    }
+
+    #[test]
+    fn relayed_dial_fails_when_relay_lacks_target() {
+        let mut s = sim();
+        let target = s.add_node(Echo::default(), NodeSetup::nat(ip(1)));
+        let relay = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
+        let dialer = s.add_node(Echo::default(), NodeSetup::public(ip(3)));
+        s.run_for(Dur::from_millis(1));
+        // Dialer can reach the relay, but the relay holds no circuit to the
+        // target: the hop fails at the relay, silence until the timeout.
+        s.connect_pair(dialer, relay, false);
+        with_ctx(&mut s, dialer, |ctx| ctx.dial_via(relay, target));
+        s.run_for(Dur::from_secs(30));
+        assert_eq!(s.actor(dialer).dial_ok, vec![(target, false, true)]);
     }
 
     #[test]
@@ -1196,6 +1949,8 @@ mod tests {
         s.schedule_down(SimTime::ZERO + Dur::from_secs(3), a);
         s.run_for(Dur::from_secs(3));
         assert!(!s.core().connected(a, b));
+        // The FIN takes one link latency; by now it has landed.
+        assert!(!s.core().connected(b, a));
         assert_eq!(s.actor(b).closed, vec![a]);
         assert_eq!(s.actor(a).stopped, 1);
         // Messages to the downed node are dropped.
@@ -1223,15 +1978,11 @@ mod tests {
     fn timers_fire_in_order_and_not_offline() {
         let mut s = sim();
         let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
-        {
-            let mut ctx = Ctx {
-                core: &mut s.core,
-                me: a,
-            };
+        with_ctx(&mut s, a, |ctx| {
             ctx.set_timer(Dur::from_secs(2), 2);
             ctx.set_timer(Dur::from_secs(1), 1);
             ctx.set_timer(Dur::from_secs(10), 3);
-        }
+        });
         s.schedule_down(SimTime::ZERO + Dur::from_secs(5), a);
         s.run_for(Dur::from_secs(20));
         assert_eq!(s.actor(a).timers, vec![1, 2]);
@@ -1259,12 +2010,9 @@ mod tests {
         );
         let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
         let b = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
-        s.core.connect(a, b, false);
-        let mut ctx = Ctx {
-            core: &mut s.core,
-            me: a,
-        };
-        assert!(ctx.send(b, 42));
+        s.run_for(Dur::from_millis(1));
+        s.connect_pair(a, b, false);
+        assert!(with_ctx(&mut s, a, |ctx| ctx.send(b, 42)));
         s.run_for(Dur::from_secs(1));
         assert!(s.actor(b).got.is_empty());
         assert_eq!(s.core().stats.msgs_lost, 1);
@@ -1275,11 +2023,7 @@ mod tests {
         let mut s = sim();
         let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
         let b = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
-        let mut ctx = Ctx {
-            core: &mut s.core,
-            me: a,
-        };
-        assert!(!ctx.send(b, 1));
+        assert!(!with_ctx(&mut s, a, |ctx| ctx.send(b, 1)));
     }
 
     #[test]
@@ -1371,8 +2115,9 @@ mod tests {
         let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
         let b = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
         let c = s.add_node(Echo::default(), NodeSetup::public(ip(3)));
-        s.core.connect(a, b, false);
-        s.core.connect(a, c, false);
+        s.run_for(Dur::from_millis(1));
+        s.connect_pair(a, b, false);
+        s.connect_pair(a, c, false);
         let t = SimTime::ZERO + Dur::from_secs(1);
         s.schedule_fault(t, Fault::SetNetClass { node: b, class: 1 });
         s.schedule_fault(t, Fault::Partition { active: true });
@@ -1431,14 +2176,45 @@ mod tests {
         let mut s = sim();
         let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
         let b = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
-        s.core.connect(a, b, false);
-        let mut ctx = Ctx {
-            core: &mut s.core,
-            me: a,
-        };
-        ctx.disconnect(b);
+        s.run_for(Dur::from_millis(1));
+        s.connect_pair(a, b, false);
+        with_ctx(&mut s, a, |ctx| ctx.disconnect(b));
         s.run_for(Dur::from_secs(1));
         assert_eq!(s.actor(b).closed, vec![a]);
         assert!(!s.core().connected(a, b));
+        assert!(!s.core().connected(b, a));
+    }
+
+    #[test]
+    fn target_death_mid_handshake_fins_the_dialer() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
+        let b = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
+        // b dials a at t=1s; with 10ms links the handshake completes at
+        // t=1.02s. a shuts down at t=1.015s — inside the window.
+        s.schedule_command(SimTime::ZERO + Dur::from_secs(1), b, "dial0");
+        s.schedule_down(SimTime::ZERO + Dur::from_millis(1015), a);
+        s.run_for(Dur::from_secs(5));
+        // The handshake ACK was already in flight: b sees a successful
+        // dial, immediately followed by the FIN — no stale half remains.
+        assert_eq!(s.actor(b).dial_ok, vec![(a, true, false)]);
+        assert_eq!(s.actor(b).closed, vec![a]);
+        assert!(!s.core().connected(b, a));
+        // a never opened its half (it was down at handshake completion).
+        assert!(!s.core().connected(a, b));
+        assert!(s.actor(a).inbound.is_empty());
+    }
+
+    #[test]
+    fn captured_peer_addr_is_visible() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
+        let b = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
+        s.schedule_command(SimTime::ZERO + Dur::from_secs(1), b, "dial0");
+        s.run_for(Dur::from_secs(5));
+        let a_addr = s.core().addr(a);
+        let b_addr = s.core().addr(b);
+        assert_eq!(with_ctx(&mut s, b, |ctx| ctx.addr_of(a)), Some(a_addr));
+        assert_eq!(with_ctx(&mut s, a, |ctx| ctx.addr_of(b)), Some(b_addr));
     }
 }

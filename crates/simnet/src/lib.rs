@@ -7,13 +7,16 @@
 //! the [`Actor`] trait; measurement tools are actors too, exactly as the
 //! paper's tools were ordinary participants of the real network.
 //!
-//! Built for scale: the event queue is a hierarchical timer wheel
-//! ([`wheel`]) so near-future traffic inserts in O(1); per-node connection
-//! sets are sorted small-vec tables ([`conn`]) iterated without allocation;
-//! latency sampling reads a flattened region matrix. See
-//! [`engine`] for the scheduler layout and the determinism contract
-//! ([`SimCore::trace_digest`] folds every processed event into a running
-//! hash so runs can be compared byte-for-byte).
+//! Built for scale: nodes partition into shards, each with its own
+//! hierarchical timer wheel ([`wheel`]) and connection-table slice, run by
+//! one worker thread per shard under conservative epoch synchronization
+//! (`shard` — cross-shard events ride per-pair mailboxes, bounded by the
+//! minimum cross-shard link latency). Per-node connection halves are
+//! sorted small-vec tables ([`conn`]) iterated without allocation; latency
+//! sampling reads a flattened region matrix. See [`engine`] for the
+//! scheduler layout and the shard-invariant determinism contract
+//! ([`Sim::trace_digest`] folds every processed event into a commutative
+//! digest that is byte-identical for every shard count).
 //!
 //! Design follows the sans-io idiom of the session guides (smoltcp, Tokio
 //! tutorial): no I/O and no wall clock inside protocol state machines,
@@ -23,13 +26,15 @@ pub mod churn;
 pub mod conn;
 pub mod engine;
 pub mod latency;
+pub(crate) mod shard;
 pub mod time;
 pub mod wheel;
 
 pub use churn::{ChurnModel, LogNormal};
 pub use conn::{ConnEntry, ConnTable};
 pub use engine::{
-    Actor, Ctx, EventKindCounts, Fault, NodeId, NodeSetup, Sim, SimConfig, SimCore, SimStats,
+    shard_for, Actor, CoreView, Ctx, EventKindCounts, Fault, NodeId, NodeSetup, Sim, SimConfig,
+    SimCore, SimStats,
 };
 pub use latency::{LatencyModel, RegionId};
 pub use time::{Dur, SimTime};

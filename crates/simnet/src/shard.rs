@@ -1,0 +1,142 @@
+//! Conservative parallel executor for the sharded engine.
+//!
+//! Classic conservative PDES with a global epoch barrier: all shards agree
+//! on the earliest pending event time `T_min`, then each shard processes
+//! its own queue strictly below the horizon `T_min + lookahead`, where
+//! `lookahead` is the minimum possible latency of any cross-shard link
+//! ([`crate::Sim::lookahead`]). Every cross-shard effect in the engine
+//! travels as an event delayed by at least one link latency (dial
+//! handshakes, deliveries, FINs, relay hops), so no event processed inside
+//! an epoch can schedule work for another shard *inside* that same epoch —
+//! the mailboxes drained at the barrier always carry strictly-future
+//! events, and the merged execution is identical to the sequential one.
+//!
+//! Epoch shape (three barriers per epoch):
+//!
+//! 1. every shard publishes its next pending event time; the barrier
+//!    leader reduces them to `T_min` and the horizon;
+//! 2. every shard processes its events in `[now, horizon)`, buffering
+//!    cross-shard pushes in per-destination outboxes, then flushes each
+//!    outbox into the shared `(src, dst)` mailbox cell;
+//! 3. every shard drains the mailboxes addressed to it into its wheel.
+//!
+//! Mailbox cells are `Mutex<Vec<…>>`, but the phases never contend: a cell
+//! is written only by its `src` shard (phase 2) and read only by its `dst`
+//! shard (phase 3), with a barrier between — the lock is always
+//! uncontended and costs one atomic pair.
+
+use crate::engine::{Actor, OutEv, Shard};
+use crate::time::{Dur, SimTime};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// One `(src, dst)` mailbox cell of the cross-shard exchange matrix.
+type MailboxCell<M, C> = Mutex<Vec<OutEv<M, C>>>;
+
+/// Drive every shard to virtual time `t` (inclusive), under conservative
+/// epoch synchronization with the given lookahead. Panics (after joining
+/// the workers) if the aggregate event count exceeds `max_events`.
+pub(crate) fn run_epochs<A: Actor>(
+    shards: &mut [Shard<A>],
+    lookahead: Dur,
+    max_events: u64,
+    t: SimTime,
+) {
+    let n = shards.len();
+    debug_assert!(n > 1, "single-shard runs use the sequential path");
+    let mailboxes: Vec<MailboxCell<A::Msg, A::Cmd>> =
+        (0..n * n).map(|_| Mutex::new(Vec::new())).collect();
+    let barrier = Barrier::new(n);
+    let next_at: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let ev_count: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let horizon = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let overflow = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for (i, shard) in shards.iter_mut().enumerate() {
+            let mailboxes = &mailboxes;
+            let barrier = &barrier;
+            let next_at = &next_at;
+            let ev_count = &ev_count;
+            let horizon = &horizon;
+            let done = &done;
+            let overflow = &overflow;
+            scope.spawn(move || {
+                shard.core.lookahead = lookahead;
+                loop {
+                    // Phase 1: publish local state, leader reduces.
+                    let mine = match shard.core.queue.peek_at() {
+                        Some(at) if at <= t => at.0,
+                        _ => u64::MAX,
+                    };
+                    next_at[i].store(mine, Ordering::SeqCst);
+                    ev_count[i].store(shard.core.stats.events, Ordering::SeqCst);
+                    if barrier.wait().is_leader() {
+                        let t_min = next_at
+                            .iter()
+                            .map(|a| a.load(Ordering::SeqCst))
+                            .min()
+                            .expect("n > 0");
+                        let total: u64 = ev_count.iter().map(|a| a.load(Ordering::SeqCst)).sum();
+                        if total > max_events {
+                            overflow.store(true, Ordering::SeqCst);
+                            done.store(true, Ordering::SeqCst);
+                        } else if t_min == u64::MAX {
+                            done.store(true, Ordering::SeqCst);
+                        } else {
+                            done.store(false, Ordering::SeqCst);
+                            horizon.store(t_min.saturating_add(lookahead.0), Ordering::SeqCst);
+                        }
+                    }
+                    barrier.wait();
+                    if done.load(Ordering::SeqCst) {
+                        shard.core.lookahead = Dur::ZERO;
+                        shard.core.now = shard.core.now.max(t);
+                        return;
+                    }
+                    // Phase 2: process the epoch window, then flush
+                    // outboxes into the shared mailbox matrix.
+                    let h = horizon.load(Ordering::SeqCst);
+                    while shard.step_bounded(Some(h), t) {}
+                    for dst in 0..n {
+                        if dst == i || shard.core.outbox[dst].is_empty() {
+                            continue;
+                        }
+                        let out = std::mem::take(&mut shard.core.outbox[dst]);
+                        mailboxes[i * n + dst]
+                            .lock()
+                            .expect("mailbox poisoned")
+                            .extend(out);
+                    }
+                    barrier.wait();
+                    // Phase 3: drain inbound mailboxes. Conservative bound:
+                    // everything in them is at or beyond the horizon we
+                    // just processed up to.
+                    for src in 0..n {
+                        if src == i {
+                            continue;
+                        }
+                        let mut inbox = {
+                            let mut cell = mailboxes[src * n + i].lock().expect("mailbox poisoned");
+                            std::mem::take(&mut *cell)
+                        };
+                        for e in inbox.drain(..) {
+                            debug_assert!(
+                                e.at.0 >= h,
+                                "mailbox event below the epoch horizon \
+                                 (at {:?}, horizon {h})",
+                                e.at
+                            );
+                            shard.core.enqueue_external(e.at, e.key, e.ev);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if overflow.load(Ordering::SeqCst) {
+        panic!("simulation exceeded max_events = {max_events}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Shard-invariance regression tests: the same scenario must produce
+//! byte-identical results — merged trace digest, every shard-invariant
+//! counter, per-actor state — for every shard count. This is the engine's
+//! v2 determinism contract (see `engine.rs` module docs) and the oracle the
+//! multi-core campaign runner relies on.
+
+use proptest::prelude::*;
+use simnet::{
+    Actor, Ctx, Dur, Fault, LatencyModel, NodeId, NodeSetup, RegionId, Sim, SimConfig, SimTime,
+};
+use std::net::Ipv4Addr;
+
+/// A chatty actor exercising every event kind: dials, relayed dials,
+/// messages, timers, loopback commands, disconnects.
+#[derive(Default)]
+struct Chatter {
+    hops: u32,
+    closed: u32,
+    dials_ok: u32,
+    dials_failed: u32,
+}
+
+#[derive(Clone, Debug)]
+enum Cmd {
+    DialRing,
+    Ping(NodeId),
+}
+
+impl Actor for Chatter {
+    type Msg = u32;
+    type Cmd = Cmd;
+
+    fn on_command(&mut self, ctx: &mut Ctx<'_, u32, Cmd>, cmd: Cmd) {
+        match cmd {
+            Cmd::DialRing => {
+                let n = ctx.connection_count() as u32; // deterministic noise
+                let me = ctx.me().0;
+                for d in 1..=3 {
+                    ctx.dial(NodeId((me + d + n) % POP));
+                }
+                ctx.set_timer(Dur::from_secs(30), u64::from(me));
+            }
+            Cmd::Ping(peer) => {
+                ctx.send(peer, 0);
+            }
+        }
+    }
+
+    fn on_dial_result(&mut self, ctx: &mut Ctx<'_, u32, Cmd>, target: NodeId, ok: bool, _: bool) {
+        if ok {
+            self.dials_ok += 1;
+            ctx.send(target, 1);
+            ctx.schedule_self(Dur::from_mins(7), Cmd::Ping(target));
+        } else {
+            self.dials_failed += 1;
+            // Retry through a relay if we have any connection to lean on.
+            let relay = ctx.connections().next();
+            if let Some(relay) = relay {
+                if relay != target {
+                    ctx.dial_via(relay, target);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32, Cmd>, from: NodeId, msg: u32) {
+        self.hops += 1;
+        if msg < 6 {
+            ctx.send(from, msg + 1);
+        } else if msg == 6 {
+            ctx.disconnect(from);
+        }
+    }
+
+    fn on_connection_closed(&mut self, _ctx: &mut Ctx<'_, u32, Cmd>, _peer: NodeId) {
+        self.closed += 1;
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, Cmd>, token: u64) {
+        ctx.set_timer(Dur::from_mins(11), token);
+        ctx.dial(NodeId(((token as u32) + 7) % POP));
+    }
+}
+
+const POP: u32 = 48;
+
+/// Fingerprint of one run: merged digest plus every shard-invariant
+/// counter and a fold over per-actor state.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    digest: u64,
+    events: u64,
+    delivered: u64,
+    dropped: u64,
+    lost: u64,
+    dials_ok: u64,
+    dials_failed: u64,
+    timers: u64,
+    commands: u64,
+    actor_fold: u64,
+}
+
+fn run(shards: usize, seed: u64, with_faults: bool, nat_stride: u32) -> Fingerprint {
+    let mut s: Sim<Chatter> = Sim::new_sharded(
+        SimConfig {
+            loss: 0.01,
+            dial_timeout: Dur::from_secs(9),
+            max_events: u64::MAX,
+        },
+        LatencyModel::continents(4, Dur::from_millis(11), Dur::from_millis(87), 0.3),
+        seed,
+        shards,
+    );
+    for i in 0..POP {
+        let mut setup = NodeSetup::public(Ipv4Addr::new(10, 1, (i / 256) as u8, (i % 256) as u8))
+            .in_region(RegionId((i % 4) as u16));
+        if nat_stride > 0 && i % nat_stride == 0 {
+            setup.dialable = false;
+        }
+        let id = s.add_node(Chatter::default(), setup);
+        s.schedule_command(
+            SimTime::ZERO + Dur::from_millis(17 * (i as u64 + 1)),
+            id,
+            Cmd::DialRing,
+        );
+        // Churn: a third of the nodes bounce, hitting the far band of the
+        // wheel (hours out).
+        if i % 3 == 0 {
+            s.schedule_down(SimTime::ZERO + Dur::from_mins(40 + i as u64), id);
+            s.schedule_up(
+                SimTime::ZERO + Dur::from_hours(2) + Dur::from_mins(i as u64),
+                id,
+                None,
+            );
+        }
+    }
+    if with_faults {
+        let t = |m| SimTime::ZERO + Dur::from_mins(m);
+        // Kill a couple of nodes abruptly, retire one, and split region 2
+        // off for an hour — faults crossing every shard boundary at 2/4
+        // shards (assignment is region % shards).
+        s.schedule_fault(t(50), Fault::Kill { node: NodeId(5) });
+        s.schedule_fault(t(50), Fault::Retire { node: NodeId(5) });
+        s.schedule_fault(t(55), Fault::Kill { node: NodeId(11) });
+        for i in 0..POP {
+            if i % 4 == 2 {
+                s.schedule_fault(
+                    t(70),
+                    Fault::SetNetClass {
+                        node: NodeId(i),
+                        class: 1,
+                    },
+                );
+            }
+        }
+        s.schedule_fault(t(70), Fault::Partition { active: true });
+        s.schedule_fault(t(130), Fault::Partition { active: false });
+        for i in 0..POP {
+            if i % 4 == 2 {
+                s.schedule_fault(
+                    t(130),
+                    Fault::SetNetClass {
+                        node: NodeId(i),
+                        class: 0,
+                    },
+                );
+            }
+        }
+    }
+    // Chunked advance: epoch boundaries must not depend on how the harness
+    // slices time.
+    for k in 1..=5u64 {
+        s.run_for(Dur::from_mins(36 * k));
+    }
+    let stats = s.stats();
+    let mut actor_fold = 0u64;
+    for i in 0..POP {
+        let a = s.actor(NodeId(i));
+        for v in [a.hops, a.closed, a.dials_ok, a.dials_failed] {
+            actor_fold = actor_fold
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add(v as u64);
+        }
+    }
+    Fingerprint {
+        digest: s.trace_digest(),
+        events: stats.events,
+        delivered: stats.msgs_delivered,
+        dropped: stats.msgs_dropped,
+        lost: stats.msgs_lost,
+        dials_ok: stats.dials_ok,
+        dials_failed: stats.dials_failed,
+        timers: stats.timers_fired,
+        commands: stats.commands,
+        actor_fold,
+    }
+}
+
+#[test]
+fn shard_counts_agree_plain() {
+    let one = run(1, 0xD15EA5E, false, 0);
+    assert!(
+        one.events > 10_000,
+        "workload exercised the engine: {one:?}"
+    );
+    assert_eq!(one, run(2, 0xD15EA5E, false, 0), "2 shards ≠ 1 shard");
+    assert_eq!(one, run(4, 0xD15EA5E, false, 0), "4 shards ≠ 1 shard");
+}
+
+#[test]
+fn shard_counts_agree_with_faults_and_relays() {
+    let one = run(1, 0xBEEF, true, 5);
+    assert_eq!(one, run(2, 0xBEEF, true, 5), "2 shards ≠ 1 shard");
+    assert_eq!(one, run(4, 0xBEEF, true, 5), "4 shards ≠ 1 shard");
+    assert_eq!(one, run(7, 0xBEEF, true, 5), "7 shards ≠ 1 shard");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random seeds and NAT densities: every shard count replays the same
+    /// history.
+    #[test]
+    fn shard_equivalence_randomized(seed in 1u64..1_000_000, nat_stride in 0u32..7, faults in any::<bool>()) {
+        let one = run(1, seed, faults, nat_stride);
+        prop_assert_eq!(&one, &run(2, seed, faults, nat_stride));
+        prop_assert_eq!(&one, &run(4, seed, faults, nat_stride));
+    }
+}

@@ -1,0 +1,124 @@
+//! Shard invariance for counterfactual plans: intervention faults (kills,
+//! retirements, region partitions) land on nodes spread across every
+//! shard, and the engine broadcasts their replicated state under one
+//! harness key — so a whatif campaign must replay byte-identically for
+//! every shard count, exactly like a plain one.
+
+use netgen::{
+    ExitStyle, InterventionKind, InterventionSpec, InterventionTarget, Platform, ScenarioConfig,
+};
+use proptest::prelude::*;
+use simnet::{Dur, SimTime};
+use tcsb_core::{Campaign, CampaignOptions};
+
+fn run(seed: u64, plan: Vec<InterventionSpec>, shards: usize, hours: u64) -> (u64, u64, u64, u64) {
+    let cfg = ScenarioConfig::tiny(seed)
+        .with_interventions(plan)
+        .with_shards(shards);
+    let scenario = netgen::build(cfg);
+    let mut campaign = Campaign::new(
+        scenario,
+        CampaignOptions {
+            with_workload: true,
+            with_requests: false,
+            ..Default::default()
+        },
+    );
+    whatif::apply(&mut campaign);
+    campaign.run_for(Dur::from_hours(hours));
+    let stats = campaign.sim.stats();
+    (
+        campaign.sim.trace_digest(),
+        stats.events,
+        stats.kinds.fault,
+        stats.msgs_delivered,
+    )
+}
+
+fn hour(h: u64) -> SimTime {
+    SimTime::ZERO + Dur::from_hours(h)
+}
+
+#[test]
+fn cloud_exit_plan_matches_across_shard_counts() {
+    let plan = vec![InterventionSpec::exit(
+        hour(4),
+        InterventionTarget::CloudFraction {
+            fraction: 0.5,
+            seed: 9,
+        },
+        ExitStyle::Abrupt,
+    )];
+    let one = run(11, plan.clone(), 1, 8);
+    assert!(one.2 > 0, "faults actually fired: {one:?}");
+    assert_eq!(one, run(11, plan.clone(), 2, 8), "2-shard whatif diverged");
+    assert_eq!(one, run(11, plan, 4, 8), "4-shard whatif diverged");
+}
+
+#[test]
+fn region_partition_with_heal_matches_across_shard_counts() {
+    // A partition severing one region — with region-per-shard placement
+    // this cuts exactly along (and across) shard boundaries, the hardest
+    // case for the broadcast fault path.
+    let plan = vec![InterventionSpec {
+        at: hour(3),
+        target: InterventionTarget::Region(1),
+        kind: InterventionKind::Partition {
+            heal_at: Some(hour(6)),
+        },
+    }];
+    let one = run(23, plan.clone(), 1, 9);
+    assert!(one.2 > 0, "faults actually fired: {one:?}");
+    assert_eq!(
+        one,
+        run(23, plan.clone(), 2, 9),
+        "2-shard partition diverged"
+    );
+    assert_eq!(one, run(23, plan, 4, 9), "4-shard partition diverged");
+}
+
+fn target_strategy() -> impl Strategy<Value = InterventionTarget> {
+    (any::<u8>(), 0.0..1.0f64, any::<u64>()).prop_map(|(sel, fraction, seed)| match sel % 4 {
+        0 => InterventionTarget::CloudFraction { fraction, seed },
+        1 => InterventionTarget::RandomFraction {
+            fraction: fraction / 2.0,
+            seed,
+        },
+        2 => InterventionTarget::Platform(Platform::Hydra),
+        _ => InterventionTarget::Region((seed % 4) as u16),
+    })
+}
+
+fn kind_strategy() -> impl Strategy<Value = InterventionKind> {
+    (any::<u8>(), 3u64..7).prop_map(|(sel, h)| match sel % 4 {
+        0 => InterventionKind::Exit {
+            style: ExitStyle::Abrupt,
+        },
+        1 => InterventionKind::Exit {
+            style: ExitStyle::Graceful,
+        },
+        2 => InterventionKind::Partition {
+            heal_at: Some(hour(h)),
+        },
+        _ => InterventionKind::Partition { heal_at: None },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random tiny-scale intervention plans replay identically on 1, 2 and
+    /// 4 shards.
+    #[test]
+    fn random_plans_match_across_shard_counts(
+        seed in 1u64..100_000,
+        at_hour in 2u64..5,
+        target in target_strategy(),
+        kind in kind_strategy(),
+    ) {
+        let plan = vec![InterventionSpec { at: hour(at_hour), target, kind }];
+        let one = run(seed, plan.clone(), 1, 6);
+        prop_assert_eq!(&one, &run(seed, plan.clone(), 2, 6), "2-shard diverged");
+        prop_assert_eq!(&one, &run(seed, plan, 4, 6), "4-shard diverged");
+    }
+}
