@@ -24,7 +24,7 @@ pub enum EcoCmd {
 }
 
 /// An HTTP reverse-proxy frontend fanning out to gateway overlay nodes.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Frontend {
     /// Overlay backends (empty = dead endpoint, always 404).
     pub backends: Vec<NodeId>,
@@ -128,7 +128,7 @@ impl Frontend {
 }
 
 /// An HTTP user population: fires GETs at gateway frontends.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct WebUser {
     next_req: u64,
     queued: HashMap<NodeId, Vec<(u64, Cid)>>,
@@ -174,7 +174,10 @@ impl WebUser {
     }
 }
 
-/// Every participant of the simulated ecosystem.
+/// Every participant of the simulated ecosystem. `Clone` snapshots the
+/// participant wholesale — the campaign-fork machinery clones every actor
+/// together with the engine state.
+#[derive(Clone)]
 pub enum EcoActor {
     /// A full IPFS node (regular, platform, monitor, gateway overlay…).
     Node(Box<IpfsNode>),

@@ -317,6 +317,63 @@ impl Campaign {
         self.bootstrap.clone()
     }
 
+    /// Run `f` against a *fork* of the campaign: the engine (queues,
+    /// per-node RNGs, connections, actors, digest) is cloned, `f` drives
+    /// the clone — crawls, probes, extra virtual time — and afterwards the
+    /// original engine is restored exactly as it was. Whatever `f` does,
+    /// the main campaign's subsequent event history and trace digest are
+    /// untouched: the observatory primitive for crawler-eye snapshots that
+    /// must not perturb the run they observe. The fork shares no mutable
+    /// state with the original, and the scenario (pure data) is visible to
+    /// `f` through the campaign as usual.
+    pub fn with_fork<R>(&mut self, f: impl FnOnce(&mut Campaign) -> R) -> R {
+        let fork = self.sim.clone();
+        let main = std::mem::replace(&mut self.sim, fork);
+        let crawl_seq = self.crawl_seq;
+        let r = f(self);
+        self.sim = main;
+        self.crawl_seq = crawl_seq;
+        r
+    }
+
+    /// Scenario indices of the nodes that count as *online DHT servers*
+    /// right now: non-NAT (crawlable) and not Hydra hosts (which keep
+    /// their own shared table and actor type). The single definition of
+    /// the predicate — routing-fill and the recovery observatory's
+    /// ground-truth population both build on it.
+    pub fn online_server_indices(&self) -> Vec<usize> {
+        let core = self.sim.core();
+        self.scenario
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, spec)| {
+                !spec.nat
+                    && spec.platform != Some(Platform::Hydra)
+                    && core.is_online(self.node_ids[*i])
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of online DHT servers ([`Campaign::online_server_indices`]).
+    pub fn online_server_count(&self) -> usize {
+        self.online_server_indices().len()
+    }
+
+    /// Mean routing-table occupancy over the scenario's *online* DHT
+    /// server nodes (Hydra hosts keep their own shared table and are
+    /// excluded). This is the "routing-table fill" a recovery timeline
+    /// tracks: exits empty tables immediately, refresh cycles heal them.
+    pub fn routing_table_fill(&self) -> f64 {
+        let servers = self.online_server_indices();
+        let entries: usize = servers
+            .iter()
+            .map(|&i| self.sim.actor(self.node_ids[i]).node().dht().table().len())
+            .sum();
+        entries as f64 / servers.len().max(1) as f64
+    }
+
     /// Engine shards this campaign runs on.
     pub fn shards(&self) -> usize {
         self.sim.n_shards()

@@ -43,7 +43,7 @@ impl Default for CrawlerConfig {
 }
 
 /// One peer observed in a crawl.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrawledPeer {
     /// The peer's identity.
     pub peer: PeerId,
@@ -57,7 +57,7 @@ pub struct CrawledPeer {
 }
 
 /// A finished crawl: the paper's `G_DHT` snapshot.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrawlSnapshot {
     /// Sequence number of the crawl.
     pub crawl_id: u64,
@@ -88,7 +88,7 @@ impl CrawlSnapshot {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct TargetState {
     info: PeerInfo,
     next_cpl: u32,
@@ -115,6 +115,7 @@ pub enum CrawlerCmd {
 }
 
 /// The crawler actor.
+#[derive(Clone)]
 pub struct Crawler {
     cfg: CrawlerConfig,
     my_id: PeerId,

@@ -63,6 +63,7 @@ impl Default for HydraConfig {
 }
 
 /// The Hydra-booster actor.
+#[derive(Clone)]
 pub struct Hydra {
     cfg: HydraConfig,
     /// Virtual peer IDs.

@@ -9,7 +9,7 @@
 //! repro engine                                # scheduler counters only
 //! ```
 
-use experiments::{crawl_exp, entry_exp, resilience_exp, traffic_exp, Scale, SCALES};
+use experiments::{crawl_exp, entry_exp, recovery_exp, resilience_exp, traffic_exp, Scale, SCALES};
 
 /// Every producible artefact: `(name, what it regenerates)`.
 const ARTEFACTS: &[(&str, &str)] = &[
@@ -37,6 +37,10 @@ const ARTEFACTS: &[(&str, &str)] = &[
     (
         "whatif-cloud-exit",
         "counterfactual — lookup health vs fraction of cloud peers removed",
+    ),
+    (
+        "whatif-recovery",
+        "recovery observatory — crawler-eye timelines over staged multi-wave exits",
     ),
     (
         "engine",
@@ -81,7 +85,7 @@ fn main() {
         eprintln!("error: unknown artefact {cmd:?}");
         eprintln!(
             "       known artefacts: all, table1, stats, fig03..fig20, \
-whatif-cloud-exit, engine"
+whatif-cloud-exit, whatif-recovery, engine"
         );
         eprintln!("       run `repro list` for the full annotated index");
         std::process::exit(2);
@@ -159,6 +163,12 @@ whatif-cloud-exit, engine"
             println!(
                 "{}",
                 resilience_exp::whatif_cloud_exit(scale, seed ^ 0xC10D, shards)
+            );
+        }
+        "whatif-recovery" => {
+            println!(
+                "{}",
+                recovery_exp::whatif_recovery(scale, seed ^ 0x7EC0, shards)
             );
         }
         "engine" => {

@@ -8,12 +8,16 @@
 //! * **workload group** (`traffic_exp`): Figs. 9–16, 18–20;
 //! * **static group** (`entry_exp`): Fig. 17;
 //! * **counterfactual group** (`resilience_exp`): the `whatif-cloud-exit`
-//!   sweep executing the paper's cloud-exit scenario mid-campaign.
+//!   sweep executing the paper's cloud-exit scenario mid-campaign;
+//! * **recovery group** (`recovery_exp`): the `whatif-recovery` observatory
+//!   — crawler-eye timelines and recovery metrics over staged multi-wave
+//!   exits, sampled on engine forks.
 //!
 //! The `repro` binary dispatches these and can emit EXPERIMENTS.md.
 
 pub mod crawl_exp;
 pub mod entry_exp;
+pub mod recovery_exp;
 pub mod report;
 pub mod resilience_exp;
 pub mod traffic_exp;
@@ -165,6 +169,10 @@ pub fn run_all(scale: Scale, seed: u64, shards: usize) -> Vec<Report> {
         seed ^ 0xC10D,
         shards,
     ));
+
+    // Recovery group.
+    eprintln!("[repro] running what-if recovery observatory ({scale:?}) …");
+    reports.push(recovery_exp::whatif_recovery(scale, seed ^ 0x7EC0, shards));
     reports
 }
 

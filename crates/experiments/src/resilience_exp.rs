@@ -252,6 +252,20 @@ real-world 2023 Hydra-booster shutdown (§7).",
     r
 }
 
+/// Run the full sweep and return only each row's `(label, trace digest)` —
+/// the determinism-contract fingerprint the golden regression test pins at
+/// tiny scale (a contract change shows up here in `cargo test`, not only
+/// in the nightly EXPERIMENTS.md diff).
+pub fn sweep_digests(scale: Scale, seed: u64, shards: usize) -> Vec<(String, u64)> {
+    sweep(seed)
+        .into_iter()
+        .map(|(label, plan)| {
+            let row = run_row(scale, seed, &label, plan, shards);
+            (label, row.digest)
+        })
+        .collect()
+}
+
 /// Uptime-weighted cloud share of DHT *servers* — what a full cloud exit
 /// removes from the crawlable network, comparable to the paper's A-N
 /// counting (NAT-ed clients are invisible to crawls and excluded; each

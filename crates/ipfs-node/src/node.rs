@@ -190,7 +190,9 @@ enum Op {
     },
 }
 
-/// The state of one simulated IPFS node.
+/// The state of one simulated IPFS node. `Clone` snapshots the full node
+/// (DHT, Bitswap, blockstore, sessions, logs) for engine forks.
+#[derive(Clone)]
 pub struct IpfsNode {
     /// Static configuration.
     pub cfg: NodeConfig,

@@ -18,6 +18,7 @@ pub use plan::{
     DATACAMP, RESIDENTIAL_BLOCKS,
 };
 pub use scenario::{
-    region_of, shard_for, ContentItem, ExitStyle, GatewaySpec, InterventionKind, InterventionSpec,
-    InterventionTarget, NodeSpec, Platform, Request, Scenario, ScenarioConfig, Segment, Session,
+    canonical_plan_order, region_of, shard_for, ContentItem, ExitStyle, ExitWave, GatewaySpec,
+    InterventionKind, InterventionSpec, InterventionTarget, NodeSpec, Platform, Request, Scenario,
+    ScenarioConfig, Segment, Session, StagedExitSpec,
 };

@@ -266,6 +266,132 @@ impl InterventionSpec {
             ExitStyle::Abrupt,
         )
     }
+
+    /// Canonical ordering key: a pure function of the spec's *content*, so
+    /// sorting a plan by it yields the same schedule for every permutation
+    /// of the input (ties between byte-identical specs are irrelevant —
+    /// they compile identically). Time is the primary key; the remaining
+    /// components are an arbitrary but fixed encoding of kind and target.
+    pub fn canonical_key(&self) -> (u64, u8, u64, u8, u64, u64, String) {
+        let (kind_code, kind_param) = match self.kind {
+            InterventionKind::Exit { style } => (0u8, style as u64),
+            InterventionKind::Partition { heal_at } => {
+                (1, heal_at.map(|t| t.0.wrapping_add(1)).unwrap_or(0))
+            }
+        };
+        // Target parameters stay separate key components — folding them
+        // into one word could let two distinct targets collide, and the
+        // stable sort's tie-break would then reintroduce input-order
+        // dependence.
+        let (tgt_code, tgt_a, tgt_b, tgt_name) = match &self.target {
+            InterventionTarget::Provider(name) => (0u8, 0u64, 0u64, name.to_string()),
+            InterventionTarget::Platform(p) => (1, *p as u64, 0, String::new()),
+            InterventionTarget::Region(r) => (2, *r as u64, 0, String::new()),
+            InterventionTarget::RandomFraction { fraction, seed } => {
+                (3, fraction.to_bits(), *seed, String::new())
+            }
+            InterventionTarget::CloudFraction { fraction, seed } => {
+                (4, fraction.to_bits(), *seed, String::new())
+            }
+        };
+        (
+            self.at.0, kind_code, kind_param, tgt_code, tgt_a, tgt_b, tgt_name,
+        )
+    }
+}
+
+/// Sort a plan into its canonical schedule order (time-major, then a fixed
+/// content encoding). Both the `whatif` compiler and [`StagedExitSpec`]
+/// use this, so a plan's compiled schedule is invariant under permutation
+/// of its specs.
+pub fn canonical_plan_order(plan: &mut [InterventionSpec]) {
+    plan.sort_by_cached_key(|sp| sp.canonical_key());
+}
+
+/// One wave of a staged exit: at `at`, `target` leaves in `style`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExitWave {
+    /// When the wave fires.
+    pub at: SimTime,
+    /// Who leaves.
+    pub target: InterventionTarget,
+    /// How they leave.
+    pub style: ExitStyle,
+}
+
+/// A staged multi-wave exit plan: provider A at T1, provider B at T2, …,
+/// with an optional partition-then-heal stage riding along. This is the
+/// first-class description of the longitudinal counterfactuals the paper's
+/// §7 discussion implies (the Hydra shutdown was itself one wave of a
+/// larger hypothetical cloud exodus); the `whatif` engine compiles the
+/// waves in canonical time order with per-wave-disjoint target sets (a
+/// node claimed by an earlier wave is not re-targeted by a later one).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StagedExitSpec {
+    /// Exit waves, in any order (compilation canonicalizes).
+    pub waves: Vec<ExitWave>,
+    /// Optional partition stage: `(at, target, heal_at)`.
+    pub partition: Option<(SimTime, InterventionTarget, Option<SimTime>)>,
+}
+
+impl StagedExitSpec {
+    /// Empty plan (builder entry point).
+    pub fn new() -> StagedExitSpec {
+        StagedExitSpec::default()
+    }
+
+    /// Append an exit wave (builder-style).
+    pub fn wave(mut self, at: SimTime, target: InterventionTarget, style: ExitStyle) -> Self {
+        self.waves.push(ExitWave { at, target, style });
+        self
+    }
+
+    /// Attach a partition stage, optionally healing later (builder-style).
+    pub fn partition(
+        mut self,
+        at: SimTime,
+        target: InterventionTarget,
+        heal_at: Option<SimTime>,
+    ) -> Self {
+        self.partition = Some((at, target, heal_at));
+        self
+    }
+
+    /// The paper-flavoured two-wave exodus: AWS leaves abruptly at `t1`,
+    /// the Hydra fleet is decommissioned at `t2` (the real-world 2023
+    /// shutdown as the second wave of a larger exit).
+    pub fn aws_then_hydra(t1: SimTime, t2: SimTime) -> StagedExitSpec {
+        StagedExitSpec::new()
+            .wave(
+                t1,
+                InterventionTarget::Provider("amazon_aws"),
+                ExitStyle::Abrupt,
+            )
+            .wave(
+                t2,
+                InterventionTarget::Platform(Platform::Hydra),
+                ExitStyle::Abrupt,
+            )
+    }
+
+    /// Lower the staged plan to ordinary intervention specs, in canonical
+    /// schedule order.
+    pub fn into_plan(self) -> Vec<InterventionSpec> {
+        let mut plan: Vec<InterventionSpec> = self
+            .waves
+            .into_iter()
+            .map(|w| InterventionSpec::exit(w.at, w.target, w.style))
+            .collect();
+        if let Some((at, target, heal_at)) = self.partition {
+            plan.push(InterventionSpec {
+                at,
+                target,
+                kind: InterventionKind::Partition { heal_at },
+            });
+        }
+        canonical_plan_order(&mut plan);
+        plan
+    }
 }
 
 /// Size/shape knobs for scenario generation. See `paper.rs` for presets.

@@ -353,6 +353,7 @@ fn node_seed(engine_seed: u64, node: u32) -> u64 {
 /// `shards = 1` this is the whole engine state; with more, each shard holds
 /// the authoritative state for its owned nodes plus replicas of the
 /// broadcast-maintained fields (partition classes, partition depth).
+#[derive(Clone)]
 pub struct SimCore<M, C> {
     cfg: SimConfig,
     /// This shard's index.
@@ -384,12 +385,14 @@ pub struct SimCore<M, C> {
 }
 
 /// A queued cross-shard event in flight between epoch barriers.
+#[derive(Clone)]
 pub(crate) struct OutEv<M, C> {
     pub(crate) at: SimTime,
     pub(crate) key: u64,
     pub(crate) ev: Ev<M, C>,
 }
 
+#[derive(Clone)]
 pub(crate) enum Ev<M, C> {
     Deliver {
         from: NodeId,
@@ -914,6 +917,19 @@ pub(crate) struct Shard<A: Actor> {
     actors: Vec<Option<A>>,
 }
 
+impl<A: Actor + Clone> Clone for Shard<A>
+where
+    A::Msg: Clone,
+    A::Cmd: Clone,
+{
+    fn clone(&self) -> Self {
+        Shard {
+            core: self.core.clone(),
+            actors: self.actors.clone(),
+        }
+    }
+}
+
 impl<A: Actor> Shard<A> {
     fn with_actor<R>(
         &mut self,
@@ -1309,6 +1325,29 @@ pub struct Sim<A: Actor> {
     seed: u64,
     /// Cached conservative lookahead; invalidated by `add_node`.
     lookahead_cache: Option<Dur>,
+}
+
+/// Engine forking: cloning a quiesced `Sim` (between `run_*` calls —
+/// worker threads are scoped per run, outboxes are drained at epoch
+/// barriers) snapshots the entire deterministic state: queues, per-node
+/// RNGs, connection halves, actors, digests and counters. The clone
+/// replays the identical future for the same harness calls, and whatever
+/// is done to it leaves the original untouched — the primitive behind
+/// mid-campaign observatory samples (crawls, probes) that must not
+/// perturb the main trace.
+impl<A: Actor + Clone> Clone for Sim<A>
+where
+    A::Msg: Clone,
+    A::Cmd: Clone,
+{
+    fn clone(&self) -> Self {
+        Sim {
+            shards: self.shards.clone(),
+            harness_seq: self.harness_seq,
+            seed: self.seed,
+            lookahead_cache: self.lookahead_cache,
+        }
+    }
 }
 
 /// Read-only merged view over every shard, for harness-side oracles. All

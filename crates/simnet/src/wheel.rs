@@ -114,6 +114,11 @@ impl Bitmap {
 /// including times at or before the last popped event — such events simply
 /// sort into the staging heap and pop next, exactly as they would from a
 /// global `BinaryHeap`.
+///
+/// Cloning (for `T: Clone`) snapshots the full queue — every banded entry
+/// and the staging frontier — so a cloned wheel pops the identical event
+/// sequence (the engine-fork machinery relies on this).
+#[derive(Clone)]
 pub struct TimerWheel<T> {
     near: Vec<Vec<Entry<T>>>,
     near_bits: Bitmap,

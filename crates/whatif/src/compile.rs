@@ -1,10 +1,18 @@
 //! Intervention compilation: from a target description to a concrete,
 //! deterministic set of scenario node indices.
+//!
+//! Plans compile in *canonical schedule order* (time-major content
+//! ordering, [`netgen::canonical_plan_order`]), so permuting the specs in
+//! a plan cannot change the compiled schedule. Staged multi-wave exits
+//! compile to **per-wave-disjoint** target sets: a node that already left
+//! in an earlier wave is not re-claimed by a later one — `removed` counts
+//! stay additive and wave deltas are attributable.
 
-use netgen::{InterventionSpec, InterventionTarget, Scenario};
+use netgen::{InterventionKind, InterventionSpec, InterventionTarget, Scenario};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::collections::HashSet;
 
 /// One intervention with its target resolved against the population.
 #[derive(Clone, Debug)]
@@ -52,15 +60,20 @@ fn sample_fraction(mut candidates: Vec<usize>, fraction: f64, seed: u64) -> Vec<
 }
 
 /// Compile the scenario's whole intervention plan
-/// (`scenario.cfg.interventions`), in plan order.
+/// (`scenario.cfg.interventions`): canonical schedule order, exit waves
+/// per-wave disjoint (partitions are transient and do not claim nodes).
 pub fn compile(scenario: &Scenario) -> Vec<CompiledIntervention> {
-    scenario
-        .cfg
-        .interventions
-        .iter()
-        .map(|spec| CompiledIntervention {
-            spec: spec.clone(),
-            nodes: resolve_target(scenario, &spec.target),
+    let mut plan = scenario.cfg.interventions.clone();
+    netgen::canonical_plan_order(&mut plan);
+    let mut exited: HashSet<usize> = HashSet::new();
+    plan.into_iter()
+        .map(|spec| {
+            let mut nodes = resolve_target(scenario, &spec.target);
+            if matches!(spec.kind, InterventionKind::Exit { .. }) {
+                nodes.retain(|i| !exited.contains(i));
+                exited.extend(nodes.iter().copied());
+            }
+            CompiledIntervention { spec, nodes }
         })
         .collect()
 }

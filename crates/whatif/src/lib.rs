@@ -24,7 +24,14 @@
 //!    permanent;
 //! 3. **measures** the damage with a DHT health probe ([`probe`]): lookup
 //!    success rate, provider-record availability, peers contacted and
-//!    lookup latency, before and after each intervention.
+//!    lookup latency, before and after each intervention;
+//! 4. **observes** the recovery longitudinally ([`timeline`]): a
+//!    deterministic sampling cadence across the whole plan, each sample
+//!    running the §3 crawler plus the health probe on a *fork* of the
+//!    engine — Fig. 4-style crawler-eye population counts, routing-table
+//!    fill and recovery metrics (time back to 90% of baseline lookup
+//!    success, steady-state population delta) without perturbing the
+//!    campaign being observed.
 //!
 //! Everything inherits the simulator's determinism contract: the same seed
 //! and the same plan produce a byte-identical `SimCore::trace_digest`, and
@@ -34,7 +41,12 @@
 pub mod apply;
 pub mod compile;
 pub mod probe;
+pub mod timeline;
 
 pub use apply::{apply, schedule};
 pub use compile::{compile, resolve_target, CompiledIntervention};
 pub use probe::{dht_health, DhtHealth};
+pub use timeline::{
+    population_counts, sample_now, PopulationCounts, RecoveryMetrics, Timeline, TimelineConfig,
+    TimelineSample,
+};

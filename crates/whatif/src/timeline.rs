@@ -1,0 +1,300 @@
+//! The longitudinal recovery observatory: crawler-eye timelines across an
+//! intervention plan.
+//!
+//! The paper's Fig. 4 shows the DHT *through the crawler's eyes*, and its
+//! cloud-exit analysis is fundamentally longitudinal — what matters is not
+//! just the instant damage but how (and whether) the network re-converges:
+//! routing tables heal on refresh cycles, provider records decay on TTL
+//! and return with republishes, lookup latency spikes and relaxes. This
+//! module schedules a deterministic sampling cadence across an entire
+//! campaign and, at each sample, runs the §3 DHT crawler *from inside the
+//! campaign* plus the [`crate::probe::dht_health`] probe.
+//!
+//! Samples are taken on a **fork** of the engine
+//! ([`tcsb_core::Campaign::with_fork`]): the crawl's and probe's traffic
+//! happens in a cloned world that is discarded afterwards, so the main
+//! campaign's event history — and therefore its trace digest — is
+//! *byte-identical* to a run that never sampled at all. That is what makes
+//! a timeline an observatory rather than an instrument that perturbs the
+//! experiment it measures.
+//!
+//! Everything inherits the engine's determinism contract: the same seed,
+//! plan and sample schedule produce the identical timeline (rendered rows
+//! and all) for every shard count.
+
+use crate::probe::{dht_health, DhtHealth};
+use ipfs_types::Cid;
+use netgen::{InterventionKind, InterventionSpec};
+use simnet::{Dur, SimTime};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use tcsb_core::{Campaign, CrawlSnapshot};
+
+/// Sampling schedule and probe shape for one timeline.
+#[derive(Clone, Debug)]
+pub struct TimelineConfig {
+    /// Sample instants, ascending (virtual time).
+    pub samples: Vec<SimTime>,
+    /// CIDs the health probe resolves at every sample.
+    pub probe_cids: Vec<Cid>,
+    /// Spacing between probe lookups.
+    pub probe_spacing: Dur,
+    /// Bound on each crawl's duration.
+    pub crawl_max_wait: Dur,
+}
+
+impl TimelineConfig {
+    /// A cadence of samples derived from an intervention plan: from
+    /// `pre` before the earliest wave to `tail` after the latest event
+    /// (wave or heal), every `step`. Returns at least one sample.
+    pub fn sample_times_for_plan(
+        plan: &[InterventionSpec],
+        pre: Dur,
+        step: Dur,
+        tail: Dur,
+    ) -> Vec<SimTime> {
+        let first = plan.iter().map(|sp| sp.at).min().unwrap_or(SimTime::ZERO);
+        let last = plan
+            .iter()
+            .map(|sp| match sp.kind {
+                InterventionKind::Partition {
+                    heal_at: Some(heal),
+                } => sp.at.max(heal),
+                _ => sp.at,
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let start = SimTime(first.0.saturating_sub(pre.0));
+        let end = last + tail;
+        let step = Dur(step.0.max(1));
+        let mut times = Vec::new();
+        let mut t = start;
+        while t <= end {
+            times.push(t);
+            t += step;
+        }
+        times
+    }
+}
+
+/// Fig. 4-style population counts, as the crawler saw them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PopulationCounts {
+    /// Peers discovered (crawlable or not).
+    pub total: usize,
+    /// Peers that answered our queries.
+    pub crawlable: usize,
+    /// Peers whose observed addresses are all cloud-attributed.
+    pub cloud: usize,
+    /// Peers whose observed addresses are all non-cloud.
+    pub non_cloud: usize,
+    /// Peers seen on both cloud and non-cloud addresses.
+    pub both: usize,
+    /// Peers with no usable address (never connected, nothing advertised).
+    pub unknown: usize,
+    /// Peers per cloud provider (descending count, then name).
+    pub by_provider: Vec<(String, usize)>,
+}
+
+/// One observatory sample.
+#[derive(Clone, Debug)]
+pub struct TimelineSample {
+    /// Virtual instant the sample was taken (fork point).
+    pub at: SimTime,
+    /// What the crawler saw.
+    pub population: PopulationCounts,
+    /// What a user experienced.
+    pub health: DhtHealth,
+    /// Mean routing-table occupancy over online scenario DHT servers.
+    pub routing_fill: f64,
+    /// Ground-truth count of online, non-NAT scenario nodes (the
+    /// crawlable ceiling; the gap to `population.total` is measurement
+    /// error, exactly as in the real crawls).
+    pub online_servers: usize,
+}
+
+/// A finished timeline over one campaign.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    /// Samples, in schedule order.
+    pub samples: Vec<TimelineSample>,
+}
+
+/// Recovery metrics derived from a timeline around one intervention time.
+#[derive(Clone, Debug)]
+pub struct RecoveryMetrics {
+    /// Lookup success at the last sample strictly before the event.
+    pub baseline_success: f64,
+    /// Worst lookup success at or after the event.
+    pub trough_success: f64,
+    /// Lookup success at the final sample.
+    pub final_success: f64,
+    /// Virtual time from the event until lookup success is back at ≥ 90%
+    /// of baseline, counted from the first post-event sample where the
+    /// damage is visible (success below that threshold). `Some(ZERO)` =
+    /// success never dipped below the threshold; `None` = dipped and did
+    /// not recover within the observed window.
+    pub time_to_90pct: Option<Dur>,
+    /// Crawled population at the baseline sample.
+    pub baseline_population: usize,
+    /// Crawled population at the final sample.
+    pub final_population: usize,
+    /// Steady-state population delta (final − baseline).
+    pub population_delta: i64,
+}
+
+/// Classify one crawled peer's addresses against the cloud database.
+fn classify(dbs: &clouddb::IpDatabases, ips: &[Ipv4Addr]) -> (bool, bool, Option<String>) {
+    let mut cloud = false;
+    let mut non_cloud = false;
+    let mut provider = None;
+    for &ip in ips {
+        match dbs.cloud.lookup(ip) {
+            Some(id) => {
+                cloud = true;
+                if provider.is_none() {
+                    provider = Some(dbs.cloud.name(id).to_string());
+                }
+            }
+            None => non_cloud = true,
+        }
+    }
+    (cloud, non_cloud, provider)
+}
+
+/// Fig. 4-style counts from one crawl snapshot.
+pub fn population_counts(snap: &CrawlSnapshot, dbs: &clouddb::IpDatabases) -> PopulationCounts {
+    let mut counts = PopulationCounts {
+        total: snap.peers.len(),
+        crawlable: snap.crawlable_count(),
+        ..Default::default()
+    };
+    let mut by_provider: BTreeMap<String, usize> = BTreeMap::new();
+    for peer in &snap.peers {
+        let (cloud, non_cloud, provider) = classify(dbs, &peer.ips);
+        match (cloud, non_cloud) {
+            (true, true) => counts.both += 1,
+            (true, false) => counts.cloud += 1,
+            (false, true) => counts.non_cloud += 1,
+            (false, false) => counts.unknown += 1,
+        }
+        if let Some(p) = provider {
+            *by_provider.entry(p).or_insert(0) += 1;
+        }
+    }
+    let mut by_provider: Vec<(String, usize)> = by_provider.into_iter().collect();
+    by_provider.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    counts.by_provider = by_provider;
+    counts
+}
+
+/// Take one observatory sample *now*: fork the campaign, crawl and probe
+/// inside the fork, discard it. The main campaign's clock and trace are
+/// untouched.
+pub fn sample_now(campaign: &mut Campaign, cfg: &TimelineConfig) -> TimelineSample {
+    let at = campaign.now();
+    let routing_fill = campaign.routing_table_fill();
+    let online_servers = campaign.online_server_count();
+    let (population, health) = campaign.with_fork(|fork| {
+        let idx = fork.crawl(cfg.crawl_max_wait);
+        let snap = fork.snapshots()[idx].clone();
+        let health = dht_health(fork, &cfg.probe_cids, cfg.probe_spacing);
+        (population_counts(&snap, &fork.scenario.dbs), health)
+    });
+    TimelineSample {
+        at,
+        population,
+        health,
+        routing_fill,
+        online_servers,
+    }
+}
+
+/// Run the whole sampling schedule: advance the campaign to each sample
+/// instant (instants before `now` sample immediately) and observe. The
+/// campaign ends at the final sample time; run it further afterwards if
+/// the experiment needs more virtual time.
+pub fn run(campaign: &mut Campaign, cfg: &TimelineConfig) -> Timeline {
+    let mut samples = Vec::with_capacity(cfg.samples.len());
+    for &at in &cfg.samples {
+        let ahead = Dur(at.0.saturating_sub(campaign.now().0));
+        campaign.run_for(ahead);
+        samples.push(sample_now(campaign, cfg));
+    }
+    Timeline { samples }
+}
+
+impl Timeline {
+    /// Derive recovery metrics around an event at `event_at`.
+    pub fn recovery_metrics(&self, event_at: SimTime) -> RecoveryMetrics {
+        let baseline = self
+            .samples
+            .iter()
+            .rfind(|s| s.at < event_at)
+            .or(self.samples.first())
+            .expect("timeline has at least one sample");
+        let post: Vec<&TimelineSample> = self.samples.iter().filter(|s| s.at >= event_at).collect();
+        let trough = post
+            .iter()
+            .map(|s| s.health.success_rate)
+            .fold(baseline.health.success_rate, f64::min);
+        let final_sample = self.samples.last().expect("non-empty");
+        let threshold = 0.9 * baseline.health.success_rate;
+        // Recovery is measured from the first sample where the damage is
+        // actually visible (success below threshold) — an event-instant
+        // sample taken before the damage manifests must not read as an
+        // instant recovery. No dip at all ⇒ recovered at `Dur::ZERO`.
+        let time_to_90pct = match post.iter().position(|s| s.health.success_rate < threshold) {
+            None => Some(Dur::ZERO),
+            Some(dip) => post[dip..]
+                .iter()
+                .find(|s| s.health.success_rate >= threshold)
+                .map(|s| Dur(s.at.0.saturating_sub(event_at.0))),
+        };
+        RecoveryMetrics {
+            baseline_success: baseline.health.success_rate,
+            trough_success: trough,
+            final_success: final_sample.health.success_rate,
+            time_to_90pct,
+            baseline_population: baseline.population.total,
+            final_population: final_sample.population.total,
+            population_delta: final_sample.population.total as i64
+                - baseline.population.total as i64,
+        }
+    }
+
+    /// Render each sample as one fixed-format row (relative to `t0`):
+    /// the canonical series used by EXPERIMENTS.md and by the
+    /// shard-equivalence tests (byte-identity oracle).
+    pub fn render_rows(&self, t0: SimTime) -> Vec<String> {
+        self.samples
+            .iter()
+            .map(|s| {
+                let rel_h = (s.at.0 as i64 - t0.0 as i64) as f64 / 3_600e9;
+                let top = s
+                    .population
+                    .by_provider
+                    .first()
+                    .map(|(name, n)| format!("{name}:{n}"))
+                    .unwrap_or_else(|| "-".into());
+                format!(
+                    "T{rel_h:+.0}h: pop {} ({} crawlable, {} online-truth) · \
+class {}c/{}n/{}b/{}u · top {} · rt-fill {:.1} · success {:.1}% · \
+records {:.1}% · latency {:.2}s",
+                    s.population.total,
+                    s.population.crawlable,
+                    s.online_servers,
+                    s.population.cloud,
+                    s.population.non_cloud,
+                    s.population.both,
+                    s.population.unknown,
+                    top,
+                    s.routing_fill,
+                    s.health.success_rate * 100.0,
+                    s.health.record_availability * 100.0,
+                    s.health.mean_elapsed.as_secs_f64(),
+                )
+            })
+            .collect()
+    }
+}

@@ -4,12 +4,15 @@
 //! harness key — so a whatif campaign must replay byte-identically for
 //! every shard count, exactly like a plain one.
 
+use ipfs_types::Cid;
 use netgen::{
     ExitStyle, InterventionKind, InterventionSpec, InterventionTarget, Platform, ScenarioConfig,
+    StagedExitSpec,
 };
 use proptest::prelude::*;
 use simnet::{Dur, SimTime};
 use tcsb_core::{Campaign, CampaignOptions};
+use whatif::TimelineConfig;
 
 fn run(seed: u64, plan: Vec<InterventionSpec>, shards: usize, hours: u64) -> (u64, u64, u64, u64) {
     let cfg = ScenarioConfig::tiny(seed)
@@ -75,6 +78,68 @@ fn region_partition_with_heal_matches_across_shard_counts() {
         "2-shard partition diverged"
     );
     assert_eq!(one, run(23, plan, 4, 9), "4-shard partition diverged");
+}
+
+/// Run the recovery-observatory timeline (the machinery behind the
+/// `whatif-recovery` artefact) over a staged two-wave plan at tiny scale
+/// and return its full rendered series plus the final digest.
+fn run_recovery_timeline(seed: u64, shards: usize) -> (Vec<String>, u64) {
+    let t1 = hour(4);
+    let t2 = hour(6);
+    let plan = StagedExitSpec::aws_then_hydra(t1, t2).into_plan();
+    let cfg = ScenarioConfig::tiny(seed)
+        .with_interventions(plan.clone())
+        .with_shards(shards);
+    let scenario = netgen::build(cfg);
+    let cids: Vec<Cid> = scenario
+        .content
+        .iter()
+        .filter(|item| item.publish_at < hour(2))
+        .take(12)
+        .map(|item| item.cid)
+        .collect();
+    let mut campaign = Campaign::new(
+        scenario,
+        CampaignOptions {
+            with_workload: true,
+            with_requests: false,
+            ..Default::default()
+        },
+    );
+    whatif::apply(&mut campaign);
+    let tl_cfg = TimelineConfig {
+        samples: TimelineConfig::sample_times_for_plan(
+            &plan,
+            Dur::from_hours(1),
+            Dur::from_hours(2),
+            Dur::from_hours(1),
+        ),
+        probe_cids: cids,
+        probe_spacing: Dur::from_secs(20),
+        crawl_max_wait: Dur::from_mins(40),
+    };
+    let timeline = whatif::timeline::run(&mut campaign, &tl_cfg);
+    assert!(timeline.samples.len() >= 3, "cadence produced samples");
+    (timeline.render_rows(t2), campaign.sim.trace_digest())
+}
+
+/// The `whatif-recovery` observatory must be byte-identical for every
+/// shard count: the rendered time series (population counts, health,
+/// routing fill) *and* the campaign digest — which, because samples run on
+/// discarded forks, is also the digest of an unobserved campaign.
+#[test]
+fn recovery_timeline_matches_across_shard_counts() {
+    let one = run_recovery_timeline(7, 1);
+    assert_eq!(
+        one,
+        run_recovery_timeline(7, 2),
+        "2-shard timeline diverged"
+    );
+    assert_eq!(
+        one,
+        run_recovery_timeline(7, 4),
+        "4-shard timeline diverged"
+    );
 }
 
 fn target_strategy() -> impl Strategy<Value = InterventionTarget> {

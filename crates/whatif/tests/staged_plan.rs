@@ -1,0 +1,193 @@
+//! Properties of staged multi-wave plan compilation: for arbitrary plans
+//! over random populations, the compiled schedule is deterministic,
+//! time-sorted and per-wave disjoint, and does not depend on the order the
+//! specs were written in.
+
+use netgen::{
+    ExitStyle, InterventionKind, InterventionSpec, InterventionTarget, Platform, ScenarioConfig,
+    StagedExitSpec,
+};
+use proptest::prelude::*;
+use simnet::{Dur, SimTime};
+use std::collections::HashSet;
+use whatif::CompiledIntervention;
+
+fn hour(h: u64) -> SimTime {
+    SimTime::ZERO + Dur::from_hours(h)
+}
+
+fn target_strategy() -> impl Strategy<Value = InterventionTarget> {
+    (any::<u8>(), 0.05..0.9f64, any::<u64>()).prop_map(|(sel, fraction, seed)| match sel % 6 {
+        0 => InterventionTarget::CloudFraction { fraction, seed },
+        1 => InterventionTarget::RandomFraction { fraction, seed },
+        2 => InterventionTarget::Platform(Platform::Hydra),
+        3 => InterventionTarget::Provider("amazon_aws"),
+        4 => InterventionTarget::Provider("choopa"),
+        _ => InterventionTarget::Region((seed % 4) as u16),
+    })
+}
+
+fn wave_strategy() -> impl Strategy<Value = (u64, InterventionTarget, ExitStyle)> {
+    (2u64..12, target_strategy(), any::<bool>()).prop_map(|(h, target, abrupt)| {
+        (
+            h,
+            target,
+            if abrupt {
+                ExitStyle::Abrupt
+            } else {
+                ExitStyle::Graceful
+            },
+        )
+    })
+}
+
+/// Compiled schedule as comparable data.
+fn schedule(compiled: &[CompiledIntervention]) -> Vec<(InterventionSpec, Vec<usize>)> {
+    compiled
+        .iter()
+        .map(|c| (c.spec.clone(), c.nodes.clone()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary multi-wave plans compile to deterministic, time-sorted,
+    /// per-wave-disjoint schedules, invariant under spec permutation.
+    #[test]
+    fn staged_plans_compile_canonically(
+        scenario_seed in 1u64..50_000,
+        waves in proptest::collection::vec(wave_strategy(), 2..5),
+        rotate in any::<usize>(),
+    ) {
+        let mut staged = StagedExitSpec::new();
+        for (h, target, style) in &waves {
+            staged = staged.wave(hour(*h), target.clone(), *style);
+        }
+        let plan = staged.into_plan();
+
+        // `into_plan` yields canonical (time-major) order already.
+        for w in plan.windows(2) {
+            prop_assert!(w[0].at <= w[1].at, "plan not time-sorted");
+        }
+
+        let scenario = netgen::build(
+            ScenarioConfig::tiny(scenario_seed).with_interventions(plan.clone()),
+        );
+        let compiled = whatif::compile(&scenario);
+        prop_assert_eq!(compiled.len(), plan.len());
+
+        // Deterministic: compiling twice yields the identical schedule.
+        prop_assert_eq!(
+            schedule(&compiled),
+            schedule(&whatif::compile(&scenario)),
+            "compile must be deterministic"
+        );
+
+        // Time-sorted and per-wave disjoint.
+        let mut claimed: HashSet<usize> = HashSet::new();
+        for w in compiled.windows(2) {
+            prop_assert!(w[0].spec.at <= w[1].spec.at, "schedule not time-sorted");
+        }
+        for c in &compiled {
+            if matches!(c.spec.kind, InterventionKind::Exit { .. }) {
+                for &i in &c.nodes {
+                    prop_assert!(
+                        claimed.insert(i),
+                        "node {} claimed by two exit waves", i
+                    );
+                }
+            }
+        }
+
+        // Permutation invariance: a rotated/reversed plan compiles to the
+        // identical schedule.
+        let mut permuted = plan.clone();
+        permuted.reverse();
+        if !permuted.is_empty() {
+            let mid = rotate % permuted.len();
+            permuted.rotate_left(mid);
+        }
+        let scenario_p = netgen::build(
+            ScenarioConfig::tiny(scenario_seed).with_interventions(permuted),
+        );
+        prop_assert_eq!(
+            schedule(&compiled),
+            schedule(&whatif::compile(&scenario_p)),
+            "spec order must not affect the compiled schedule"
+        );
+    }
+}
+
+/// The staged helper's own shape: waves out of order land sorted, and the
+/// optional partition stage rides along.
+#[test]
+fn staged_builder_sorts_and_carries_partition() {
+    let plan = StagedExitSpec::new()
+        .wave(
+            hour(9),
+            InterventionTarget::Provider("choopa"),
+            ExitStyle::Graceful,
+        )
+        .wave(
+            hour(3),
+            InterventionTarget::Provider("amazon_aws"),
+            ExitStyle::Abrupt,
+        )
+        .partition(hour(6), InterventionTarget::Region(1), Some(hour(8)))
+        .into_plan();
+    assert_eq!(plan.len(), 3);
+    assert_eq!(plan[0].at, hour(3));
+    assert_eq!(plan[1].at, hour(6));
+    assert!(matches!(
+        plan[1].kind,
+        InterventionKind::Partition { heal_at: Some(h) } if h == hour(8)
+    ));
+    assert_eq!(plan[2].at, hour(9));
+}
+
+/// Two waves targeting overlapping sets: the second wave's compiled set
+/// excludes every node the first wave already removed.
+#[test]
+fn later_waves_exclude_already_exited_nodes() {
+    let plan = StagedExitSpec::new()
+        .wave(
+            hour(3),
+            InterventionTarget::CloudFraction {
+                fraction: 0.5,
+                seed: 1,
+            },
+            ExitStyle::Abrupt,
+        )
+        .wave(
+            hour(6),
+            InterventionTarget::CloudFraction {
+                fraction: 1.0,
+                seed: 2,
+            },
+            ExitStyle::Abrupt,
+        )
+        .into_plan();
+    let scenario = netgen::build(ScenarioConfig::tiny(11).with_interventions(plan));
+    let compiled = whatif::compile(&scenario);
+    assert_eq!(compiled.len(), 2);
+    let first: HashSet<usize> = compiled[0].nodes.iter().copied().collect();
+    assert!(!first.is_empty());
+    assert!(!compiled[1].nodes.is_empty());
+    for i in &compiled[1].nodes {
+        assert!(!first.contains(i), "node {i} re-targeted by wave 2");
+    }
+    // Together the waves cover the full cloud population exactly once.
+    let all_cloud = whatif::resolve_target(
+        &scenario,
+        &InterventionTarget::CloudFraction {
+            fraction: 1.0,
+            seed: 2,
+        },
+    );
+    assert_eq!(
+        first.len() + compiled[1].nodes.len(),
+        all_cloud.len(),
+        "waves partition the cloud population"
+    );
+}
