@@ -155,11 +155,20 @@ fn json_line(name: &str, stats: &SimStats, wall: f64) -> String {
     )
 }
 
-/// One shard-scaling workload line: the same stress campaign slice on `n`
-/// shards. The digest pins the determinism contract (identical history on
-/// every row); wall-clock is the scaling metric.
-fn measure_stress_slice(n: usize, base_wall: f64) -> (String, f64) {
-    let scenario = netgen::build(netgen::ScenarioConfig::stress(7).with_shards(n));
+/// One campaign workload line: `cfg` run on `n` shards for `horizon`. The
+/// digest pins the determinism contract (identical history on every shard
+/// count); wall-clock is the scaling metric. The `state_bytes` fields are
+/// the struct-of-arrays accounting: replicated columns cost a fixed
+/// 8 B/node on every shard (the O(nodes) claim, measured), owner-only
+/// columns exist exactly once across the whole engine.
+fn measure_campaign_slice(
+    key: &str,
+    cfg: netgen::ScenarioConfig,
+    n: usize,
+    horizon: Dur,
+    base_wall: f64,
+) -> (String, f64) {
+    let scenario = netgen::build(cfg.with_shards(n));
     let mut campaign = tcsb_core::Campaign::new(
         scenario,
         tcsb_core::CampaignOptions {
@@ -168,25 +177,33 @@ fn measure_stress_slice(n: usize, base_wall: f64) -> (String, f64) {
         },
     );
     let t = Instant::now();
-    campaign.run_for(Dur::from_hours(6));
+    campaign.run_for(horizon);
     let wall = t.elapsed().as_secs_f64();
     let stats = campaign.sim.stats();
+    let state = campaign.sim.state_bytes();
     let speedup = if base_wall > 0.0 {
         base_wall / wall
     } else {
         1.0
     };
+    let nodes = state.nodes.max(1);
     let line = format!(
-        "  \"campaign_stress_6h_shards{n}\": {{ \"events\": {}, \"wall_secs\": {:.3}, \
+        "  \"{key}_shards{n}\": {{ \"events\": {}, \"wall_secs\": {:.3}, \
 \"events_per_sec\": {:.0}, \"peak_queue_len\": {}, \"msgs_delivered\": {}, \
-\"digest\": \"{:#018x}\", \"speedup_vs_1shard\": {:.2} }}",
+\"digest\": \"{:#018x}\", \"speedup_vs_1shard\": {:.2}, \"nodes\": {}, \
+\"replica_bytes\": {}, \"replica_bytes_per_node_per_shard\": {:.2}, \
+\"owned_bytes\": {} }}",
         stats.events,
         wall,
         stats.events as f64 / wall.max(1e-9),
         stats.peak_queue_len,
         stats.msgs_delivered,
         campaign.sim.trace_digest(),
-        speedup
+        speedup,
+        state.nodes,
+        state.replica_bytes,
+        state.replica_bytes as f64 / (nodes * n as u64) as f64,
+        state.owned_bytes,
     );
     (line, wall)
 }
@@ -213,21 +230,45 @@ fn write_engine_json() {
     // multi-core host the wall-clock drops with the shard count; the
     // digest row proves the history did not change. `host_cpus` records
     // how many cores were actually available to scale onto.
-    let (s1, base_wall) = measure_stress_slice(1, 0.0);
-    let (s2, _) = measure_stress_slice(2, base_wall);
-    let (s4, _) = measure_stress_slice(4, base_wall);
+    let stress = netgen::ScenarioConfig::stress(7);
+    let key = "campaign_stress_6h";
+    let hours6 = Dur::from_hours(6);
+    let (s1, base_wall) = measure_campaign_slice(key, stress.clone(), 1, hours6, 0.0);
+    let (s2, _) = measure_campaign_slice(key, stress.clone(), 2, hours6, base_wall);
+    let (s4, _) = measure_campaign_slice(key, stress, 4, hours6, base_wall);
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
+    // Internet-scale row (~1M nodes): opt-in via TCSB_BENCH_INTERNET=1 —
+    // the nightly workflow sets it; PR CI stays fast without it.
+    let internet_row = if std::env::var("TCSB_BENCH_INTERNET").as_deref() == Ok("1") {
+        let n = std::env::var("TCSB_SHARDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or(1usize);
+        let (row, _) = measure_campaign_slice(
+            "campaign_internet_1h",
+            netgen::ScenarioConfig::internet(7),
+            n,
+            Dur::from_hours(1),
+            0.0,
+        );
+        format!(",\n{row}")
+    } else {
+        String::new()
+    };
+
     let body = format!(
-        "{{\n  \"schema\": \"tcsb-bench-engine/2\",\n  \"host_cpus\": {host_cpus},\n{},\n{},\n{},\n{},\n{},\n{}\n}}\n",
+        "{{\n  \"schema\": \"tcsb-bench-engine/3\",\n  \"host_cpus\": {host_cpus},\n{},\n{},\n{},\n{},\n{},\n{}{}\n}}\n",
         json_line("pingpong_512pairs_60s", &pp_stats, pp_wall),
         json_line("timer_storm_1024_10min", &st_stats, st_wall),
         json_line("campaign_tiny_12h", &camp_stats, camp_wall),
         s1,
         s2,
         s4,
+        internet_row,
     );
     // `cargo bench` runs with the package dir as CWD; anchor the file at the
     // workspace root where CI (and readers) expect it.

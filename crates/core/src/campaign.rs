@@ -104,6 +104,10 @@ impl Campaign {
         // shard counts; only wall-clock changes.
         let shards = scenario.cfg.effective_shards();
         let mut sim: Sim<EcoActor> = Sim::new_sharded(cfg, latency, seed, shards);
+        // Exact-fit reservation: replica columns end up with capacity == len,
+        // so the measured per-extra-shard replica footprint is the tight
+        // 8 bytes × nodes bound that `state_bytes` reports.
+        sim.reserve_nodes(scenario.nodes.len() + scenario.gateways.len() + 4);
 
         // Bootstrap identities are known up front (first N nodes).
         let bootstrap: Vec<(PeerId, NodeId)> = (0..scenario.bootstrap_count)

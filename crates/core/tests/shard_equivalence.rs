@@ -44,6 +44,34 @@ fn tiny_campaign_matches_across_shard_counts() {
     }
 }
 
+/// Struct-of-arrays budget at the campaign level: `Campaign::new` reserves
+/// node columns exactly, so every shard's replica cost is the tight
+/// 8 bytes × nodes bound, and the per-shard owned-node counts partition
+/// the population.
+#[test]
+fn tiny_campaign_replica_bytes_stay_o_nodes() {
+    for shards in [1usize, 4] {
+        let scenario = netgen::build(ScenarioConfig::tiny(42).with_shards(shards));
+        let mut campaign = Campaign::new(scenario, CampaignOptions::default());
+        campaign.run_for(Dur::from_hours(2));
+        let loads = campaign.sim.shard_loads();
+        assert_eq!(loads.len(), shards);
+        let nodes = loads[0].state.nodes;
+        assert!(nodes > 0);
+        let owned: u64 = loads.iter().map(|l| l.state.owned_nodes).sum();
+        assert_eq!(owned, nodes, "every node owned by exactly one shard");
+        for l in &loads {
+            assert!(
+                l.state.replica_bytes <= 8 * nodes,
+                "shard {} replica {}B exceeds 8B × {nodes} nodes",
+                l.shard,
+                l.state.replica_bytes
+            );
+            assert_eq!(l.state.shared_bytes, 0, "no fork alive");
+        }
+    }
+}
+
 #[test]
 fn quick_campaign_slice_matches_across_shard_counts() {
     // A bounded slice of the Quick preset (bootstrap + first workload

@@ -1,12 +1,13 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro all   [--scale tiny|small|quick|stress|paper] [--seed N] [--shards N] [--md PATH]
+//! repro all   [--scale tiny|small|quick|stress|paper|internet] [--seed N] [--shards N] [--md PATH]
 //! repro list                                  # enumerate artefacts
 //! repro table1|stats|fig03..fig08             # crawl-group artefacts
 //! repro fig09..fig16|fig17..fig20             # workload-group artefacts
 //! repro whatif-cloud-exit                     # counterfactual sweep
 //! repro engine                                # scheduler counters only
+//! repro budget                                # deterministic per-shard budget
 //! ```
 
 use experiments::{crawl_exp, entry_exp, recovery_exp, resilience_exp, traffic_exp, Scale, SCALES};
@@ -46,6 +47,10 @@ const ARTEFACTS: &[(&str, &str)] = &[
         "engine",
         "engine counters for the crawl campaign at the chosen scale (scheduler health)",
     ),
+    (
+        "budget",
+        "deterministic per-shard state/load budget for the crawl campaign (CI expectation diff)",
+    ),
 ];
 
 fn print_list() {
@@ -65,7 +70,7 @@ fn print_list() {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro <all|list|table1|stats|figNN> \
-[--scale tiny|small|quick|stress|paper] [--seed N] [--shards N] [--md PATH]\n\
+[--scale tiny|small|quick|stress|paper|internet] [--seed N] [--shards N] [--md PATH]\n\
        run `repro list` to see every artefact name"
     );
     std::process::exit(2);
@@ -85,7 +90,7 @@ fn main() {
         eprintln!("error: unknown artefact {cmd:?}");
         eprintln!(
             "       known artefacts: all, table1, stats, fig03..fig20, \
-whatif-cloud-exit, whatif-recovery, engine"
+whatif-cloud-exit, whatif-recovery, engine, budget"
         );
         eprintln!("       run `repro list` for the full annotated index");
         std::process::exit(2);
@@ -181,8 +186,34 @@ whatif-cloud-exit, whatif-recovery, engine"
                     &data.engine,
                     data.wall_secs,
                     data.shards,
+                    &data.loads,
                 )
             );
+        }
+        "budget" => {
+            // Deterministic per-shard budget: no wall-clock or throughput
+            // figures, so the output is stable per (scale, seed, shards)
+            // and CI can diff it against a committed expectation file.
+            let data = crawl_exp::collect(scale.config(seed).with_shards(shards), scale.crawls());
+            println!(
+                "budget scale={} seed={} shards={}",
+                scale.name(),
+                seed,
+                data.shards
+            );
+            println!("digest {:#018x}", data.digest);
+            println!("events {}", data.engine.events);
+            for l in &data.loads {
+                println!(
+                    "s{} owned_nodes={} dispatched={} replica_bytes={} owned_bytes={} shared_bytes={}",
+                    l.shard,
+                    l.state.owned_nodes,
+                    l.dispatched,
+                    l.state.replica_bytes,
+                    l.state.owned_bytes,
+                    l.state.shared_bytes
+                );
+            }
         }
         "stats" | "fig03" | "fig04" | "fig05" | "fig06" | "fig07" | "fig08" => {
             let data = crawl_exp::collect(scale.config(seed).with_shards(shards), scale.crawls());

@@ -22,6 +22,10 @@ pub struct CrawlData {
     pub n_cloud_planted: usize,
     /// Engine counters at the end of the campaign (scheduler health).
     pub engine: simnet::SimStats,
+    /// Per-shard budget (owned nodes, dispatched events, state bytes).
+    pub loads: Vec<simnet::ShardLoad>,
+    /// Shard-invariant trace digest at the end of the campaign.
+    pub digest: u64,
     /// Host wall-clock seconds the campaign took.
     pub wall_secs: f64,
     /// Engine shards the campaign ran on.
@@ -56,6 +60,8 @@ pub fn collect(cfg: ScenarioConfig, n_crawls: usize) -> CrawlData {
         dbs,
         n_cloud_planted,
         engine: campaign.sim.core().stats.clone(),
+        loads: campaign.sim.shard_loads(),
+        digest: campaign.sim.trace_digest(),
         wall_secs: started.elapsed().as_secs_f64(),
         shards: campaign.shards(),
     }

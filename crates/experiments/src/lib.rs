@@ -41,15 +41,20 @@ pub enum Scale {
     Stress,
     /// Paper-scale opt-in.
     Paper,
+    /// Internet-scale opt-in: ~1M nodes, three virtual days, lean workload
+    /// (see `ScenarioConfig::internet`). Nightly-only; exercises the
+    /// struct-of-arrays engine layout at the population the paper measured.
+    Internet,
 }
 
 /// Every scale, in increasing-cost order (drives `repro list`).
-pub const SCALES: [Scale; 5] = [
+pub const SCALES: [Scale; 6] = [
     Scale::Tiny,
     Scale::Small,
     Scale::Quick,
     Scale::Stress,
     Scale::Paper,
+    Scale::Internet,
 ];
 
 impl Scale {
@@ -61,6 +66,7 @@ impl Scale {
             Scale::Quick => ScenarioConfig::quick(seed),
             Scale::Stress => ScenarioConfig::stress(seed),
             Scale::Paper => ScenarioConfig::paper(seed),
+            Scale::Internet => ScenarioConfig::internet(seed),
         }
     }
 
@@ -72,6 +78,7 @@ impl Scale {
             Scale::Quick => 28,
             Scale::Stress => 42,
             Scale::Paper => 101,
+            Scale::Internet => 9,
         }
     }
 
@@ -83,6 +90,7 @@ impl Scale {
             Scale::Quick => 800,
             Scale::Stress => 1500,
             Scale::Paper => 4000,
+            Scale::Internet => 1500,
         }
     }
 
@@ -94,6 +102,7 @@ impl Scale {
             Scale::Quick => 400,
             Scale::Stress => 800,
             Scale::Paper => 2000,
+            Scale::Internet => 800,
         }
     }
 
@@ -105,6 +114,7 @@ impl Scale {
             Scale::Quick => "quick",
             Scale::Stress => "stress",
             Scale::Paper => "paper",
+            Scale::Internet => "internet",
         }
     }
 
@@ -137,6 +147,7 @@ pub fn run_all(scale: Scale, seed: u64, shards: usize) -> Vec<Report> {
         &crawl.engine,
         crawl.wall_secs,
         crawl.shards,
+        &crawl.loads,
     ));
     drop(crawl);
 

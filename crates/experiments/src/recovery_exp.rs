@@ -46,6 +46,7 @@ fn probe_sample(scale: Scale) -> usize {
         Scale::Quick => 120,
         Scale::Stress => 160,
         Scale::Paper => 300,
+        Scale::Internet => 300,
     }
 }
 

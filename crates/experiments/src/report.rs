@@ -1,7 +1,7 @@
 //! Report structures: paper-vs-measured tables for every experiment, plus
 //! the engine-health section derived from `simnet::SimStats`.
 
-use simnet::SimStats;
+use simnet::{ShardLoad, SimStats, StateBytes};
 use std::fmt;
 
 /// One comparison row.
@@ -130,13 +130,17 @@ impl Report {
 /// executor); host-dependent figures — wall time, throughput, per-queue
 /// peak — and the shard count go into a clearly-marked note instead.
 /// `wall_secs` is the host wall-clock time the campaign took; pass `0.0`
-/// when unknown.
+/// when unknown. `loads` carries the per-shard budget (owned nodes,
+/// dispatched events, measured state-byte split from
+/// [`simnet::SimCore::state_bytes`]); shard-layout-dependent, so it is
+/// rendered as notes rather than table rows.
 pub fn engine_report(
     id: &str,
     title: &str,
     stats: &SimStats,
     wall_secs: f64,
     shards: usize,
+    loads: &[ShardLoad],
 ) -> Report {
     let mut r = Report::new(id, title);
     r.val("events processed", stats.events as f64, Unit::Count);
@@ -182,6 +186,35 @@ wall {:.1}s · {:.0} events/s · peak shard-queue {} · shards {}",
             stats.events as f64 / wall_secs,
             stats.peak_queue_len,
             shards
+        ));
+    }
+    if !loads.is_empty() {
+        let mut total = StateBytes::default();
+        for l in loads {
+            total.add(&l.state);
+        }
+        let nodes = total.nodes.max(1);
+        r.note(format!(
+            "state bytes (shard-layout-dependent, excluded from the byte-identity contract): \
+{} nodes · replica {} B total ({:.1} B/node/shard) · owner-only {} B · fork-shared {} B",
+            total.nodes,
+            total.replica_bytes,
+            total.replica_bytes as f64 / (nodes * loads.len() as u64) as f64,
+            total.owned_bytes,
+            total.shared_bytes,
+        ));
+        let per_shard: Vec<String> = loads
+            .iter()
+            .map(|l| {
+                format!(
+                    "s{}: owned {} · dispatched {} · owner-only {} B",
+                    l.shard, l.state.owned_nodes, l.dispatched, l.state.owned_bytes
+                )
+            })
+            .collect();
+        r.note(format!(
+            "per-shard budget (region-major placement parks monitor/crawler load on s0): {}",
+            per_shard.join(" | ")
         ));
     }
     r

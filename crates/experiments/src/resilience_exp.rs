@@ -49,6 +49,7 @@ fn probe_sample(scale: Scale) -> usize {
         Scale::Quick => 200,
         Scale::Stress => 300,
         Scale::Paper => 600,
+        Scale::Internet => 600,
     }
 }
 

@@ -26,6 +26,8 @@ pub struct WorkloadData {
     /// engine report stays comparable run-over-run no matter how much
     /// extra simulation later figures drive through the live campaign.
     pub engine: simnet::SimStats,
+    /// Per-shard budget snapshotted with the counters.
+    pub loads: Vec<simnet::ShardLoad>,
     /// Host wall-clock seconds the main campaign (incl. probe) took.
     pub wall_secs: f64,
 }
@@ -97,10 +99,12 @@ pub fn run_workload(cfg: ScenarioConfig) -> WorkloadData {
         }
     }
     let engine = campaign.sim.core().stats.clone();
+    let loads = campaign.sim.shard_loads();
     WorkloadData {
         campaign,
         overlays: overlays.into_iter().collect(),
         engine,
+        loads,
         wall_secs: started.elapsed().as_secs_f64(),
     }
 }
@@ -113,6 +117,7 @@ pub fn engine(data: &WorkloadData) -> Report {
         &data.engine,
         data.wall_secs,
         data.campaign.shards(),
+        &data.loads,
     )
 }
 

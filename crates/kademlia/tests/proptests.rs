@@ -28,7 +28,7 @@ proptest! {
         }
         let n_buckets = t.bucket_count();
         let mut total = 0;
-        for (i, b) in t.buckets().iter().enumerate() {
+        for (i, b) in t.buckets().enumerate() {
             prop_assert!(b.len() <= 20, "bucket {} overflows: {}", i, b.len());
             for e in b.entries() {
                 prop_assert_ne!(e.info.id.key(), local_key, "self in table");

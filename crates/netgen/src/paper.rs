@@ -154,6 +154,41 @@ impl ScenarioConfig {
             shards: 0,
         }
     }
+
+    /// Internet-scale preset: one million nodes over three virtual days —
+    /// the population the paper actually measured (~50k DHT servers plus an
+    /// order of magnitude more clients behind NAT, Trautwein et al.'s scale
+    /// targets). Opt-in like [`ScenarioConfig::paper`] and gated behind the
+    /// nightly workflow: it exists to exercise the struct-of-arrays engine
+    /// layout (replica columns stay 8 B/node/shard regardless of
+    /// population), so the workload is deliberately lean — topology, churn
+    /// and crawls dominate, not content traffic.
+    pub fn internet(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            duration: Dur::from_hours(3 * 24),
+            n_cloud: 28_000,
+            n_fringe: 27_000,
+            n_nat: 600_000,
+            n_ephemeral: 345_000,
+            n_content: 20_000,
+            n_requests: 50_000,
+            platform_cids: 8_000,
+            platform_nodes: 6,
+            hydra_hosts: 3,
+            hydra_heads: 20,
+            n_gateways_listed: 83,
+            n_gateways_functional: 22,
+            n_domains: 200_000,
+            n_dnslink: 5_000,
+            n_ens_records: 20_600,
+            conn_floor: 20,
+            http_share: 0.45,
+            hybrid_fraction: 0.006,
+            interventions: vec![],
+            shards: 0,
+        }
+    }
 }
 
 /// Every quantitative target from the paper, keyed by figure/table.

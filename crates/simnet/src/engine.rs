@@ -35,11 +35,28 @@
 //! * **per-node RNGs** — every node draws from its own seeded generator
 //!   (latency jitter from the scheduling node's, loss from the receiver's),
 //!   so draw order is a function of per-node history only;
-//! * **endpoint-owned connection halves** — each node's [`ConnTable`] holds
-//!   *its* half of every connection, including the peer address captured at
-//!   handshake time, so event dispatch never reads another shard's state.
-//!   Cross-node effects (dial handshakes, FINs, relay hops) travel as
-//!   events with link latency, exactly like real sockets.
+//! * **endpoint-owned connection halves** — each node's window of the
+//!   owning shard's [`ConnPool`] slab holds *its* half of every connection,
+//!   including the peer address captured at handshake time, so event
+//!   dispatch never reads another shard's state. Cross-node effects (dial
+//!   handshakes, FINs, relay hops) travel as events with link latency,
+//!   exactly like real sockets.
+//!
+//! # Memory layout (struct-of-arrays)
+//!
+//! Per-node state is split by access pattern into parallel columns rather
+//! than an array-of-structs. The only fields a non-owner shard ever reads —
+//! the packed owner handle, the partition class, and the latency-region
+//! index — are *replicated* on every shard as three compact vectors
+//! (8 bytes per node per shard). Everything else (liveness flags, address,
+//! RNG, sequence counter, pending accepts, connection halves) lives in
+//! dense *owner-only* columns indexed by a per-shard local index, so total
+//! state is O(nodes × 8B × shards + nodes × owner-state) instead of
+//! O(nodes × ~300B × shards). The owner columns sit behind an [`Arc`] with
+//! copy-on-write semantics: cloning an engine for a fork (the observatory
+//! primitive) shares them and copies only on first write, which makes
+//! [`Sim::clone`] O(queued events), not O(nodes). [`SimCore::state_bytes`]
+//! reports the measured split.
 //!
 //! [`Sim::trace_digest`] folds every processed event into a commutative
 //! per-shard accumulator (FNV-1a per event, `wrapping_add` across events);
@@ -47,13 +64,14 @@
 //! commutative, so the merged digest is invariant under re-sharding — the
 //! cheap oracle that a 4-shard run replayed the 1-shard history exactly.
 
-use crate::conn::ConnTable;
+use crate::conn::ConnPool;
 use crate::latency::{LatencyModel, RegionId};
 use crate::time::{Dur, SimTime};
 use crate::wheel::TimerWheel;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::net::{Ipv4Addr, SocketAddrV4};
+use std::sync::Arc;
 
 /// Dense node handle.
 #[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -262,6 +280,11 @@ pub struct SimStats {
     pub commands_dropped: u64,
     /// Total events processed (broadcast fault replicas excluded).
     pub events: u64,
+    /// Events this shard's dispatch loop executed, *including* broadcast
+    /// fault replicas (per-shard load gauge; the aggregate view sums the
+    /// shards, so unlike `events` it is engine-configuration-dependent and
+    /// not part of the deterministic output contract).
+    pub dispatched: u64,
     /// Largest event-queue population ever observed on any single shard
     /// (scheduler pressure; engine-configuration-dependent, *not* part of
     /// the deterministic output contract).
@@ -283,39 +306,130 @@ impl SimStats {
         self.commands += o.commands;
         self.commands_dropped += o.commands_dropped;
         self.events += o.events;
+        self.dispatched += o.dispatched;
         self.peak_queue_len = self.peak_queue_len.max(o.peak_queue_len);
         self.kinds.add(&o.kinds);
     }
 }
 
-#[derive(Debug, Clone)]
-struct NodeState {
-    online: bool,
-    /// Whether direct inbound dials succeed (false = behind NAT).
-    dialable: bool,
-    /// Decommissioned by a [`Fault::Retire`]: future `NodeUp`s are ignored.
-    retired: bool,
-    /// Partition class (compared only while a partition is active;
-    /// replicated to every shard by fault broadcast).
-    net_class: u16,
-    addr: SocketAddrV4,
-    region: RegionId,
-    /// Region clamped against the latency matrix, cached for the send path.
-    region_idx: u16,
-    /// This node's half of every open connection (authoritative at the
-    /// owner shard only).
-    conns: ConnTable,
-    /// Per-node deterministic RNG (advanced at the owner shard only).
+/// Node is currently online.
+const F_ONLINE: u8 = 1;
+/// Direct inbound dials succeed (false = behind NAT).
+const F_DIALABLE: u8 = 2;
+/// Decommissioned by a [`Fault::Retire`]: future `NodeUp`s are ignored.
+const F_RETIRED: u8 = 4;
+
+/// Bits of the packed owner handle carrying the dense local index; the
+/// remaining high bits carry the owning shard.
+const LOCAL_BITS: u32 = 24;
+/// Mask for the local-index half of an owner handle.
+const LOCAL_MASK: u32 = (1 << LOCAL_BITS) - 1;
+/// Maximum shard count representable in the packed owner handle.
+pub const MAX_SHARDS: usize = 1 << (32 - LOCAL_BITS);
+
+/// The per-node fields touched by virtually every dispatched event: the
+/// liveness/dialability bits, the origin-sequence counter consumed on each
+/// scheduled event, and the node's RNG (jitter + loss draws).
+#[derive(Clone, Debug)]
+struct HotNode {
+    /// Per-node deterministic RNG.
     rng: StdRng,
     /// Per-origin event sequence counter: the tie-break half of this
-    /// node's event keys. Advanced at the owner shard only.
+    /// node's event keys.
     oseq: u32,
+    /// `F_ONLINE | F_DIALABLE | F_RETIRED` bit set.
+    flags: u8,
+}
+
+/// Owner-only per-node state, stored *densely* (indexed by local index) at
+/// the owning shard and nowhere else. Kept behind an [`Arc`] in
+/// [`SimCore`]: forks share the columns and copy on first write.
+#[derive(Clone, Default)]
+struct OwnedColumns {
+    /// local index → global node id (append-only, ascending).
+    ids: Vec<NodeId>,
+    /// The fields nearly every dispatched event touches together — kept in
+    /// one 40-byte record so dispatch costs one cache line per node, not
+    /// three.
+    hot: Vec<HotNode>,
+    addr: Vec<SocketAddrV4>,
+    region: Vec<RegionId>,
     /// Inbound handshakes accepted at DialArrive but not yet completed
     /// (`(dialer, outcome_at)`): a graceful shutdown in that window FINs
     /// the dialer *after* its DialOutcome lands, so a dial that reported
     /// success against a dying target still gets its close notification.
     /// Cleared silently on [`Fault::Kill`], like the open halves.
-    pending_accepts: Vec<(NodeId, SimTime)>,
+    pending_accepts: Vec<Vec<(NodeId, SimTime)>>,
+    /// Every owned node's half of every open connection, slab-allocated
+    /// in one contiguous per-shard pool.
+    conns: ConnPool,
+}
+
+impl OwnedColumns {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Bytes reserved by the owner-only columns (counted at capacity).
+    fn bytes(&self) -> u64 {
+        use std::mem::size_of;
+        (self.ids.capacity() * size_of::<NodeId>()
+            + self.hot.capacity() * size_of::<HotNode>()
+            + self.addr.capacity() * size_of::<SocketAddrV4>()
+            + self.region.capacity() * size_of::<RegionId>()
+            + self.pending_accepts.capacity() * size_of::<Vec<(NodeId, SimTime)>>()
+            + self
+                .pending_accepts
+                .iter()
+                .map(|p| p.capacity() * size_of::<(NodeId, SimTime)>())
+                .sum::<usize>()) as u64
+            + self.conns.bytes()
+    }
+}
+
+/// Measured engine state split for one shard — the observable form of the
+/// O(nodes) replica claim (surfaced in the `repro engine` budget section
+/// and BENCH_engine.json).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StateBytes {
+    /// Registered nodes (same on every shard).
+    pub nodes: u64,
+    /// Nodes owned by this shard.
+    pub owned_nodes: u64,
+    /// Bytes of the replicated columns (owner handle + partition class +
+    /// region index): the per-extra-shard cost of sharding.
+    pub replica_bytes: u64,
+    /// Bytes of the owner-only columns this core holds *exclusively*.
+    pub owned_bytes: u64,
+    /// Bytes of owner-only columns currently *shared* with a fork via
+    /// copy-on-write (zero unless a fork of this engine is alive).
+    pub shared_bytes: u64,
+}
+
+impl StateBytes {
+    /// Fold another shard's accounting into a whole-engine view
+    /// (`nodes` is replicated, the byte counts add).
+    pub fn add(&mut self, o: &StateBytes) {
+        self.nodes = self.nodes.max(o.nodes);
+        self.owned_nodes += o.owned_nodes;
+        self.replica_bytes += o.replica_bytes;
+        self.owned_bytes += o.owned_bytes;
+        self.shared_bytes += o.shared_bytes;
+    }
+}
+
+/// One shard's load gauge: how many nodes it owns, how many events its
+/// dispatch loop executed, and its measured state split — the
+/// observability hook for the region-major assignment's load imbalance
+/// (monitor/crawler traffic parks on shard 0).
+#[derive(Clone, Copy, Debug)]
+pub struct ShardLoad {
+    /// Shard index.
+    pub shard: u16,
+    /// Events executed by this shard, including broadcast fault replicas.
+    pub dispatched: u64,
+    /// Memory accounting for this shard.
+    pub state: StateBytes,
 }
 
 /// Origin id used for events scheduled by the harness rather than a node.
@@ -360,11 +474,19 @@ pub struct SimCore<M, C> {
     shard: u16,
     pub(crate) now: SimTime,
     pub(crate) queue: TimerWheel<Ev<M, C>>,
-    /// Full-length node table; authoritative only where
-    /// `shard_of[i] == shard` (replica fields: `net_class`, `region_idx`).
-    slots: Vec<NodeState>,
-    /// Owning shard per node (full length, identical on every shard).
-    shard_of: Vec<u16>,
+    /// Packed owner handle per node (full length, identical on every
+    /// shard): owning shard in the high bits, dense local index at that
+    /// shard in the low [`LOCAL_BITS`].
+    owner: Vec<u32>,
+    /// Partition class per node (full length; replicated by fault
+    /// broadcast so partition checks never cross a shard boundary).
+    net_class: Vec<u16>,
+    /// Region clamped against the latency matrix, cached for the send
+    /// path (full length, immutable after registration).
+    region_idx: Vec<u16>,
+    /// Owner-only columns for the nodes this shard owns (dense,
+    /// copy-on-write shared with forks).
+    owned: Arc<OwnedColumns>,
     /// Row-major base latency matrix (flattened from the [`LatencyModel`]).
     lat_base: Vec<Dur>,
     lat_dim: usize,
@@ -486,10 +608,47 @@ impl<M, C> SimCore<M, C> {
         self.enqueue_local(at, key, ev);
     }
 
+    /// The shard owning `node` (replicated knowledge).
+    pub(crate) fn shard_of(&self, node: NodeId) -> u16 {
+        (self.owner[node.idx()] >> LOCAL_BITS) as u16
+    }
+
+    /// `node`'s dense index into this shard's owner-only columns. Must
+    /// only be called for nodes this shard owns.
+    fn local(&self, node: NodeId) -> usize {
+        let p = self.owner[node.idx()];
+        debug_assert_eq!(
+            (p >> LOCAL_BITS) as u16,
+            self.shard,
+            "owner-only access to a node owned elsewhere ({node:?})"
+        );
+        (p & LOCAL_MASK) as usize
+    }
+
+    /// Mutable owner columns (copy-on-write: the first write after a fork
+    /// clone copies them; unique cores pay only an atomic check).
+    ///
+    /// The unique case is the dispatch hot path (several calls per event),
+    /// so it must cost only plain atomic loads; both `make_mut` and
+    /// `get_mut` start with a locked compare-exchange even when no fork is
+    /// alive.
+    fn o(&mut self) -> &mut OwnedColumns {
+        if Arc::strong_count(&self.owned) == 1 && Arc::weak_count(&self.owned) == 0 {
+            // SAFETY: `&mut self` makes this `Arc` handle unreachable to
+            // anyone else, and the acquire loads above prove it is the only
+            // handle (strong = 1, weak = 0) — any concurrent dropper of a
+            // second handle finished before we observed 1. With no other
+            // handle and no `Weak`, no alias to the inner value can exist
+            // or be created while the returned borrow lives.
+            return unsafe { &mut *(Arc::as_ptr(&self.owned) as *mut OwnedColumns) };
+        }
+        Arc::make_mut(&mut self.owned)
+    }
+
     /// Route an event to the shard owning `target` under an existing key.
     fn route(&mut self, key: u64, target: NodeId, at: SimTime, ev: Ev<M, C>) {
         let at = at.max(self.now);
-        let dst = self.shard_of[target.idx()];
+        let dst = self.shard_of(target);
         if dst == self.shard {
             self.enqueue_local(at, key, ev);
         } else {
@@ -507,11 +666,12 @@ impl<M, C> SimCore<M, C> {
     /// Route an event scheduled by node `origin` (consumes one of its
     /// sequence numbers — the deterministic tie-break).
     fn push_from(&mut self, origin: NodeId, target: NodeId, at: SimTime, ev: Ev<M, C>) {
+        let l = self.local(origin);
         let oseq = {
-            let s = &mut self.slots[origin.idx()];
-            debug_assert!(s.oseq < u32::MAX, "per-origin sequence overflow");
-            let q = s.oseq;
-            s.oseq += 1;
+            let h = &mut self.o().hot[l];
+            debug_assert!(h.oseq < u32::MAX, "per-origin sequence overflow");
+            let q = h.oseq;
+            h.oseq += 1;
             q
         };
         self.route(ev_key(origin.0, oseq), target, at, ev);
@@ -520,17 +680,20 @@ impl<M, C> SimCore<M, C> {
     /// Sample the one-way latency from `a` to `b`, drawing jitter from
     /// `origin`'s RNG (`origin` must be owned by this shard).
     fn lat(&mut self, origin: NodeId, a: NodeId, b: NodeId) -> Dur {
-        let ia = self.slots[a.idx()].region_idx as usize;
-        let ib = self.slots[b.idx()].region_idx as usize;
+        let ia = self.region_idx[a.idx()] as usize;
+        let ib = self.region_idx[b.idx()] as usize;
         let base = self.lat_base[ia * self.lat_dim + ib];
-        crate::latency::apply_jitter(base, self.lat_jitter, &mut self.slots[origin.idx()].rng)
+        let l = self.local(origin);
+        let jitter = self.lat_jitter;
+        crate::latency::apply_jitter(base, jitter, &mut self.o().hot[l].rng)
     }
 
-    /// Whether `a`'s half of a connection to `b` exists. At quiesce points
-    /// the fabric is symmetric; mid-handshake and mid-FIN it is
-    /// intentionally half-open, like real sockets.
+    /// Whether `a`'s half of a connection to `b` exists (`a` must be owned
+    /// by this shard). At quiesce points the fabric is symmetric;
+    /// mid-handshake and mid-FIN it is intentionally half-open, like real
+    /// sockets.
     pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
-        self.slots[a.idx()].conns.contains(b)
+        self.owned.conns.contains(self.local(a), b)
     }
 
     /// Whether the fabric lets `a` and `b` talk (partition check). Free
@@ -538,7 +701,7 @@ impl<M, C> SimCore<M, C> {
     /// `net_class` is replicated to every shard, so this never needs a
     /// cross-shard read.
     fn link_allowed(&self, a: NodeId, b: NodeId) -> bool {
-        self.partition_depth == 0 || self.slots[a.idx()].net_class == self.slots[b.idx()].net_class
+        self.partition_depth == 0 || self.net_class[a.idx()] == self.net_class[b.idx()]
     }
 
     /// Fold one processed event into the trace digest and bump its kind
@@ -638,27 +801,27 @@ impl<M, C> SimCore<M, C> {
 
     /// Number of registered nodes (online or not).
     pub fn node_count(&self) -> usize {
-        self.slots.len()
+        self.owner.len()
     }
 
     /// Whether a node is currently online (authoritative at its owner).
     pub fn is_online(&self, node: NodeId) -> bool {
-        self.slots[node.idx()].online
+        self.owned.hot[self.local(node)].flags & F_ONLINE != 0
     }
 
     /// Whether a node accepts direct inbound dials.
     pub fn is_dialable(&self, node: NodeId) -> bool {
-        self.slots[node.idx()].dialable
+        self.owned.hot[self.local(node)].flags & F_DIALABLE != 0
     }
 
     /// Whether a node has been retired by a [`Fault::Retire`].
     pub fn is_retired(&self, node: NodeId) -> bool {
-        self.slots[node.idx()].retired
+        self.owned.hot[self.local(node)].flags & F_RETIRED != 0
     }
 
     /// A node's partition class (0 unless re-classed by a fault).
     pub fn net_class(&self, node: NodeId) -> u16 {
-        self.slots[node.idx()].net_class
+        self.net_class[node.idx()]
     }
 
     /// Whether any partition is currently active.
@@ -668,23 +831,42 @@ impl<M, C> SimCore<M, C> {
 
     /// A node's current socket address (authoritative at its owner).
     pub fn addr(&self, node: NodeId) -> SocketAddrV4 {
-        self.slots[node.idx()].addr
+        self.owned.addr[self.local(node)]
     }
 
     /// A node's region.
     pub fn region(&self, node: NodeId) -> RegionId {
-        self.slots[node.idx()].region
+        self.owned.region[self.local(node)]
     }
 
     /// A node's open connections in ascending peer order, without
-    /// allocating (the table is kept sorted).
+    /// allocating (the pool windows are kept sorted).
     pub fn connections(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.slots[node.idx()].conns.peers()
+        self.owned.conns.peers(self.local(node))
     }
 
     /// Number of open connections.
     pub fn connection_count(&self, node: NodeId) -> usize {
-        self.slots[node.idx()].conns.len()
+        self.owned.conns.len(self.local(node))
+    }
+
+    /// Measured state split for this shard: replicated bytes vs owner-only
+    /// bytes, the latter classified as exclusive or fork-shared. Counted
+    /// from vector capacities — what the allocator actually reserved.
+    pub fn state_bytes(&self) -> StateBytes {
+        use std::mem::size_of;
+        let replica_bytes = (self.owner.capacity() * size_of::<u32>()
+            + self.net_class.capacity() * size_of::<u16>()
+            + self.region_idx.capacity() * size_of::<u16>()) as u64;
+        let owner_bytes = self.owned.bytes();
+        let shared = Arc::strong_count(&self.owned) > 1;
+        StateBytes {
+            nodes: self.owner.len() as u64,
+            owned_nodes: self.owned.len() as u64,
+            replica_bytes,
+            owned_bytes: if shared { 0 } else { owner_bytes },
+            shared_bytes: if shared { owner_bytes } else { 0 },
+        }
     }
 }
 
@@ -707,25 +889,29 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
 
     /// This node's socket address.
     pub fn my_addr(&self) -> SocketAddrV4 {
-        self.core.slots[self.me.idx()].addr
+        self.core.addr(self.me)
     }
 
     /// Whether this node accepts direct inbound dials (i.e. is publicly
     /// reachable rather than NAT-ed). Real nodes learn this via AutoNAT; we
     /// expose the engine's ground truth, which AutoNAT converges to anyway.
     pub fn i_am_dialable(&self) -> bool {
-        self.core.slots[self.me.idx()].dialable
+        self.core.is_dialable(self.me)
     }
 
     /// This node's deterministic RNG.
     pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.core.slots[self.me.idx()].rng
+        let l = self.core.local(self.me);
+        &mut self.core.o().hot[l].rng
     }
 
     /// Remote address of a *connected* peer, as captured from the
     /// handshake (what a TCP accept would show).
     pub fn addr_of(&self, peer: NodeId) -> Option<SocketAddrV4> {
-        self.core.slots[self.me.idx()].conns.get_addr(peer)
+        self.core
+            .owned
+            .conns
+            .get_addr(self.core.local(self.me), peer)
     }
 
     /// Whether we currently hold a connection to `peer`.
@@ -735,9 +921,10 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
 
     /// Whether the connection to `peer` was established through a relay.
     pub fn is_relayed(&self, peer: NodeId) -> bool {
-        self.core.slots[self.me.idx()]
+        self.core
+            .owned
             .conns
-            .get_relayed(peer)
+            .get_relayed(self.core.local(self.me), peer)
             .unwrap_or(false)
     }
 
@@ -780,7 +967,7 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
     pub fn dial(&mut self, target: NodeId) {
         let lat = self.core.lat(self.me, self.me, target);
         let at = self.core.now + lat;
-        let dialer_addr = self.core.slots[self.me.idx()].addr;
+        let dialer_addr = self.core.addr(self.me);
         self.core.push_from(
             self.me,
             target,
@@ -804,7 +991,7 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
     pub fn dial_via(&mut self, relay: NodeId, target: NodeId) {
         let l1 = self.core.lat(self.me, self.me, relay);
         let at = self.core.now + l1;
-        let dialer_addr = self.core.slots[self.me.idx()].addr;
+        let dialer_addr = self.core.addr(self.me);
         self.core.push_from(
             self.me,
             relay,
@@ -823,7 +1010,8 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
     /// closes immediately; the remote side learns of it when the FIN
     /// arrives, one link latency later.
     pub fn disconnect(&mut self, peer: NodeId) {
-        if self.core.slots[self.me.idx()].conns.remove(peer) {
+        let l = self.core.local(self.me);
+        if self.core.o().conns.remove(l, peer) {
             let lat = self.core.lat(self.me, self.me, peer);
             let at = self.core.now + lat;
             self.core.push_from(
@@ -913,7 +1101,8 @@ impl NodeSetup {
 /// One shard: its engine core plus the actors it owns.
 pub(crate) struct Shard<A: Actor> {
     pub(crate) core: SimCore<A::Msg, A::Cmd>,
-    /// Full-length; `Some` only at owned indices.
+    /// Dense, indexed by *local* index (owned nodes only); `None` only
+    /// while an actor is checked out for a callback.
     actors: Vec<Option<A>>,
 }
 
@@ -936,13 +1125,14 @@ impl<A: Actor> Shard<A> {
         node: NodeId,
         f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg, A::Cmd>) -> R,
     ) -> R {
-        let mut actor = self.actors[node.idx()].take().expect("actor re-entrancy");
+        let l = self.core.local(node);
+        let mut actor = self.actors[l].take().expect("actor re-entrancy");
         let mut ctx = Ctx {
             core: &mut self.core,
             me: node,
         };
         let r = f(&mut actor, &mut ctx);
-        self.actors[node.idx()] = Some(actor);
+        self.actors[l] = Some(actor);
         r
     }
 
@@ -964,6 +1154,7 @@ impl<A: Actor> Shard<A> {
         let (at, _key, ev) = self.core.queue.pop().expect("peeked");
         debug_assert!(at >= self.core.now, "time went backwards");
         self.core.now = at;
+        self.core.stats.dispatched += 1;
         if self.core.note_event(at, &ev) {
             self.core.stats.events += 1;
         }
@@ -976,14 +1167,15 @@ impl<A: Actor> Shard<A> {
             Ev::Deliver { from, to, msg } => {
                 // Receiver-side checks only: the receiver must be up and
                 // must still hold its half of the connection.
-                let slot = &self.core.slots[to.idx()];
-                if !slot.online || !slot.conns.contains(from) {
+                let tl = self.core.local(to);
+                let o = &self.core.owned;
+                if o.hot[tl].flags & F_ONLINE == 0 || !o.conns.contains(tl, from) {
                     self.core.stats.msgs_dropped += 1;
                     return;
                 }
                 if self.core.cfg.loss > 0.0 {
                     let loss = self.core.cfg.loss;
-                    if self.core.slots[to.idx()].rng.random_bool(loss) {
+                    if self.core.o().hot[tl].rng.random_bool(loss) {
                         self.core.stats.msgs_lost += 1;
                         return;
                     }
@@ -998,15 +1190,16 @@ impl<A: Actor> Shard<A> {
                 relayed,
                 started,
             } => {
+                let tl = self.core.local(target);
                 let ok = {
-                    let t = &self.core.slots[target.idx()];
-                    t.online
-                        && (relayed || t.dialable)
+                    let f = self.core.owned.hot[tl].flags;
+                    f & F_ONLINE != 0
+                        && (relayed || f & F_DIALABLE != 0)
                         && dialer != target
                         && self.core.link_allowed(dialer, target)
                 };
                 if ok {
-                    let target_addr = self.core.slots[target.idx()].addr;
+                    let target_addr = self.core.owned.addr[tl];
                     let back = self.core.lat(target, target, dialer);
                     let at = self.core.now + back;
                     self.core.push_from(
@@ -1034,9 +1227,7 @@ impl<A: Actor> Shard<A> {
                             relayed,
                         },
                     );
-                    self.core.slots[target.idx()]
-                        .pending_accepts
-                        .push((dialer, at));
+                    self.core.o().pending_accepts[tl].push((dialer, at));
                 } else {
                     // Unreachable targets look like silence: the dialer's
                     // timeout fires relative to when the dial started.
@@ -1065,9 +1256,11 @@ impl<A: Actor> Shard<A> {
                 // The relay forwards the circuit request based on its own
                 // state: it must be up, still hold the target connection,
                 // and be reachable from the dialer across any partition.
-                let r = &self.core.slots[relay.idx()];
-                let ok =
-                    r.online && r.conns.contains(target) && self.core.link_allowed(dialer, relay);
+                let rl = self.core.local(relay);
+                let o = &self.core.owned;
+                let ok = o.hot[rl].flags & F_ONLINE != 0
+                    && o.conns.contains(rl, target)
+                    && self.core.link_allowed(dialer, relay);
                 if ok {
                     let l2 = self.core.lat(relay, relay, target);
                     let at = self.core.now + l2;
@@ -1106,7 +1299,8 @@ impl<A: Actor> Shard<A> {
                 ok,
                 relayed,
             } => {
-                if !self.core.slots[dialer.idx()].online {
+                let dl = self.core.local(dialer);
+                if self.core.owned.hot[dl].flags & F_ONLINE == 0 {
                     return;
                 }
                 // A partition activated mid-handshake blocks the final ACK:
@@ -1119,9 +1313,7 @@ impl<A: Actor> Shard<A> {
                 if ok {
                     // The dialer's half opens when the handshake completes
                     // (the target's half opens at the same instant).
-                    self.core.slots[dialer.idx()]
-                        .conns
-                        .insert(target, relayed, target_addr);
+                    self.core.o().conns.insert(dl, target, relayed, target_addr);
                     self.core.stats.dials_ok += 1;
                 } else {
                     self.core.stats.dials_failed += 1;
@@ -1139,12 +1331,13 @@ impl<A: Actor> Shard<A> {
                 // shutdown, FIN-ed the dialer), so its absence means this
                 // accept belongs to a session that no longer exists — e.g.
                 // the target bounced and rejoined within the window.
-                let pending = &mut self.core.slots[target.idx()].pending_accepts;
+                let tl = self.core.local(target);
+                let pending = &mut self.core.o().pending_accepts[tl];
                 let Some(pos) = pending.iter().position(|&(d, _)| d == dialer) else {
                     return;
                 };
                 pending.remove(pos);
-                if !self.core.slots[target.idx()].online {
+                if self.core.owned.hot[tl].flags & F_ONLINE == 0 {
                     return;
                 }
                 // Mirror of the DialOutcome partition check: a split that
@@ -1153,24 +1346,22 @@ impl<A: Actor> Shard<A> {
                 if !self.core.link_allowed(dialer, target) {
                     return;
                 }
-                if !self.core.slots[target.idx()].conns.contains(dialer) {
-                    self.core.slots[target.idx()]
-                        .conns
-                        .insert(dialer, relayed, dialer_addr);
+                if !self.core.owned.conns.contains(tl, dialer) {
+                    self.core.o().conns.insert(tl, dialer, relayed, dialer_addr);
                     self.with_actor(target, |a, ctx| {
                         a.on_inbound_connection(ctx, dialer, relayed)
                     });
                 }
             }
             Ev::Timer { node, token } => {
-                if !self.core.slots[node.idx()].online {
+                if !self.core.is_online(node) {
                     return;
                 }
                 self.core.stats.timers_fired += 1;
                 self.with_actor(node, |a, ctx| a.on_timer(ctx, token));
             }
             Ev::Command { node, cmd } => {
-                if !self.core.slots[node.idx()].online {
+                if !self.core.is_online(node) {
                     self.core.stats.commands_dropped += 1;
                     return;
                 }
@@ -1178,25 +1369,28 @@ impl<A: Actor> Shard<A> {
                 self.with_actor(node, |a, ctx| a.on_command(ctx, cmd));
             }
             Ev::NodeUp { node, addr } => {
-                if self.core.slots[node.idx()].online || self.core.slots[node.idx()].retired {
+                let l = self.core.local(node);
+                if self.core.owned.hot[l].flags & (F_ONLINE | F_RETIRED) != 0 {
                     return;
                 }
+                let o = self.core.o();
                 if let Some(addr) = addr {
-                    self.core.slots[node.idx()].addr = addr;
+                    o.addr[l] = addr;
                 }
-                self.core.slots[node.idx()].online = true;
+                o.hot[l].flags |= F_ONLINE;
                 self.with_actor(node, |a, ctx| a.on_start(ctx));
             }
             Ev::NodeDown { node } => {
-                if !self.core.slots[node.idx()].online {
+                let l = self.core.local(node);
+                if self.core.owned.hot[l].flags & F_ONLINE == 0 {
                     return;
                 }
                 self.with_actor(node, |a, ctx| a.on_stop(ctx));
-                self.core.slots[node.idx()].online = false;
+                self.core.o().hot[l].flags &= !F_ONLINE;
                 // Our halves close now; each peer gets a FIN one link
-                // latency later (ascending peer order — the table is
+                // latency later (ascending peer order — the pool window is
                 // sorted, so the latency draw sequence is deterministic).
-                for entry in self.core.slots[node.idx()].conns.take_all() {
+                for entry in self.core.o().conns.take_all(l) {
                     let p = entry.peer;
                     let lat = self.core.lat(node, node, p);
                     let at = self.core.now + lat;
@@ -1214,7 +1408,7 @@ impl<A: Actor> Shard<A> {
                 // earlier than the dialer's DialOutcome, so a dial that
                 // reported success against a dying target is closed right
                 // after it opens instead of leaking a stale half.
-                let pending = std::mem::take(&mut self.core.slots[node.idx()].pending_accepts);
+                let pending = std::mem::take(&mut self.core.o().pending_accepts[l]);
                 for (dialer, outcome_at) in pending {
                     let lat = self.core.lat(node, node, dialer);
                     let at = (self.core.now + lat).max(outcome_at);
@@ -1230,13 +1424,14 @@ impl<A: Actor> Shard<A> {
                 }
             }
             Ev::ConnClosed { node, peer } => {
-                if !self.core.slots[node.idx()].online {
+                let l = self.core.local(node);
+                if self.core.owned.hot[l].flags & F_ONLINE == 0 {
                     return;
                 }
                 // FIN arrival: close our half if it is still open. A half
                 // already gone (we disconnected concurrently, or a kill
                 // swept it) is swallowed — both ends already knew.
-                if self.core.slots[node.idx()].conns.remove(peer) {
+                if self.core.o().conns.remove(l, peer) {
                     self.with_actor(node, |a, ctx| a.on_connection_closed(ctx, peer));
                 }
             }
@@ -1262,24 +1457,27 @@ impl<A: Actor> Shard<A> {
                 // kill relies on. Bounded, deterministic, and identical
                 // for every shard count.
                 if primary {
-                    self.core.slots[node.idx()].online = false;
-                    self.core.slots[node.idx()].conns = ConnTable::new();
-                    self.core.slots[node.idx()].pending_accepts.clear();
+                    let l = self.core.local(node);
+                    let o = self.core.o();
+                    o.hot[l].flags &= !F_ONLINE;
+                    o.conns.clear(l);
+                    o.pending_accepts[l].clear();
                 }
-                let me = self.core.shard;
-                for i in 0..self.core.slots.len() {
-                    if i != node.idx() && self.core.shard_of[i] == me {
-                        self.core.slots[i].conns.remove(node);
+                let o = self.core.o();
+                for l in 0..o.ids.len() {
+                    if o.ids[l] != node {
+                        o.conns.remove(l, node);
                     }
                 }
             }
             Fault::Retire { node } => {
-                self.core.slots[node.idx()].retired = true;
+                let l = self.core.local(node);
+                self.core.o().hot[l].flags |= F_RETIRED;
             }
             Fault::SetNetClass { node, class } => {
                 // Replicated on every shard: partition checks must never
                 // read across a shard boundary.
-                self.core.slots[node.idx()].net_class = class;
+                self.core.net_class[node.idx()] = class;
             }
             Fault::Partition { active } => {
                 if !active {
@@ -1288,20 +1486,20 @@ impl<A: Actor> Shard<A> {
                 }
                 self.core.partition_depth += 1;
                 // Sever every crossing connection held by an owned node, in
-                // ascending (node, peer) order. The closure itself happens
-                // through zero-delay local ConnClosed events, so the actor
-                // callback ordering is deterministic and shard-invariant;
-                // the peer's side runs the same sweep on its own shard at
-                // the same virtual instant.
-                let me = self.core.shard;
-                for i in 0..self.core.slots.len() {
-                    if self.core.shard_of[i] != me {
-                        continue;
-                    }
-                    let a = NodeId(i as u32);
+                // ascending (node, peer) order — local indices are appended
+                // in ascending global-id order, so walking them is the same
+                // sweep the array-of-structs layout did. The closure itself
+                // happens through zero-delay local ConnClosed events, so
+                // the actor callback ordering is deterministic and
+                // shard-invariant; the peer's side runs the same sweep on
+                // its own shard at the same virtual instant.
+                for l in 0..self.core.owned.len() {
+                    let a = self.core.owned.ids[l];
                     let crossing: Vec<NodeId> = self
                         .core
-                        .connections(a)
+                        .owned
+                        .conns
+                        .peers(l)
                         .filter(|&b| !self.core.link_allowed(a, b))
                         .collect();
                     for b in crossing {
@@ -1334,7 +1532,11 @@ pub struct Sim<A: Actor> {
 /// replays the identical future for the same harness calls, and whatever
 /// is done to it leaves the original untouched — the primitive behind
 /// mid-campaign observatory samples (crawls, probes) that must not
-/// perturb the main trace.
+/// perturb the main trace. The owner-only engine columns (RNGs,
+/// connection slabs, flags, addresses) are *shared* copy-on-write: the
+/// clone itself is O(queued events + replica columns), and a shard's
+/// owner state is deep-copied only when the fork (or, while the fork is
+/// alive, the original) first writes it.
 impl<A: Actor + Clone> Clone for Sim<A>
 where
     A::Msg: Clone,
@@ -1367,7 +1569,7 @@ impl<'a, A: Actor> CoreView<'a, A> {
 
     /// Number of registered nodes (online or not).
     pub fn node_count(&self) -> usize {
-        self.sim.shards[0].core.slots.len()
+        self.sim.shards[0].core.node_count()
     }
 
     /// Merged run digest (per-shard digests folded in shard order).
@@ -1444,7 +1646,7 @@ impl<A: Actor> Sim<A> {
         seed: u64,
         n_shards: usize,
     ) -> Sim<A> {
-        let n_shards = n_shards.clamp(1, u16::MAX as usize);
+        let n_shards = n_shards.clamp(1, MAX_SHARDS);
         let (lat_base, lat_dim) = latency.to_flat();
         let shards = (0..n_shards)
             .map(|s| Shard {
@@ -1453,8 +1655,10 @@ impl<A: Actor> Sim<A> {
                     shard: s as u16,
                     now: SimTime::ZERO,
                     queue: TimerWheel::new(),
-                    slots: Vec::new(),
-                    shard_of: Vec::new(),
+                    owner: Vec::new(),
+                    net_class: Vec::new(),
+                    region_idx: Vec::new(),
+                    owned: Arc::new(OwnedColumns::default()),
                     lat_base: lat_base.clone(),
                     lat_dim,
                     lat_jitter: latency.jitter(),
@@ -1481,7 +1685,7 @@ impl<A: Actor> Sim<A> {
     }
 
     fn owner_core(&self, node: NodeId) -> &SimCore<A::Msg, A::Cmd> {
-        let s = self.shards[0].core.shard_of[node.idx()];
+        let s = self.shards[0].core.shard_of(node);
         &self.shards[s as usize].core
     }
 
@@ -1504,28 +1708,36 @@ impl<A: Actor> Sim<A> {
     /// Register a node in an explicit shard.
     pub fn add_node_in(&mut self, actor: A, setup: NodeSetup, shard: u16) -> NodeId {
         assert!((shard as usize) < self.shards.len(), "shard out of range");
-        let id = NodeId(self.shards[0].core.slots.len() as u32);
+        let id = NodeId(self.shards[0].core.node_count() as u32);
         let lat_dim = self.shards[0].core.lat_dim;
         let region_idx = (setup.region.0 as usize).min(lat_dim - 1) as u16;
-        let state = NodeState {
-            online: false,
-            dialable: setup.dialable,
-            retired: false,
-            net_class: 0,
-            addr: setup.addr,
-            region: setup.region,
-            region_idx,
-            conns: ConnTable::new(),
-            rng: StdRng::seed_from_u64(node_seed(self.seed, id.0)),
-            oseq: 0,
-            pending_accepts: Vec::new(),
-        };
+        let local = self.shards[shard as usize].core.owned.len();
+        assert!(
+            local < LOCAL_MASK as usize,
+            "per-shard node capacity exceeded ({} nodes)",
+            LOCAL_MASK
+        );
+        let packed = ((shard as u32) << LOCAL_BITS) | local as u32;
         for sh in self.shards.iter_mut() {
-            sh.core.slots.push(state.clone());
-            sh.core.shard_of.push(shard);
-            sh.actors.push(None);
+            sh.core.owner.push(packed);
+            sh.core.net_class.push(0);
+            sh.core.region_idx.push(region_idx);
         }
-        self.shards[shard as usize].actors[id.idx()] = Some(actor);
+        {
+            let sh = &mut self.shards[shard as usize];
+            let o = sh.core.o();
+            o.ids.push(id);
+            o.hot.push(HotNode {
+                rng: StdRng::seed_from_u64(node_seed(self.seed, id.0)),
+                oseq: 0,
+                flags: if setup.dialable { F_DIALABLE } else { 0 },
+            });
+            o.addr.push(setup.addr);
+            o.region.push(setup.region);
+            o.pending_accepts.push(Vec::new());
+            o.conns.push_node();
+            sh.actors.push(Some(actor));
+        }
         self.lookahead_cache = None;
         if setup.online {
             let k = self.next_harness_key();
@@ -1541,6 +1753,55 @@ impl<A: Actor> Sim<A> {
             );
         }
         id
+    }
+
+    /// Pre-size the per-node columns for a population of `total` nodes
+    /// (exact-fit for the replicated columns, so the measured
+    /// per-extra-shard replica cost is exactly 8 bytes × nodes; the
+    /// owner-only columns are sized for an even split and grow
+    /// geometrically past it).
+    pub fn reserve_nodes(&mut self, total: usize) {
+        let per_shard = total / self.shards.len() + 1;
+        for sh in self.shards.iter_mut() {
+            let add = total.saturating_sub(sh.core.owner.len());
+            sh.core.owner.reserve_exact(add);
+            sh.core.net_class.reserve_exact(add);
+            sh.core.region_idx.reserve_exact(add);
+            let have = sh.core.owned.len();
+            let oadd = per_shard.saturating_sub(have);
+            let o = sh.core.o();
+            o.ids.reserve(oadd);
+            o.hot.reserve(oadd);
+            o.addr.reserve(oadd);
+            o.region.reserve(oadd);
+            o.pending_accepts.reserve(oadd);
+            o.conns.reserve_nodes(per_shard);
+            sh.actors.reserve(oadd);
+        }
+    }
+
+    /// Per-shard load and memory accounting: owned nodes, dispatched
+    /// events (including broadcast fault replicas), and the measured
+    /// replica/owner byte split. Index = shard id.
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .map(|sh| ShardLoad {
+                shard: sh.core.shard,
+                dispatched: sh.core.stats.dispatched,
+                state: sh.core.state_bytes(),
+            })
+            .collect()
+    }
+
+    /// Whole-engine state accounting (per-shard [`SimCore::state_bytes`]
+    /// folded together).
+    pub fn state_bytes(&self) -> StateBytes {
+        let mut agg = StateBytes::default();
+        for sh in &self.shards {
+            agg.add(&sh.core.state_bytes());
+        }
+        agg
     }
 
     /// Merged engine view (harness-side oracle: addresses, liveness,
@@ -1577,24 +1838,32 @@ impl<A: Actor> Sim<A> {
 
     /// Immutable actor accessor (e.g. to read a monitor's log after a run).
     pub fn actor(&self, node: NodeId) -> &A {
-        let s = self.shards[0].core.shard_of[node.idx()];
-        self.shards[s as usize].actors[node.idx()]
+        let s = self.shards[0].core.shard_of(node) as usize;
+        let l = self.shards[s].core.local(node);
+        self.shards[s].actors[l]
             .as_ref()
             .expect("actor checked out")
     }
 
     /// Mutable actor accessor (harness-side configuration between runs).
     pub fn actor_mut(&mut self, node: NodeId) -> &mut A {
-        let s = self.shards[0].core.shard_of[node.idx()];
-        self.shards[s as usize].actors[node.idx()]
+        let s = self.shards[0].core.shard_of(node) as usize;
+        let l = self.shards[s].core.local(node);
+        self.shards[s].actors[l]
             .as_mut()
             .expect("actor checked out")
     }
 
     /// Change a node's dialability (e.g. it acquired a public IP).
     pub fn set_dialable(&mut self, node: NodeId, dialable: bool) {
-        let s = self.shards[0].core.shard_of[node.idx()];
-        self.shards[s as usize].core.slots[node.idx()].dialable = dialable;
+        let s = self.shards[0].core.shard_of(node) as usize;
+        let core = &mut self.shards[s].core;
+        let l = core.local(node);
+        if dialable {
+            core.o().hot[l].flags |= F_DIALABLE;
+        } else {
+            core.o().hot[l].flags &= !F_DIALABLE;
+        }
     }
 
     /// Open a connection between `a` and `b` directly (both halves, with
@@ -1603,19 +1872,19 @@ impl<A: Actor> Sim<A> {
     pub fn connect_pair(&mut self, a: NodeId, b: NodeId, relayed: bool) {
         let addr_a = self.owner_core(a).addr(a);
         let addr_b = self.owner_core(b).addr(b);
-        let sa = self.shards[0].core.shard_of[a.idx()] as usize;
-        let sb = self.shards[0].core.shard_of[b.idx()] as usize;
-        self.shards[sa].core.slots[a.idx()]
-            .conns
-            .insert(b, relayed, addr_b);
-        self.shards[sb].core.slots[b.idx()]
-            .conns
-            .insert(a, relayed, addr_a);
+        let sa = self.shards[0].core.shard_of(a) as usize;
+        let sb = self.shards[0].core.shard_of(b) as usize;
+        let ca = &mut self.shards[sa].core;
+        let la = ca.local(a);
+        ca.o().conns.insert(la, b, relayed, addr_b);
+        let cb = &mut self.shards[sb].core;
+        let lb = cb.local(b);
+        cb.o().conns.insert(lb, a, relayed, addr_a);
     }
 
     fn push_harness(&mut self, target: NodeId, at: SimTime, ev: Ev<A::Msg, A::Cmd>) {
         let k = self.next_harness_key();
-        let s = self.shards[0].core.shard_of[target.idx()] as usize;
+        let s = self.shards[0].core.shard_of(target) as usize;
         let sh = &mut self.shards[s];
         let at = at.max(sh.core.now);
         sh.core.enqueue_local(at, k, ev);
@@ -1644,7 +1913,7 @@ impl<A: Actor> Sim<A> {
     /// harness key; the owning shard's copy is the counted one.
     pub fn schedule_fault(&mut self, at: SimTime, fault: Fault) {
         let k = self.next_harness_key();
-        let owner = |sim: &Sim<A>, node: NodeId| sim.shards[0].core.shard_of[node.idx()];
+        let owner = |sim: &Sim<A>, node: NodeId| sim.shards[0].core.shard_of(node);
         let (broadcast, primary_shard) = match fault {
             Fault::Retire { node } => (false, owner(self, node)),
             Fault::Kill { node } | Fault::SetNetClass { node, .. } => (true, owner(self, node)),
@@ -1690,8 +1959,8 @@ impl<A: Actor> Sim<A> {
         let dim = core0.lat_dim;
         // Region occupancy per shard.
         let mut occupied = vec![vec![false; dim]; n];
-        for (i, slot) in core0.slots.iter().enumerate() {
-            occupied[core0.shard_of[i] as usize][slot.region_idx as usize] = true;
+        for (i, &packed) in core0.owner.iter().enumerate() {
+            occupied[(packed >> LOCAL_BITS) as usize][core0.region_idx[i] as usize] = true;
         }
         let mut min_base: Option<Dur> = None;
         for s1 in 0..n {
@@ -1876,7 +2145,7 @@ mod tests {
         node: NodeId,
         f: impl FnOnce(&mut Ctx<'_, u32, &'static str>) -> R,
     ) -> R {
-        let shard = s.shards[0].core.shard_of[node.idx()] as usize;
+        let shard = s.shards[0].core.shard_of(node) as usize;
         let mut ctx = Ctx {
             core: &mut s.shards[shard].core,
             me: node,

@@ -8,11 +8,16 @@
 //! paper's tools were ordinary participants of the real network.
 //!
 //! Built for scale: nodes partition into shards, each with its own
-//! hierarchical timer wheel ([`wheel`]) and connection-table slice, run by
-//! one worker thread per shard under conservative epoch synchronization
-//! (`shard` — cross-shard events ride per-pair mailboxes, bounded by the
-//! minimum cross-shard link latency). Per-node connection halves are
-//! sorted small-vec tables ([`conn`]) iterated without allocation; latency
+//! hierarchical timer wheel ([`wheel`]) and slab-allocated connection pool
+//! slice, run by one worker thread per shard under conservative epoch
+//! synchronization (`shard` — cross-shard events ride per-pair mailboxes,
+//! bounded by the minimum cross-shard link latency). Per-node state is
+//! struct-of-arrays: non-owner shards replicate only 8 bytes per node
+//! (owner handle, partition class, region index), while owner-only columns
+//! — RNGs, liveness, sorted connection windows of the per-shard
+//! [`conn::ConnPool`] slab — live densely at the owning shard behind a
+//! copy-on-write [`std::sync::Arc`] that makes engine forks O(queue), not
+//! O(nodes) ([`engine::StateBytes`] reports the measured split). Latency
 //! sampling reads a flattened region matrix. See [`engine`] for the
 //! scheduler layout and the shard-invariant determinism contract
 //! ([`Sim::trace_digest`] folds every processed event into a commutative
@@ -31,10 +36,10 @@ pub mod time;
 pub mod wheel;
 
 pub use churn::{ChurnModel, LogNormal};
-pub use conn::{ConnEntry, ConnTable};
+pub use conn::{ConnEntry, ConnPool, ConnTable};
 pub use engine::{
-    shard_for, Actor, CoreView, Ctx, EventKindCounts, Fault, NodeId, NodeSetup, Sim, SimConfig,
-    SimCore, SimStats,
+    shard_for, Actor, CoreView, Ctx, EventKindCounts, Fault, NodeId, NodeSetup, ShardLoad, Sim,
+    SimConfig, SimCore, SimStats, StateBytes, MAX_SHARDS,
 };
 pub use latency::{LatencyModel, RegionId};
 pub use time::{Dur, SimTime};

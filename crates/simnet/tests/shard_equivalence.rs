@@ -215,6 +215,61 @@ fn shard_counts_agree_with_faults_and_relays() {
     assert_eq!(one, run(7, 0xBEEF, true, 5), "7 shards ≠ 1 shard");
 }
 
+/// The struct-of-arrays memory contract: non-owner shards replicate only
+/// the compact columns (owner handle u32 + net-class u16 + region u16 =
+/// 8 bytes/node), so adding shards costs O(nodes), not O(nodes × 300B).
+/// With an exact reservation the bound is tight: replica capacity == len.
+#[test]
+fn replica_bytes_stay_o_nodes() {
+    let mut single_total = 0u64;
+    for shards in [1usize, 2, 4] {
+        let mut s: Sim<Chatter> = Sim::new_sharded(
+            SimConfig::default(),
+            LatencyModel::continents(4, Dur::from_millis(11), Dur::from_millis(87), 0.3),
+            7,
+            shards,
+        );
+        s.reserve_nodes(POP as usize);
+        for i in 0..POP {
+            let setup = NodeSetup::public(Ipv4Addr::new(10, 1, (i / 256) as u8, (i % 256) as u8))
+                .in_region(RegionId((i % 4) as u16));
+            let id = s.add_node(Chatter::default(), setup);
+            s.schedule_command(
+                SimTime::ZERO + Dur::from_millis(i as u64),
+                id,
+                Cmd::DialRing,
+            );
+        }
+        s.run_for(Dur::from_mins(30));
+        let loads = s.shard_loads();
+        assert_eq!(loads.len(), shards);
+        let owned: u64 = loads.iter().map(|l| l.state.owned_nodes).sum();
+        assert_eq!(owned, POP as u64, "every node owned exactly once");
+        let dispatched: u64 = loads.iter().map(|l| l.dispatched).sum();
+        assert!(dispatched >= s.stats().events, "dispatched covers events");
+        for l in &loads {
+            // ≤ 8 bytes × nodes per shard replica — the O(nodes) claim.
+            assert!(
+                l.state.replica_bytes <= 8 * POP as u64,
+                "shard {} replica {}B > 8B × {POP} nodes",
+                l.shard,
+                l.state.replica_bytes
+            );
+            assert_eq!(l.state.shared_bytes, 0, "no fork alive");
+        }
+        let total: u64 = loads.iter().map(|l| l.state.replica_bytes).sum();
+        if shards == 1 {
+            single_total = total;
+        } else {
+            // Each extra shard adds at most 8 bytes × nodes of replicas.
+            assert!(
+                total - single_total <= 8 * POP as u64 * (shards as u64 - 1),
+                "extra-shard replica cost too high: {total} vs {single_total}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
