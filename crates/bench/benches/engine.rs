@@ -161,13 +161,17 @@ fn json_line(name: &str, stats: &SimStats, wall: f64) -> String {
 /// the struct-of-arrays accounting: replicated columns cost a fixed
 /// 8 B/node on every shard (the O(nodes) claim, measured), owner-only
 /// columns exist exactly once across the whole engine.
+/// `sync_overhead_only` flags rows where the host had fewer cores than
+/// shards, so the wall-clock measures barrier/mailbox overhead rather
+/// than parallel speedup — readers (and regression tooling) should not
+/// interpret such a row as a scaling data point.
 fn measure_campaign_slice(
     key: &str,
     cfg: netgen::ScenarioConfig,
     n: usize,
     horizon: Dur,
     base_wall: f64,
-) -> (String, f64) {
+) -> (String, f64, u64) {
     let scenario = netgen::build(cfg.with_shards(n));
     let mut campaign = tcsb_core::Campaign::new(
         scenario,
@@ -187,25 +191,29 @@ fn measure_campaign_slice(
         1.0
     };
     let nodes = state.nodes.max(1);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let digest = campaign.sim.trace_digest();
     let line = format!(
         "  \"{key}_shards{n}\": {{ \"events\": {}, \"wall_secs\": {:.3}, \
 \"events_per_sec\": {:.0}, \"peak_queue_len\": {}, \"msgs_delivered\": {}, \
-\"digest\": \"{:#018x}\", \"speedup_vs_1shard\": {:.2}, \"nodes\": {}, \
+\"digest\": \"{digest:#018x}\", \"speedup_vs_1shard\": {:.2}, \"nodes\": {}, \
 \"replica_bytes\": {}, \"replica_bytes_per_node_per_shard\": {:.2}, \
-\"owned_bytes\": {} }}",
+\"owned_bytes\": {}, \"sync_overhead_only\": {} }}",
         stats.events,
         wall,
         stats.events as f64 / wall.max(1e-9),
         stats.peak_queue_len,
         stats.msgs_delivered,
-        campaign.sim.trace_digest(),
         speedup,
         state.nodes,
         state.replica_bytes,
         state.replica_bytes as f64 / (nodes * n as u64) as f64,
         state.owned_bytes,
+        host_cpus < n,
     );
-    (line, wall)
+    (line, wall, digest)
 }
 
 fn write_engine_json() {
@@ -233,12 +241,35 @@ fn write_engine_json() {
     let stress = netgen::ScenarioConfig::stress(7);
     let key = "campaign_stress_6h";
     let hours6 = Dur::from_hours(6);
-    let (s1, base_wall) = measure_campaign_slice(key, stress.clone(), 1, hours6, 0.0);
-    let (s2, _) = measure_campaign_slice(key, stress.clone(), 2, hours6, base_wall);
-    let (s4, _) = measure_campaign_slice(key, stress, 4, hours6, base_wall);
+    let (s1, base_wall, base_digest) = measure_campaign_slice(key, stress.clone(), 1, hours6, 0.0);
+    let (s2, _, _) = measure_campaign_slice(key, stress.clone(), 2, hours6, base_wall);
+    let (s4, _, _) = measure_campaign_slice(key, stress.clone(), 4, hours6, base_wall);
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    // Telemetry overhead: the identical 1-shard stress slice with the
+    // metrics registry live. The digest must not move — the
+    // zero-perturbation contract, asserted right here so a perf run that
+    // breaks it fails loudly — and `overhead_pct` is the price of the
+    // flight recorder (acceptance: ≤ 5%).
+    telemetry::reset();
+    telemetry::set_enabled(true);
+    let (_, telem_wall, telem_digest) =
+        measure_campaign_slice("campaign_stress_6h_telemetry", stress, 1, hours6, base_wall);
+    telemetry::set_enabled(false);
+    telemetry::reset();
+    assert_eq!(
+        telem_digest, base_digest,
+        "telemetry-enabled stress run perturbed the trace digest"
+    );
+    let telemetry_row = format!(
+        "  \"campaign_stress_6h_telemetry_shards1\": {{ \"baseline_wall_secs\": {:.3}, \
+\"telemetry_wall_secs\": {:.3}, \"overhead_pct\": {:.1}, \"digest_matches_baseline\": true }}",
+        base_wall,
+        telem_wall,
+        (telem_wall / base_wall.max(1e-9) - 1.0) * 100.0,
+    );
 
     // Internet-scale row (~1M nodes): opt-in via TCSB_BENCH_INTERNET=1 —
     // the nightly workflow sets it; PR CI stays fast without it.
@@ -248,7 +279,7 @@ fn write_engine_json() {
             .and_then(|v| v.parse().ok())
             .filter(|&v| v >= 1)
             .unwrap_or(1usize);
-        let (row, _) = measure_campaign_slice(
+        let (row, _, _) = measure_campaign_slice(
             "campaign_internet_1h",
             netgen::ScenarioConfig::internet(7),
             n,
@@ -261,13 +292,14 @@ fn write_engine_json() {
     };
 
     let body = format!(
-        "{{\n  \"schema\": \"tcsb-bench-engine/3\",\n  \"host_cpus\": {host_cpus},\n{},\n{},\n{},\n{},\n{},\n{}{}\n}}\n",
+        "{{\n  \"schema\": \"tcsb-bench-engine/4\",\n  \"host_cpus\": {host_cpus},\n{},\n{},\n{},\n{},\n{},\n{},\n{}{}\n}}\n",
         json_line("pingpong_512pairs_60s", &pp_stats, pp_wall),
         json_line("timer_storm_1024_10min", &st_stats, st_wall),
         json_line("campaign_tiny_12h", &camp_stats, camp_wall),
         s1,
         s2,
         s4,
+        telemetry_row,
         internet_row,
     );
     // `cargo bench` runs with the package dir as CWD; anchor the file at the

@@ -316,7 +316,7 @@ impl Bitswap {
 
     fn on_blocks(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         from: PeerId,
         blocks: Vec<Block>,
         store: &mut MemoryBlockstore,
@@ -335,6 +335,11 @@ impl Bitswap {
             if let Some(s) = self.sessions.get_mut(&b.cid) {
                 if !s.done {
                     s.done = true;
+                    telemetry::count(telemetry::Counter::BitswapFetchesResolved, 1);
+                    telemetry::observe(
+                        telemetry::Metric::WantResolutionNs,
+                        now.0.saturating_sub(s.started.0),
+                    );
                     out.received.push((b.cid, from));
                     let mut asked: Vec<PeerId> = s.asked.iter().copied().collect();
                     asked.sort();

@@ -393,15 +393,16 @@ impl Campaign {
     pub fn crawl(&mut self, max_wait: Dur) -> usize {
         self.crawl_seq += 1;
         let seeds = self.bootstrap_pairs();
+        let started = self.sim.core().now();
         self.sim.schedule_command(
-            self.sim.core().now(),
+            started,
             self.crawler,
             EcoCmd::Crawler(CrawlerCmd::Start {
                 id: self.crawl_seq,
                 seeds,
             }),
         );
-        let deadline = self.sim.core().now() + max_wait;
+        let deadline = started + max_wait;
         loop {
             self.sim.run_for(Dur::from_secs(10));
             let done = !self.sim.actor(self.crawler).crawler().is_active();
@@ -409,7 +410,15 @@ impl Campaign {
                 break;
             }
         }
-        self.sim.actor(self.crawler).crawler().snapshots.len() - 1
+        let snap = self.sim.actor(self.crawler).crawler().snapshots.len() - 1;
+        telemetry::flight::span(
+            started.0,
+            self.sim.core().now().0.saturating_sub(started.0),
+            "crawl",
+            format!("crawl-{}", self.crawl_seq),
+            self.snapshots()[snap].peers.len() as u64,
+        );
+        snap
     }
 
     /// All crawl snapshots so far.
@@ -469,6 +478,17 @@ impl Campaign {
         spacing: Dur,
     ) -> Vec<ResolvedProviders> {
         let t0 = self.sim.core().now();
+        telemetry::flight::span(
+            t0.0,
+            0,
+            "probe",
+            if exhaustive {
+                "resolve-exhaustive"
+            } else {
+                "resolve"
+            },
+            cids.len() as u64,
+        );
         for (i, cid) in cids.iter().enumerate() {
             self.sim.schedule_command(
                 t0 + spacing * (i as u64),

@@ -8,9 +8,17 @@
 //! repro whatif-cloud-exit                     # counterfactual sweep
 //! repro engine                                # scheduler counters only
 //! repro budget                                # deterministic per-shard budget
+//! repro telemetry                             # deterministic metrics registry snapshot
 //! ```
 
-use experiments::{crawl_exp, entry_exp, recovery_exp, resilience_exp, traffic_exp, Scale, SCALES};
+//! With `--telemetry` (or `TCSB_TELEMETRY=1`) every run also records the
+//! flight recorder and the per-shard epoch profiler; `--flight-out` /
+//! `--profile-out` write them out. The trace digest is byte-identical with
+//! telemetry on or off.
+
+use experiments::{
+    crawl_exp, entry_exp, recovery_exp, resilience_exp, telemetry_exp, traffic_exp, Scale, SCALES,
+};
 
 /// Every producible artefact: `(name, what it regenerates)`.
 const ARTEFACTS: &[(&str, &str)] = &[
@@ -51,6 +59,10 @@ const ARTEFACTS: &[(&str, &str)] = &[
         "budget",
         "deterministic per-shard state/load budget for the crawl campaign (CI expectation diff)",
     ),
+    (
+        "telemetry",
+        "deterministic virtual-time metrics registry snapshot of the crawl campaign (CI expectation diff)",
+    ),
 ];
 
 fn print_list() {
@@ -60,10 +72,17 @@ fn print_list() {
     }
     let scales: Vec<&str> = SCALES.iter().map(|s| s.name()).collect();
     println!("\nscales: {} (default: small)", scales.join(", "));
-    println!("flags:  --scale <s>  --seed <u64>  --shards <n>  --md <path (with `all`)>");
+    println!(
+        "flags:  --scale <s>  --seed <u64>  --shards <n>  --md <path (with `all`)>\n\
+         --telemetry  --flight-out <path>  --profile-out <path>"
+    );
     println!(
         "        --shards N runs the engine on N cores (default 1, or TCSB_SHARDS);\n\
-         all tables and digests are byte-identical for every shard count"
+         all tables and digests are byte-identical for every shard count.\n\
+         --telemetry (or TCSB_TELEMETRY=1) turns on the zero-perturbation\n\
+         telemetry: the flight recorder (--flight-out, JSONL; also dumped on\n\
+         panic) and the per-shard epoch profiler (--profile-out, Chrome\n\
+         trace-event JSON — open in Perfetto). Digests are unchanged."
     );
 }
 
@@ -90,7 +109,7 @@ fn main() {
         eprintln!("error: unknown artefact {cmd:?}");
         eprintln!(
             "       known artefacts: all, table1, stats, fig03..fig20, \
-whatif-cloud-exit, whatif-recovery, engine, budget"
+whatif-cloud-exit, whatif-recovery, engine, budget, telemetry"
         );
         eprintln!("       run `repro list` for the full annotated index");
         std::process::exit(2);
@@ -99,6 +118,9 @@ whatif-cloud-exit, whatif-recovery, engine, budget"
     let mut seed = 42u64;
     let mut shards = 0usize; // 0 = auto (TCSB_SHARDS or 1)
     let mut md_path: Option<String> = None;
+    let mut telemetry_on = telemetry::env_requested();
+    let mut flight_out: Option<String> = None;
+    let mut profile_out: Option<String> = None;
     let mut i = 1;
     let value_of = |args: &[String], i: usize| -> String {
         args.get(i + 1).cloned().unwrap_or_else(|| {
@@ -142,12 +164,36 @@ whatif-cloud-exit, whatif-recovery, engine, budget"
                 md_path = Some(value_of(&args, i));
                 i += 2;
             }
+            "--telemetry" => {
+                telemetry_on = true;
+                i += 1;
+            }
+            "--flight-out" => {
+                flight_out = Some(value_of(&args, i));
+                telemetry_on = true;
+                i += 2;
+            }
+            "--profile-out" => {
+                profile_out = Some(value_of(&args, i));
+                telemetry_on = true;
+                i += 2;
+            }
             other => {
                 eprintln!("error: unknown flag {other}");
                 usage_and_exit();
             }
         }
     }
+
+    telemetry::set_enabled(telemetry_on);
+    // Post-mortem trace for failed runs (a nightly internet-scale panic
+    // leaves spans, not just a backtrace). Dumps only if spans exist.
+    telemetry::install_panic_hook(
+        flight_out
+            .clone()
+            .unwrap_or_else(|| "flight-recorder.jsonl".to_string())
+            .as_str(),
+    );
 
     match cmd.as_str() {
         "all" => {
@@ -205,15 +251,34 @@ whatif-cloud-exit, whatif-recovery, engine, budget"
             println!("events {}", data.engine.events);
             for l in &data.loads {
                 println!(
-                    "s{} owned_nodes={} dispatched={} replica_bytes={} owned_bytes={} shared_bytes={}",
+                    "s{} owned_nodes={} dispatched={} replica_bytes={} owned_bytes={} \
+shared_bytes={} epochs={} barrier_waits={} mailbox_out_events={} mailbox_out_bytes={}",
                     l.shard,
                     l.state.owned_nodes,
                     l.dispatched,
                     l.state.replica_bytes,
                     l.state.owned_bytes,
-                    l.state.shared_bytes
+                    l.state.shared_bytes,
+                    l.sync.epochs,
+                    l.sync.barrier_waits,
+                    l.sync.mailbox_events_out,
+                    l.sync.mailbox_bytes_out
                 );
             }
+        }
+        "telemetry" => {
+            // The registry snapshot of the crawl campaign, rendered as
+            // stable plain text for the CI expectation diff. Forces the
+            // registry on for exactly this campaign regardless of the
+            // --telemetry flag.
+            let (data, snap) = telemetry_exp::collect_instrumented(
+                scale.config(seed).with_shards(shards),
+                scale.crawls(),
+            );
+            print!(
+                "{}",
+                telemetry_exp::render_lines(scale.name(), seed, data.digest, &snap)
+            );
         }
         "stats" | "fig03" | "fig04" | "fig05" | "fig06" | "fig07" | "fig08" => {
             let data = crawl_exp::collect(scale.config(seed).with_shards(shards), scale.crawls());
@@ -253,5 +318,20 @@ whatif-cloud-exit, whatif-recovery, engine, budget"
             println!("{r}");
         }
         _ => unreachable!("validated against ARTEFACTS above"),
+    }
+
+    if let Some(path) = &flight_out {
+        match telemetry::flight::dump_to(path) {
+            Ok(n) => eprintln!("[repro] wrote {n} flight-recorder span(s) to {path}"),
+            Err(e) => eprintln!("[repro] flight-recorder dump to {path} failed: {e}"),
+        }
+    }
+    if let Some(path) = &profile_out {
+        match telemetry::profile::write_chrome_trace(path) {
+            Ok(n) => eprintln!(
+                "[repro] wrote {n} epoch sample(s) to {path} (Chrome trace-event; open in Perfetto)"
+            ),
+            Err(e) => eprintln!("[repro] profiler dump to {path} failed: {e}"),
+        }
     }
 }

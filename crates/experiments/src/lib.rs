@@ -20,6 +20,7 @@ pub mod entry_exp;
 pub mod recovery_exp;
 pub mod report;
 pub mod resilience_exp;
+pub mod telemetry_exp;
 pub mod traffic_exp;
 
 pub use report::{Report, Row, Unit};
@@ -131,9 +132,12 @@ pub fn run_all(scale: Scale, seed: u64, shards: usize) -> Vec<Report> {
     let mut reports = Vec::new();
     reports.push(crawl_exp::table1());
 
-    // Crawl group.
+    // Crawl group — runs with the metrics registry live, so the telemetry
+    // artefact below is the registry snapshot of exactly this campaign
+    // (the trace digest is unchanged by telemetry; tests assert it).
     eprintln!("[repro] running crawl campaign ({scale:?}) …");
-    let crawl = crawl_exp::collect(scale.config(seed).with_shards(shards), scale.crawls());
+    let (crawl, telem) =
+        telemetry_exp::collect_instrumented(scale.config(seed).with_shards(shards), scale.crawls());
     reports.push(crawl_exp::stats(&crawl));
     reports.push(crawl_exp::fig03(&crawl));
     reports.push(crawl_exp::fig04(&crawl));
@@ -149,6 +153,7 @@ pub fn run_all(scale: Scale, seed: u64, shards: usize) -> Vec<Report> {
         crawl.shards,
         &crawl.loads,
     ));
+    reports.push(telemetry_exp::report(&telem));
     drop(crawl);
 
     // Workload group.

@@ -207,8 +207,16 @@ wall {:.1}s · {:.0} events/s · peak shard-queue {} · shards {}",
             .iter()
             .map(|l| {
                 format!(
-                    "s{}: owned {} · dispatched {} · owner-only {} B",
-                    l.shard, l.state.owned_nodes, l.dispatched, l.state.owned_bytes
+                    "s{}: owned {} · dispatched {} · owner-only {} B · epochs {} · \
+barrier-waits {} · mailbox-out {} ev / {} B",
+                    l.shard,
+                    l.state.owned_nodes,
+                    l.dispatched,
+                    l.state.owned_bytes,
+                    l.sync.epochs,
+                    l.sync.barrier_waits,
+                    l.sync.mailbox_events_out,
+                    l.sync.mailbox_bytes_out
                 )
             })
             .collect();

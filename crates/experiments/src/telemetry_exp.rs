@@ -1,0 +1,79 @@
+//! The `telemetry` artefact: a deterministic snapshot of the virtual-time
+//! metrics registry over the crawl campaign.
+//!
+//! The registry records only commutative folds of virtual-time
+//! observations, so the snapshot — like every table — is identical across
+//! reruns and shard counts, and CI diffs the rendered lines against a
+//! committed expectation file. Wall-clock profiler output never appears
+//! here; it ships separately as a Chrome trace (`--profile-out`).
+
+use crate::crawl_exp::{self, CrawlData};
+use crate::report::{Report, Unit};
+use netgen::ScenarioConfig;
+
+/// Run the crawl campaign with the metrics registry live and return both
+/// the dataset and the registry snapshot covering exactly that campaign.
+/// The global telemetry flag is restored afterwards, so the remaining
+/// artefact groups run with whatever the caller selected.
+pub fn collect_instrumented(
+    cfg: ScenarioConfig,
+    n_crawls: usize,
+) -> (CrawlData, telemetry::Snapshot) {
+    let prev = telemetry::enabled();
+    telemetry::metrics::reset();
+    telemetry::set_enabled(true);
+    let data = crawl_exp::collect(cfg, n_crawls);
+    let snap = telemetry::snapshot();
+    telemetry::set_enabled(prev);
+    (data, snap)
+}
+
+/// The EXPERIMENTS.md section for a registry snapshot.
+pub fn report(snap: &telemetry::Snapshot) -> Report {
+    let mut r = Report::new(
+        "telemetry",
+        "Telemetry registry — crawl campaign (virtual-time metrics)",
+    );
+    for (name, v) in &snap.counters {
+        r.val(&format!("counter · {name}"), *v as f64, Unit::Count);
+    }
+    for (name, v) in &snap.gauges {
+        r.val(&format!("gauge · {name}"), *v as f64, Unit::Count);
+    }
+    for (name, h) in &snap.hists {
+        r.val(&format!("{name} · samples"), h.count as f64, Unit::Count);
+        r.val(&format!("{name} · mean"), h.mean(), Unit::Count);
+    }
+    r.note(format!(
+        "registry digest {:#018x} — deterministic per (scale, seed), invariant across \
+reruns and shard counts; the trace digest is byte-identical with telemetry on or off \
+(asserted in tests)",
+        snap.digest()
+    ));
+    r.note(
+        "tiny-scale pin (CI-diffed via ci/expected-telemetry-tiny.txt): trace digest \
+0x0cf5aa2e25cac8d1, registry digest 0xe8ee616473b7b37d",
+    );
+    r
+}
+
+/// Render the plain-text artefact CI diffs against an expectation file:
+/// header, trace + registry digests, then the full registry in fixed id
+/// order (occupied histogram buckets only). Deliberately omits the shard
+/// count: unlike `budget`, every line here is shard-invariant, so the
+/// same expectation file serves every shard count.
+pub fn render_lines(
+    scale_name: &str,
+    seed: u64,
+    trace_digest: u64,
+    snap: &telemetry::Snapshot,
+) -> String {
+    let mut out = format!("telemetry scale={scale_name} seed={seed}\n");
+    out.push_str(&format!("trace_digest {trace_digest:#018x}\n"));
+    out.push_str(&format!("registry_digest {:#018x}\n", snap.digest()));
+    for line in snap.render_lines() {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}

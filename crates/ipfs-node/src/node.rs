@@ -16,7 +16,7 @@ use kademlia::{
 };
 use rand::seq::SliceRandom;
 use rand::RngExt;
-use simnet::{Ctx, Dur, NodeId};
+use simnet::{Ctx, Dur, NodeId, SimTime};
 use std::net::SocketAddrV4;
 
 /// Timer token kinds (top 4 bits of the token).
@@ -212,6 +212,9 @@ pub struct IpfsNode {
     next_req: u64,
     ops: HashMap<u64, Op>,
     lookup_to_op: HashMap<u64, u64>,
+    /// Virtual start time per in-flight lookup — telemetry only, populated
+    /// solely while telemetry is enabled (empty and free otherwise).
+    lookup_started: HashMap<u64, SimTime>,
     fetch_by_cid: HashMap<Cid, u64>,
     relay: Option<(PeerId, NodeId, SocketAddrV4)>,
     relay_clients: HashSet<NodeId>,
@@ -252,6 +255,7 @@ impl IpfsNode {
             next_req: 1,
             ops: HashMap::default(),
             lookup_to_op: HashMap::default(),
+            lookup_started: HashMap::default(),
             fetch_by_cid: HashMap::default(),
             relay: None,
             relay_clients: HashSet::default(),
@@ -421,6 +425,7 @@ impl IpfsNode {
         self.pending.clear();
         self.ops.clear();
         self.lookup_to_op.clear();
+        self.lookup_started.clear();
         self.fetch_by_cid.clear();
         self.relay = None;
         self.relay_clients.clear();
@@ -476,6 +481,7 @@ impl IpfsNode {
         let lookup = self
             .dht
             .start_lookup(self.id.key(), None, LookupKind::GetClosestPeers);
+        self.note_lookup_start(ctx.now(), lookup);
         self.drive_lookup(ctx, lookup);
     }
 
@@ -729,6 +735,7 @@ impl IpfsNode {
                     },
                 );
                 self.lookup_to_op.insert(lookup, op_id);
+                self.note_lookup_start(ctx.now(), lookup);
                 self.drive_lookup(ctx, lookup);
             }
         }
@@ -800,6 +807,15 @@ impl IpfsNode {
         }
     }
 
+    /// Remember a lookup's virtual start time for the latency histogram.
+    /// Only populated while telemetry is on, so the map stays empty (and
+    /// the hot path free) in normal runs.
+    fn note_lookup_start(&mut self, now: SimTime, lookup: u64) {
+        if telemetry::enabled() {
+            self.lookup_started.insert(lookup, now);
+        }
+    }
+
     fn drive_lookup<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, lookup: u64) {
         let queries = self.dht.lookup_next_queries(lookup);
         for info in queries {
@@ -824,6 +840,11 @@ impl IpfsNode {
         lookup: u64,
         result: kademlia::LookupResult,
     ) {
+        if let Some(started) = self.lookup_started.remove(&lookup) {
+            let elapsed = ctx.now().0.saturating_sub(started.0);
+            telemetry::observe(telemetry::Metric::LookupLatencyNs, elapsed);
+            telemetry::flight::span(started.0, elapsed, "lookup", "dht", result.contacted as u64);
+        }
         let Some(op_id) = self.lookup_to_op.remove(&lookup) else {
             // Maintenance lookup (bootstrap/refresh) — table already updated.
             if !self.bootstrapped {
@@ -939,6 +960,7 @@ impl IpfsNode {
             .start_lookup(cid.dht_key(), None, LookupKind::GetClosestPeers);
         self.ops.insert(op_id, Op::Provide { cid });
         self.lookup_to_op.insert(lookup, op_id);
+        self.note_lookup_start(ctx.now(), lookup);
         self.drive_lookup(ctx, lookup);
     }
 
@@ -1252,6 +1274,7 @@ impl IpfsNode {
                         LookupKind::FindProviders { exhaustive: false },
                     );
                     self.lookup_to_op.insert(lookup, low);
+                    self.note_lookup_start(ctx.now(), lookup);
                     self.drive_lookup(ctx, lookup);
                 }
             }
@@ -1359,6 +1382,7 @@ impl IpfsNode {
         }
         let t = targets[ctx.rng().random_range(0..targets.len())];
         let lookup = self.dht.start_lookup(t, None, LookupKind::GetClosestPeers);
+        self.note_lookup_start(ctx.now(), lookup);
         self.drive_lookup(ctx, lookup);
     }
 }

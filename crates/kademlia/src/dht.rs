@@ -223,7 +223,13 @@ impl Dht {
     /// If the lookup is finished, remove and return its result.
     pub fn lookup_take_result(&mut self, id: u64) -> Option<LookupResult> {
         if self.lookups.get(&id)?.is_done() {
-            self.lookups.remove(&id).map(|l| l.into_result())
+            let result = self.lookups.remove(&id).map(|l| l.into_result());
+            if let Some(r) = &result {
+                telemetry::count(telemetry::Counter::LookupsCompleted, 1);
+                telemetry::count(telemetry::Counter::LookupPeerFailures, r.failures as u64);
+                telemetry::observe(telemetry::Metric::LookupContacted, r.contacted as u64);
+            }
+            result
         } else {
             None
         }

@@ -418,6 +418,34 @@ impl StateBytes {
     }
 }
 
+/// Deterministic conservative-sync accounting for one shard: epoch and
+/// barrier counts plus outbound mailbox volume. All pure event-multiset
+/// functions of `(scenario, seed, shard count)` — no wall time — so they
+/// ship in the committed `repro budget` expectations. Zero on the
+/// single-shard sequential path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SyncCounters {
+    /// Epochs this shard processed (phase-2 entries).
+    pub epochs: u64,
+    /// Barrier rendezvous this shard entered (3 per full epoch, 2 on the
+    /// terminating iteration).
+    pub barrier_waits: u64,
+    /// Cross-shard events this shard flushed into mailboxes.
+    pub mailbox_events_out: u64,
+    /// Bytes of those events (count × in-flight event size).
+    pub mailbox_bytes_out: u64,
+}
+
+impl SyncCounters {
+    /// Fold another shard's counters into a whole-engine view.
+    pub fn add(&mut self, o: &SyncCounters) {
+        self.epochs = self.epochs.max(o.epochs);
+        self.barrier_waits += o.barrier_waits;
+        self.mailbox_events_out += o.mailbox_events_out;
+        self.mailbox_bytes_out += o.mailbox_bytes_out;
+    }
+}
+
 /// One shard's load gauge: how many nodes it owns, how many events its
 /// dispatch loop executed, and its measured state split — the
 /// observability hook for the region-major assignment's load imbalance
@@ -430,6 +458,8 @@ pub struct ShardLoad {
     pub dispatched: u64,
     /// Memory accounting for this shard.
     pub state: StateBytes,
+    /// Conservative-sync accounting for this shard.
+    pub sync: SyncCounters,
 }
 
 /// Origin id used for events scheduled by the harness rather than a node.
@@ -504,6 +534,8 @@ pub struct SimCore<M, C> {
     pub(crate) outbox: Vec<Vec<OutEv<M, C>>>,
     /// Engine counters.
     pub stats: SimStats,
+    /// Conservative-sync counters (maintained by the epoch executor).
+    pub sync: SyncCounters,
 }
 
 /// A queued cross-shard event in flight between epoch barriers.
@@ -548,6 +580,10 @@ pub(crate) enum Ev<M, C> {
         target_addr: SocketAddrV4,
         ok: bool,
         relayed: bool,
+        /// When the dial left the dialer — carried so the outcome can
+        /// record the dial's virtual latency. Telemetry-only: not hashed
+        /// into the trace digest.
+        started: SimTime,
     },
     /// Handshake completion at the *accepting* side: opens the target's
     /// half and fires `on_inbound_connection`, at the same virtual instant
@@ -648,6 +684,11 @@ impl<M, C> SimCore<M, C> {
     /// Route an event to the shard owning `target` under an existing key.
     fn route(&mut self, key: u64, target: NodeId, at: SimTime, ev: Ev<M, C>) {
         let at = at.max(self.now);
+        // Scheduling delay ≙ timer-wheel band residency. Recorded at the
+        // origin shard, whose `now` is the dispatch time of the triggering
+        // event — the same multiset of (delay) samples for every shard
+        // count.
+        telemetry::observe(telemetry::Metric::SchedDelayNs, at.0 - self.now.0);
         let dst = self.shard_of(target);
         if dst == self.shard {
             self.enqueue_local(at, key, ev);
@@ -1212,6 +1253,7 @@ impl<A: Actor> Shard<A> {
                             target_addr,
                             ok: true,
                             relayed,
+                            started,
                         },
                     );
                     // Our own half opens when the handshake completes — the
@@ -1242,6 +1284,7 @@ impl<A: Actor> Shard<A> {
                             target_addr: SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, 0),
                             ok: false,
                             relayed,
+                            started,
                         },
                     );
                 }
@@ -1288,6 +1331,7 @@ impl<A: Actor> Shard<A> {
                             target_addr: SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, 0),
                             ok: false,
                             relayed: true,
+                            started,
                         },
                     );
                 }
@@ -1298,6 +1342,7 @@ impl<A: Actor> Shard<A> {
                 target_addr,
                 ok,
                 relayed,
+                started,
             } => {
                 let dl = self.core.local(dialer);
                 if self.core.owned.hot[dl].flags & F_ONLINE == 0 {
@@ -1317,6 +1362,24 @@ impl<A: Actor> Shard<A> {
                     self.core.stats.dials_ok += 1;
                 } else {
                     self.core.stats.dials_failed += 1;
+                }
+                if telemetry::enabled() {
+                    use telemetry::{Counter, Gauge, Metric};
+                    let c = if ok {
+                        Counter::DialsOk
+                    } else {
+                        Counter::DialsFailed
+                    };
+                    telemetry::count(c, 1);
+                    telemetry::observe(
+                        Metric::DialLatencyNs,
+                        self.core.now.0.saturating_sub(started.0),
+                    );
+                    if ok {
+                        let occ = self.core.owned.conns.len(dl) as u64;
+                        telemetry::observe(Metric::ConnOccupancy, occ);
+                        telemetry::gauge_max(Gauge::ConnOccupancyPeak, occ);
+                    }
                 }
                 self.with_actor(dialer, |a, ctx| a.on_dial_result(ctx, target, ok, relayed));
             }
@@ -1348,6 +1411,11 @@ impl<A: Actor> Shard<A> {
                 }
                 if !self.core.owned.conns.contains(tl, dialer) {
                     self.core.o().conns.insert(tl, dialer, relayed, dialer_addr);
+                    if telemetry::enabled() {
+                        let occ = self.core.owned.conns.len(tl) as u64;
+                        telemetry::observe(telemetry::Metric::ConnOccupancy, occ);
+                        telemetry::gauge_max(telemetry::Gauge::ConnOccupancyPeak, occ);
+                    }
                     self.with_actor(target, |a, ctx| {
                         a.on_inbound_connection(ctx, dialer, relayed)
                     });
@@ -1667,6 +1735,7 @@ impl<A: Actor> Sim<A> {
                     lookahead: Dur::ZERO,
                     outbox: (0..n_shards).map(|_| Vec::new()).collect(),
                     stats: SimStats::default(),
+                    sync: SyncCounters::default(),
                 },
                 actors: Vec::new(),
             })
@@ -1790,6 +1859,7 @@ impl<A: Actor> Sim<A> {
                 shard: sh.core.shard,
                 dispatched: sh.core.stats.dispatched,
                 state: sh.core.state_bytes(),
+                sync: sh.core.sync,
             })
             .collect()
     }
@@ -1887,6 +1957,9 @@ impl<A: Actor> Sim<A> {
         let s = self.shards[0].core.shard_of(target) as usize;
         let sh = &mut self.shards[s];
         let at = at.max(sh.core.now);
+        // Harness pushes happen at quiesce points where every shard agrees
+        // on `now`, so this sample is shard-invariant too.
+        telemetry::observe(telemetry::Metric::SchedDelayNs, at.0 - sh.core.now.0);
         sh.core.enqueue_local(at, k, ev);
     }
 
@@ -1913,6 +1986,13 @@ impl<A: Actor> Sim<A> {
     /// harness key; the owning shard's copy is the counted one.
     pub fn schedule_fault(&mut self, at: SimTime, fault: Fault) {
         let k = self.next_harness_key();
+        // Once per call (not per broadcast replica): shards agree on `now`
+        // at the quiesce points where faults are scheduled, so recording
+        // against shard 0 keeps the sample multiset shard-invariant.
+        telemetry::observe(
+            telemetry::Metric::SchedDelayNs,
+            at.max(self.shards[0].core.now).0 - self.shards[0].core.now.0,
+        );
         let owner = |sim: &Sim<A>, node: NodeId| sim.shards[0].core.shard_of(node);
         let (broadcast, primary_shard) = match fault {
             Fault::Retire { node } => (false, owner(self, node)),

@@ -39,7 +39,7 @@ pub use churn::{ChurnModel, LogNormal};
 pub use conn::{ConnEntry, ConnPool, ConnTable};
 pub use engine::{
     shard_for, Actor, CoreView, Ctx, EventKindCounts, Fault, NodeId, NodeSetup, ShardLoad, Sim,
-    SimConfig, SimCore, SimStats, StateBytes, MAX_SHARDS,
+    SimConfig, SimCore, SimStats, StateBytes, SyncCounters, MAX_SHARDS,
 };
 pub use latency::{LatencyModel, RegionId};
 pub use time::{Dur, SimTime};

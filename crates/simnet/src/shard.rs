@@ -64,7 +64,17 @@ pub(crate) fn run_epochs<A: Actor>(
             let overflow = &overflow;
             scope.spawn(move || {
                 shard.core.lookahead = lookahead;
+                // Wall-clock epoch profiling is opt-in; the deterministic
+                // sync counters below are always maintained (plain u64
+                // increments, surfaced by `repro budget`).
+                let profiling = telemetry::enabled();
                 loop {
+                    let epoch_t0 = if profiling {
+                        telemetry::profile::now_us()
+                    } else {
+                        0
+                    };
+                    let dispatched_before = shard.core.stats.dispatched;
                     // Phase 1: publish local state, leader reduces.
                     let mine = match shard.core.queue.peek_at() {
                         Some(at) if at <= t => at.0,
@@ -72,6 +82,7 @@ pub(crate) fn run_epochs<A: Actor>(
                     };
                     next_at[i].store(mine, Ordering::SeqCst);
                     ev_count[i].store(shard.core.stats.events, Ordering::SeqCst);
+                    shard.core.sync.barrier_waits += 1;
                     if barrier.wait().is_leader() {
                         let t_min = next_at
                             .iter()
@@ -89,26 +100,44 @@ pub(crate) fn run_epochs<A: Actor>(
                             horizon.store(t_min.saturating_add(lookahead.0), Ordering::SeqCst);
                         }
                     }
+                    shard.core.sync.barrier_waits += 1;
                     barrier.wait();
                     if done.load(Ordering::SeqCst) {
                         shard.core.lookahead = Dur::ZERO;
                         shard.core.now = shard.core.now.max(t);
                         return;
                     }
+                    shard.core.sync.epochs += 1;
                     // Phase 2: process the epoch window, then flush
                     // outboxes into the shared mailbox matrix.
+                    let work_t0 = if profiling {
+                        telemetry::profile::now_us()
+                    } else {
+                        0
+                    };
                     let h = horizon.load(Ordering::SeqCst);
                     while shard.step_bounded(Some(h), t) {}
+                    let mut mb_events: u64 = 0;
                     for dst in 0..n {
                         if dst == i || shard.core.outbox[dst].is_empty() {
                             continue;
                         }
                         let out = std::mem::take(&mut shard.core.outbox[dst]);
+                        mb_events += out.len() as u64;
                         mailboxes[i * n + dst]
                             .lock()
                             .expect("mailbox poisoned")
                             .extend(out);
                     }
+                    let mb_bytes = mb_events * std::mem::size_of::<OutEv<A::Msg, A::Cmd>>() as u64;
+                    shard.core.sync.mailbox_events_out += mb_events;
+                    shard.core.sync.mailbox_bytes_out += mb_bytes;
+                    let work_end = if profiling {
+                        telemetry::profile::now_us()
+                    } else {
+                        0
+                    };
+                    shard.core.sync.barrier_waits += 1;
                     barrier.wait();
                     // Phase 3: drain inbound mailboxes. Conservative bound:
                     // everything in them is at or beyond the horizon we
@@ -130,6 +159,20 @@ pub(crate) fn run_epochs<A: Actor>(
                             );
                             shard.core.enqueue_external(e.at, e.key, e.ev);
                         }
+                    }
+                    if profiling {
+                        let end = telemetry::profile::now_us();
+                        telemetry::profile::epoch_sample(telemetry::profile::EpochSample {
+                            shard: i as u16,
+                            t0_us: epoch_t0,
+                            total_us: end.saturating_sub(epoch_t0),
+                            work_start_us: work_t0.saturating_sub(epoch_t0),
+                            work_us: work_end.saturating_sub(work_t0),
+                            events: shard.core.stats.dispatched - dispatched_before,
+                            mailbox_events: mb_events,
+                            mailbox_bytes: mb_bytes,
+                            queue_len: shard.core.queue.len() as u64,
+                        });
                     }
                 }
             });

@@ -1,0 +1,192 @@
+//! The flight recorder: a bounded ring buffer of structured span events
+//! with deterministic *virtual* timestamps.
+//!
+//! Spans mark the coarse narrative of a campaign — phases, crawls,
+//! intervention waves, lookups — so that a failed run leaves a readable
+//! post-mortem instead of a bare backtrace. The buffer is dumped as JSONL
+//! on demand (`repro --flight-out`) or from a panic hook
+//! ([`install_panic_hook`]).
+//!
+//! Recording takes a mutex, but spans are emitted at campaign-phase
+//! granularity (a handful per virtual hour), never per engine event, so
+//! this is nowhere near a hot path.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Maximum retained span events; older events are dropped FIFO.
+pub const RING_CAP: usize = 4096;
+
+/// One structured span event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Virtual start time, ns.
+    pub t_ns: u64,
+    /// Virtual duration, ns (0 for instantaneous marks).
+    pub dur_ns: u64,
+    /// Static kind tag: "phase", "crawl", "wave", "lookup", "probe", ...
+    pub kind: &'static str,
+    /// Free-form label (scenario name, wave style, CID class, ...).
+    pub label: String,
+    /// One numeric attribute (node count, hop count, ... kind-specific).
+    pub a: u64,
+}
+
+struct Ring {
+    buf: VecDeque<SpanEvent>,
+    dropped: u64,
+}
+
+static RING: Mutex<Option<Ring>> = Mutex::new(None);
+
+fn with_ring<T>(f: impl FnOnce(&mut Ring) -> T) -> T {
+    let mut guard = RING.lock().unwrap_or_else(|e| e.into_inner());
+    let ring = guard.get_or_insert_with(|| Ring {
+        buf: VecDeque::with_capacity(64),
+        dropped: 0,
+    });
+    f(ring)
+}
+
+/// Record a span with a virtual duration. No-op while telemetry is off.
+pub fn span(t_ns: u64, dur_ns: u64, kind: &'static str, label: impl Into<String>, a: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_ring(|ring| {
+        if ring.buf.len() >= RING_CAP {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(SpanEvent {
+            t_ns,
+            dur_ns,
+            kind,
+            label: label.into(),
+            a,
+        });
+    });
+}
+
+/// Record an instantaneous mark. No-op while telemetry is off.
+pub fn instant(t_ns: u64, kind: &'static str, label: impl Into<String>, a: u64) {
+    span(t_ns, 0, kind, label, a);
+}
+
+/// Number of events currently retained (plus how many were dropped).
+pub fn len() -> (usize, u64) {
+    with_ring(|ring| (ring.buf.len(), ring.dropped))
+}
+
+/// Clear the recorder.
+pub fn reset() {
+    with_ring(|ring| {
+        ring.buf.clear();
+        ring.dropped = 0;
+    });
+}
+
+/// Minimal JSON string escaper — labels are ASCII identifiers in practice,
+/// but stay safe for arbitrary content.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render the retained events as JSONL, oldest first. Deterministic: the
+/// output depends only on the recorded spans (virtual time).
+pub fn dump_jsonl() -> String {
+    with_ring(|ring| {
+        let mut out = String::new();
+        if ring.dropped > 0 {
+            out.push_str(&format!(
+                "{{\"kind\":\"meta\",\"dropped\":{},\"cap\":{}}}\n",
+                ring.dropped, RING_CAP
+            ));
+        }
+        for ev in &ring.buf {
+            out.push_str(&format!(
+                "{{\"t_ns\":{},\"dur_ns\":{},\"kind\":\"{}\",\"label\":\"",
+                ev.t_ns, ev.dur_ns, ev.kind
+            ));
+            escape(&ev.label, &mut out);
+            out.push_str(&format!("\",\"a\":{}}}\n", ev.a));
+        }
+        out
+    })
+}
+
+/// Write the JSONL dump to a file. Returns how many events were written.
+pub fn dump_to(path: &str) -> std::io::Result<usize> {
+    let (n, _) = len();
+    std::fs::write(path, dump_jsonl())?;
+    Ok(n)
+}
+
+/// Chain a panic hook that dumps the flight recorder to `path` (only when
+/// non-empty), then runs the previously installed hook. Installed by the
+/// `repro` binary so failed long runs leave a post-mortem trace.
+pub fn install_panic_hook(path: &str) {
+    let path = path.to_string();
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let (n, _) = len();
+        if n > 0 {
+            match dump_to(&path) {
+                Ok(n) => eprintln!("flight recorder: dumped {n} span(s) to {path}"),
+                Err(e) => eprintln!("flight recorder: dump to {path} failed: {e}"),
+            }
+        }
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_caps_and_dumps() {
+        let _guard = crate::metrics::test_lock();
+        crate::set_enabled(true);
+        reset();
+        for i in 0..(RING_CAP + 10) as u64 {
+            span(i, 1, "phase", "warmup", i);
+        }
+        let (n, dropped) = len();
+        assert_eq!(n, RING_CAP);
+        assert_eq!(dropped, 10);
+        let dump = dump_jsonl();
+        assert!(dump.starts_with("{\"kind\":\"meta\",\"dropped\":10"));
+        assert!(dump.lines().count() == RING_CAP + 1);
+        crate::set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _guard = crate::metrics::test_lock();
+        crate::set_enabled(false);
+        reset();
+        span(1, 2, "crawl", "c0", 0);
+        assert_eq!(len(), (0, 0));
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let mut s = String::new();
+        escape("a\"b\\c\nd", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd");
+    }
+}

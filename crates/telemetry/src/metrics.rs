@@ -1,0 +1,375 @@
+//! The metrics registry: counters, gauges and log-bucketed histograms
+//! keyed by static metric ids.
+//!
+//! Determinism contract: every recording operation is commutative —
+//! counter adds, per-bucket adds, sum adds and max-folds. A snapshot taken
+//! after a campaign therefore does not depend on thread interleaving or on
+//! how nodes were partitioned into shards: the multiset of recorded
+//! observations is fixed by the virtual-time trace, and commutative folds
+//! of a fixed multiset have a unique result. The test suite asserts
+//! snapshot equality across shard counts and reruns.
+//!
+//! The hot path is a relaxed atomic load (enabled check) plus one or two
+//! relaxed `fetch_add`s — no locks, no allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Monotonic event counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// Dials that completed a handshake.
+    DialsOk,
+    /// Dials that failed (timeout, refusal, dead relay hop).
+    DialsFailed,
+    /// DHT lookups that ran to completion (result taken by the owner op).
+    LookupsCompleted,
+    /// Per-peer query failures observed inside lookups.
+    LookupPeerFailures,
+    /// Bitswap fetch sessions resolved by a received block.
+    BitswapFetchesResolved,
+}
+
+const COUNTERS: [Counter; 5] = [
+    Counter::DialsOk,
+    Counter::DialsFailed,
+    Counter::LookupsCompleted,
+    Counter::LookupPeerFailures,
+    Counter::BitswapFetchesResolved,
+];
+
+impl Counter {
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::DialsOk => "dials_ok",
+            Counter::DialsFailed => "dials_failed",
+            Counter::LookupsCompleted => "lookups_completed",
+            Counter::LookupPeerFailures => "lookup_peer_failures",
+            Counter::BitswapFetchesResolved => "bitswap_fetches_resolved",
+        }
+    }
+}
+
+/// High-water-mark gauges (folded with `max`, hence shard-invariant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gauge {
+    /// Peak connection-table occupancy observed on any single node.
+    ConnOccupancyPeak,
+}
+
+const GAUGES: [Gauge; 1] = [Gauge::ConnOccupancyPeak];
+
+impl Gauge {
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::ConnOccupancyPeak => "conn_occupancy_peak",
+        }
+    }
+}
+
+/// Log-bucketed histograms. Bucket index of a value `v` is
+/// `v.max(1).ilog2()` — i.e. bucket `b` holds values in `[2^b, 2^(b+1))`,
+/// with 0 and 1 sharing bucket 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Dial duration, virtual ns, from `Ctx::dial` to the dial outcome.
+    DialLatencyNs,
+    /// Full lookup duration, virtual ns, from start to result adoption.
+    LookupLatencyNs,
+    /// Peers contacted per completed lookup (hops proxy).
+    LookupContacted,
+    /// Bitswap want resolution, virtual ns, session start to first block.
+    WantResolutionNs,
+    /// Connection-table occupancy sampled at each connection insert.
+    ConnOccupancy,
+    /// Scheduling delay, virtual ns, between "now" and the scheduled
+    /// timestamp of every engine event pushed through `route()`. The log
+    /// buckets map directly onto timer-wheel bands: buckets 0–20 land in
+    /// the fine wheel (< 2^21 ns), 21–32 in the coarse wheel (< 2^33 ns),
+    /// 33+ in the far heap — so this histogram *is* band residency.
+    SchedDelayNs,
+}
+
+const METRICS: [Metric; 6] = [
+    Metric::DialLatencyNs,
+    Metric::LookupLatencyNs,
+    Metric::LookupContacted,
+    Metric::WantResolutionNs,
+    Metric::ConnOccupancy,
+    Metric::SchedDelayNs,
+];
+
+impl Metric {
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::DialLatencyNs => "dial_latency_ns",
+            Metric::LookupLatencyNs => "lookup_latency_ns",
+            Metric::LookupContacted => "lookup_contacted",
+            Metric::WantResolutionNs => "want_resolution_ns",
+            Metric::ConnOccupancy => "conn_occupancy",
+            Metric::SchedDelayNs => "sched_delay_ns",
+        }
+    }
+}
+
+const N_COUNTERS: usize = COUNTERS.len();
+const N_GAUGES: usize = GAUGES.len();
+const N_METRICS: usize = METRICS.len();
+/// 64 log2 buckets cover the full u64 range.
+pub const N_BUCKETS: usize = 64;
+
+static COUNTER_CELLS: [AtomicU64; N_COUNTERS] = [const { AtomicU64::new(0) }; N_COUNTERS];
+static GAUGE_CELLS: [AtomicU64; N_GAUGES] = [const { AtomicU64::new(0) }; N_GAUGES];
+static HIST_SUM: [AtomicU64; N_METRICS] = [const { AtomicU64::new(0) }; N_METRICS];
+static HIST_BUCKETS: [[AtomicU64; N_BUCKETS]; N_METRICS] =
+    [const { [const { AtomicU64::new(0) }; N_BUCKETS] }; N_METRICS];
+
+/// Add `n` to a counter. No-op while telemetry is disabled.
+#[inline]
+pub fn count(c: Counter, n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    COUNTER_CELLS[c as usize].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Fold `v` into a high-water-mark gauge. No-op while telemetry is disabled.
+#[inline]
+pub fn gauge_max(g: Gauge, v: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    GAUGE_CELLS[g as usize].fetch_max(v, Ordering::Relaxed);
+}
+
+/// Record one observation into a histogram. No-op while disabled.
+#[inline]
+pub fn observe(m: Metric, v: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let bucket = v.max(1).ilog2() as usize;
+    HIST_BUCKETS[m as usize][bucket].fetch_add(1, Ordering::Relaxed);
+    HIST_SUM[m as usize].fetch_add(v, Ordering::Relaxed);
+}
+
+/// Zero the whole registry.
+pub fn reset() {
+    for c in &COUNTER_CELLS {
+        c.store(0, Ordering::Relaxed);
+    }
+    for g in &GAUGE_CELLS {
+        g.store(0, Ordering::Relaxed);
+    }
+    for s in &HIST_SUM {
+        s.store(0, Ordering::Relaxed);
+    }
+    for row in &HIST_BUCKETS {
+        for b in row {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A plain mergeable histogram — the snapshot form of the atomic registry
+/// rows, and the reference model for the shard-merge proptest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hist {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: [u64; N_BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            count: 0,
+            sum: 0,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+}
+
+impl Hist {
+    /// Record one observation (same bucketing as the live registry; sums
+    /// wrap on overflow exactly like the atomic `fetch_add` cells do).
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.buckets[v.max(1).ilog2() as usize] += 1;
+    }
+
+    /// Fold another histogram in. Merging is associative and commutative,
+    /// so any partition of the observation multiset merges to the same
+    /// result — the property the proptest checks.
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Mean observation, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of the whole registry, in fixed id order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    pub counters: Vec<(&'static str, u64)>,
+    pub gauges: Vec<(&'static str, u64)>,
+    pub hists: Vec<(&'static str, Hist)>,
+}
+
+impl Snapshot {
+    /// FNV-1a over every value in fixed order — a compact determinism
+    /// fingerprint for the `repro telemetry` artefact.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (_, v) in &self.counters {
+            fold(*v);
+        }
+        for (_, v) in &self.gauges {
+            fold(*v);
+        }
+        for (_, hist) in &self.hists {
+            fold(hist.count);
+            fold(hist.sum);
+            for b in &hist.buckets {
+                fold(*b);
+            }
+        }
+        h
+    }
+
+    /// Deterministic plain-text rendering: one line per counter/gauge, a
+    /// header plus one line per occupied bucket for each histogram.
+    pub fn render_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (name, v) in &self.counters {
+            out.push(format!("counter {name} {v}"));
+        }
+        for (name, v) in &self.gauges {
+            out.push(format!("gauge {name} {v}"));
+        }
+        for (name, hist) in &self.hists {
+            out.push(format!("hist {name} count={} sum={}", hist.count, hist.sum));
+            for (b, n) in hist.buckets.iter().enumerate() {
+                if *n > 0 {
+                    out.push(format!("  bucket 2^{b:02} {n}"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Copy the registry into a [`Snapshot`].
+pub fn snapshot() -> Snapshot {
+    let counters = COUNTERS
+        .iter()
+        .map(|c| (c.name(), COUNTER_CELLS[*c as usize].load(Ordering::Relaxed)))
+        .collect();
+    let gauges = GAUGES
+        .iter()
+        .map(|g| (g.name(), GAUGE_CELLS[*g as usize].load(Ordering::Relaxed)))
+        .collect();
+    let hists = METRICS
+        .iter()
+        .map(|m| {
+            let i = *m as usize;
+            let mut hist = Hist {
+                count: 0,
+                sum: HIST_SUM[i].load(Ordering::Relaxed),
+                buckets: [0; N_BUCKETS],
+            };
+            for (b, cell) in HIST_BUCKETS[i].iter().enumerate() {
+                let n = cell.load(Ordering::Relaxed);
+                hist.buckets[b] = n;
+                hist.count += n;
+            }
+            (m.name(), hist)
+        })
+        .collect();
+    Snapshot {
+        counters,
+        gauges,
+        hists,
+    }
+}
+
+/// Serialize tests that touch the global registry within one test binary.
+/// (Separate test binaries are separate processes and need no lock.)
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _guard = test_lock();
+        crate::set_enabled(false);
+        reset();
+        count(Counter::DialsOk, 5);
+        observe(Metric::DialLatencyNs, 1000);
+        gauge_max(Gauge::ConnOccupancyPeak, 7);
+        let snap = snapshot();
+        assert!(snap.counters.iter().all(|(_, v)| *v == 0));
+        assert!(snap.gauges.iter().all(|(_, v)| *v == 0));
+        assert!(snap.hists.iter().all(|(_, h)| h.count == 0));
+    }
+
+    #[test]
+    fn enabled_records_and_buckets() {
+        let _guard = test_lock();
+        crate::set_enabled(true);
+        reset();
+        count(Counter::DialsOk, 2);
+        count(Counter::DialsOk, 3);
+        observe(Metric::DialLatencyNs, 0); // bucket 0
+        observe(Metric::DialLatencyNs, 1); // bucket 0
+        observe(Metric::DialLatencyNs, 1024); // bucket 10
+        gauge_max(Gauge::ConnOccupancyPeak, 4);
+        gauge_max(Gauge::ConnOccupancyPeak, 2);
+        let snap = snapshot();
+        crate::set_enabled(false);
+        assert_eq!(snap.counters[0], ("dials_ok", 5));
+        assert_eq!(snap.gauges[0], ("conn_occupancy_peak", 4));
+        let (_, h) = &snap.hists[0];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1025);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[10], 1);
+        reset();
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let _guard = test_lock();
+        crate::set_enabled(true);
+        reset();
+        let empty = snapshot().digest();
+        observe(Metric::SchedDelayNs, 42);
+        let one = snapshot().digest();
+        crate::set_enabled(false);
+        assert_ne!(empty, one);
+        reset();
+    }
+}

@@ -1,0 +1,61 @@
+//! The shard-merge invariant: log-bucketed histograms are commutative
+//! monoid folds of the observation multiset, so *any* partition of the
+//! observations into shards merges to the same histogram. This is the
+//! algebraic core of the claim that registry snapshots are invariant under
+//! re-sharding.
+
+use proptest::prelude::*;
+use telemetry::Hist;
+
+/// Fold observations directly into one histogram.
+fn direct(obs: &[u64]) -> Hist {
+    let mut h = Hist::default();
+    for &v in obs {
+        h.observe(v);
+    }
+    h
+}
+
+/// Partition observations into `shards` histograms by an arbitrary
+/// assignment, then merge.
+fn sharded(obs: &[u64], assign: &[u8], shards: usize) -> Hist {
+    let mut parts = vec![Hist::default(); shards.max(1)];
+    for (i, &v) in obs.iter().enumerate() {
+        parts[assign[i % assign.len().max(1)] as usize % shards.max(1)].observe(v);
+    }
+    let mut merged = Hist::default();
+    for p in &parts {
+        merged.merge(p);
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merged_histograms_invariant_under_resharding(
+        obs in proptest::collection::vec(any::<u64>(), 0..400),
+        assign_a in proptest::collection::vec(any::<u8>(), 1..64),
+        assign_b in proptest::collection::vec(any::<u8>(), 1..64),
+        shards_a in 1usize..9,
+        shards_b in 1usize..9,
+    ) {
+        let reference = direct(&obs);
+        let a = sharded(&obs, &assign_a, shards_a);
+        let b = sharded(&obs, &assign_b, shards_b);
+        prop_assert_eq!(&a, &reference, "partition A diverged from direct fold");
+        prop_assert_eq!(&b, &reference, "partition B diverged from direct fold");
+        prop_assert_eq!(a.count, obs.len() as u64);
+    }
+
+    #[test]
+    fn bucketing_is_log2(v in any::<u64>()) {
+        let mut h = Hist::default();
+        h.observe(v);
+        let b = v.max(1).ilog2() as usize;
+        prop_assert_eq!(h.buckets[b], 1);
+        prop_assert_eq!(h.count, 1);
+        prop_assert_eq!(h.sum, v);
+    }
+}

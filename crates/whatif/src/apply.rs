@@ -22,6 +22,21 @@ pub fn apply(campaign: &mut Campaign) -> Vec<CompiledIntervention> {
 pub fn schedule(campaign: &mut Campaign, plan: &[CompiledIntervention]) {
     for (n, ci) in plan.iter().enumerate() {
         let at = ci.spec.at;
+        telemetry::flight::span(
+            at.0,
+            0,
+            "wave",
+            match ci.spec.kind {
+                InterventionKind::Exit {
+                    style: ExitStyle::Abrupt,
+                } => "exit-abrupt",
+                InterventionKind::Exit {
+                    style: ExitStyle::Graceful,
+                } => "exit-graceful",
+                InterventionKind::Partition { .. } => "partition",
+            },
+            ci.nodes.len() as u64,
+        );
         match ci.spec.kind {
             InterventionKind::Exit { style } => {
                 for &i in &ci.nodes {

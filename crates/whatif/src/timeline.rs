@@ -195,6 +195,7 @@ pub fn sample_now(campaign: &mut Campaign, cfg: &TimelineConfig) -> TimelineSamp
     let at = campaign.now();
     let routing_fill = campaign.routing_table_fill();
     let online_servers = campaign.online_server_count();
+    telemetry::flight::span(at.0, 0, "sample", "observatory", online_servers as u64);
     let (population, health) = campaign.with_fork(|fork| {
         let idx = fork.crawl(cfg.crawl_max_wait);
         let snap = fork.snapshots()[idx].clone();
