@@ -35,6 +35,12 @@ pub struct CampaignOptions {
     pub with_requests: bool,
     /// Override the engine seed (defaults to scenario seed).
     pub engine_seed: Option<u64>,
+    /// Node→shard placement policy. `Auto` honors `TCSB_BALANCE`
+    /// (default balanced); tests pin `Balanced`/`RegionMajor` explicitly
+    /// so parallel suites never race on the environment. Placement never
+    /// affects results (the engine is placement-invariant by contract),
+    /// only which thread owns which node.
+    pub placement: netgen::PlacementMode,
 }
 
 impl Default for CampaignOptions {
@@ -45,9 +51,24 @@ impl Default for CampaignOptions {
             with_workload: true,
             with_requests: true,
             engine_seed: None,
+            placement: netgen::PlacementMode::Auto,
         }
     }
 }
+
+/// Predicted event weights for the campaign's singleton actors, as
+/// fractions of the total scenario-node weight (per mille). The monitor
+/// holds connections to every online node on a 2-minute connection-manager
+/// tick and the crawler periodically contacts the full population, so both
+/// scale with the population itself; the web-user and frontend weights
+/// only materialize when the request workload is scheduled. Calibrated
+/// against measured per-node dispatched counts on the stress preset
+/// (crawler ≈ 15‰ of all events, monitor ≈ 2‰, searcher ≈ 0.4‰).
+const MONITOR_WEIGHT_PERMILLE: u64 = 2;
+const CRAWLER_WEIGHT_PERMILLE: u64 = 15;
+const WEBUSER_WEIGHT_PERMILLE: u64 = 5;
+const SEARCHER_WEIGHT_PERMILLE: u64 = 1;
+const FRONTENDS_WEIGHT_PERMILLE: u64 = 2;
 
 /// Outcome of one provider-record resolution (searcher-side view).
 #[derive(Clone, Debug)]
@@ -83,6 +104,10 @@ pub struct Campaign {
     pub webuser: NodeId,
     /// Provider-record searcher client.
     pub searcher: NodeId,
+    /// The node→shard assignment this campaign was built with (predicted
+    /// weights are the balance objective; `repro budget` surfaces them
+    /// next to the measured per-shard counters).
+    pub placement: netgen::Placement,
     crawl_seq: u64,
     bootstrap: Vec<(PeerId, NodeId)>,
 }
@@ -98,16 +123,61 @@ impl Campaign {
         let latency = LatencyModel::continents(4, Dur::from_millis(12), Dur::from_millis(90), 0.3);
         let seed = opts.engine_seed.unwrap_or(scenario.cfg.seed ^ 0x51u64);
         // Shard count: explicit `ScenarioConfig::shards`, else TCSB_SHARDS,
-        // else 1. Nodes are placed with `netgen::shard_for`, which keeps
-        // regions whole per shard so the executor's lookahead is the
-        // inter-region latency floor. Output is byte-identical across
-        // shard counts; only wall-clock changes.
+        // else 1. Placement: the balanced partitioner by default (LPT
+        // whole-region packing plus minimum stratified splits of the
+        // hottest regions), or plain `netgen::shard_for` region-major under
+        // `TCSB_BALANCE=0`/`PlacementMode::RegionMajor`. Output is
+        // byte-identical across shard counts *and* placements; only
+        // wall-clock and per-shard load change.
         let shards = scenario.cfg.effective_shards();
         let mut sim: Sim<EcoActor> = Sim::new_sharded(cfg, latency, seed, shards);
         // Exact-fit reservation: replica columns end up with capacity == len,
         // so the measured per-extra-shard replica footprint is the tight
         // 8 bytes × nodes bound that `state_bytes` reports.
         sim.reserve_nodes(scenario.nodes.len() + scenario.gateways.len() + 4);
+
+        // Predicted event weights, in campaign add order: scenario nodes,
+        // frontends, then the four singleton tools (all region 0). Item
+        // indices mirror the add order below.
+        let frontends_base = scenario.nodes.len();
+        let tools_base = frontends_base + scenario.gateways.len();
+        let mut items: Vec<netgen::PlacementItem> = scenario
+            .nodes
+            .iter()
+            .map(|spec| netgen::PlacementItem {
+                region: spec.region,
+                weight: netgen::node_weight(spec),
+            })
+            .collect();
+        let scenario_total: u64 = items.iter().map(|it| it.weight).sum();
+        let permille = |p: u64| (scenario_total * p / 1000).max(1);
+        let frontend_weight = if opts.with_workload && opts.with_requests {
+            permille(FRONTENDS_WEIGHT_PERMILLE) / scenario.gateways.len().max(1) as u64
+        } else {
+            1
+        };
+        items.extend(scenario.gateways.iter().map(|_| netgen::PlacementItem {
+            region: 0,
+            weight: frontend_weight,
+        }));
+        let webuser_weight = if opts.with_workload && opts.with_requests {
+            permille(WEBUSER_WEIGHT_PERMILLE)
+        } else {
+            1
+        };
+        for weight in [
+            permille(MONITOR_WEIGHT_PERMILLE),
+            permille(CRAWLER_WEIGHT_PERMILLE),
+            webuser_weight,
+            permille(SEARCHER_WEIGHT_PERMILLE),
+        ] {
+            items.push(netgen::PlacementItem { region: 0, weight });
+        }
+        let placement = if opts.placement.is_balanced() && shards > 1 {
+            netgen::placement::balanced(&items, shards)
+        } else {
+            netgen::placement::region_major(&items, shards)
+        };
 
         // Bootstrap identities are known up front (first N nodes).
         let bootstrap: Vec<(PeerId, NodeId)> = (0..scenario.bootstrap_count)
@@ -185,7 +255,7 @@ impl Campaign {
                 }
                 EcoActor::Node(Box::new(IpfsNode::new(nc)))
             };
-            let id = sim.add_node_in(actor, setup, netgen::shard_for(spec.region, shards));
+            let id = sim.add_node_in(actor, setup, placement.shard_of[i]);
             if spec.platform == Some(Platform::Hydra) {
                 hydras.push(id);
             }
@@ -207,10 +277,14 @@ impl Campaign {
 
         // --- gateway frontends ----------------------------------------------
         let mut frontends = Vec::with_capacity(scenario.gateways.len());
-        for g in &scenario.gateways {
+        for (g_idx, g) in scenario.gateways.iter().enumerate() {
             let backends: Vec<NodeId> = g.overlay_nodes.iter().map(|&i| node_ids[i]).collect();
             let setup = NodeSetup::public(g.frontend_ips[0]);
-            let id = sim.add_node(EcoActor::Frontend(Frontend::new(backends)), setup);
+            let id = sim.add_node_in(
+                EcoActor::Frontend(Frontend::new(backends)),
+                setup,
+                placement.shard_of[frontends_base + g_idx],
+            );
             frontends.push(id);
         }
 
@@ -226,19 +300,22 @@ impl Campaign {
         mon_cfg.connmgr_interval = Dur::from_mins(2);
         mon_cfg.refresh_interval = Dur::from_hours(1);
         mon_cfg.agent = "monitor/1.0".to_string();
-        let monitor = sim.add_node(
+        let monitor = sim.add_node_in(
             EcoActor::Node(Box::new(IpfsNode::new(mon_cfg))),
             NodeSetup::public(Ipv4Addr::new(198, 18, 0, 1)),
+            placement.shard_of[tools_base],
         );
 
-        let crawler = sim.add_node(
+        let crawler = sim.add_node_in(
             EcoActor::Crawler(Box::new(Crawler::new(CrawlerConfig::default()))),
             NodeSetup::public(Ipv4Addr::new(198, 18, 0, 2)),
+            placement.shard_of[tools_base + 1],
         );
 
-        let webuser = sim.add_node(
+        let webuser = sim.add_node_in(
             EcoActor::WebUser(WebUser::new()),
             NodeSetup::public(Ipv4Addr::new(198, 18, 0, 3)),
+            placement.shard_of[tools_base + 2],
         );
 
         let mut searcher_cfg = NodeConfig::regular(0x5EA4C4);
@@ -248,9 +325,10 @@ impl Campaign {
         searcher_cfg.provide_on_fetch = false;
         searcher_cfg.reprovide_interval = Dur::ZERO;
         searcher_cfg.agent = "record-searcher/1.0".to_string();
-        let searcher = sim.add_node(
+        let searcher = sim.add_node_in(
             EcoActor::Node(Box::new(IpfsNode::new(searcher_cfg))),
             NodeSetup::public(Ipv4Addr::new(198, 18, 0, 4)),
+            placement.shard_of[tools_base + 3],
         );
 
         // --- workload -----------------------------------------------------------
@@ -313,6 +391,7 @@ impl Campaign {
             searcher,
             crawl_seq: 0,
             bootstrap,
+            placement,
         }
     }
 

@@ -4,17 +4,27 @@
 //! engine shard count. This is the end-to-end version of the oracle that
 //! `simnet/tests/shard_equivalence.rs` checks at the actor level.
 
-use netgen::ScenarioConfig;
+use netgen::{PlacementMode, ScenarioConfig};
+use proptest::prelude::*;
 use simnet::Dur;
 use tcsb_core::{Campaign, CampaignOptions};
 
 fn fingerprint(cfg: ScenarioConfig, hours: u64) -> (u64, u64, u64, u64, usize) {
+    fingerprint_placed(cfg, hours, PlacementMode::Auto)
+}
+
+fn fingerprint_placed(
+    cfg: ScenarioConfig,
+    hours: u64,
+    placement: PlacementMode,
+) -> (u64, u64, u64, u64, usize) {
     let scenario = netgen::build(cfg);
     let mut campaign = Campaign::new(
         scenario,
         CampaignOptions {
             with_workload: true,
             with_requests: false,
+            placement,
             ..Default::default()
         },
     );
@@ -68,6 +78,48 @@ fn tiny_campaign_replica_bytes_stay_o_nodes() {
                 l.state.replica_bytes
             );
             assert_eq!(l.state.shared_bytes, 0, "no fork alive");
+        }
+    }
+}
+
+/// Balanced placement is history-invariant at the full-campaign level:
+/// the weighted partitioner (which splits regions across shards and
+/// moves the monitor/crawler singletons off shard 0) replays the same
+/// trace as region-major at every shard count — placement affects only
+/// which thread owns a node, never what happens.
+#[test]
+fn tiny_campaign_placement_invariant() {
+    let one = fingerprint_placed(
+        ScenarioConfig::tiny(42).with_shards(1),
+        8,
+        PlacementMode::Auto,
+    );
+    for shards in [2usize, 4, 7] {
+        for placement in [PlacementMode::Balanced, PlacementMode::RegionMajor] {
+            let many =
+                fingerprint_placed(ScenarioConfig::tiny(42).with_shards(shards), 8, placement);
+            assert_eq!(
+                one, many,
+                "{shards}-shard {placement:?} tiny campaign diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Randomized seeds: the balanced partition (whose cut points move
+    /// with the seed's churn schedules, hence different splits each case)
+    /// preserves the 1-shard history on a short tiny slice.
+    #[test]
+    fn balanced_placement_digest_invariant_randomized(seed in 1u64..100_000) {
+        let one = fingerprint_placed(
+            ScenarioConfig::tiny(seed).with_shards(1), 3, PlacementMode::Auto);
+        for shards in [4usize, 7] {
+            let many = fingerprint_placed(
+                ScenarioConfig::tiny(seed).with_shards(shards), 3, PlacementMode::Balanced);
+            prop_assert_eq!(&one, &many, "{} shards diverged", shards);
         }
     }
 }

@@ -265,6 +265,42 @@ shared_bytes={} epochs={} barrier_waits={} mailbox_out_events={} mailbox_out_byt
                     l.sync.mailbox_bytes_out
                 );
             }
+            // Placement and lookahead: which partitioner owned the nodes,
+            // its predicted per-shard weights (the balance objective the
+            // dispatched counters above are measured against), and the
+            // effective shard×shard conservative lookahead matrix (ns;
+            // "-" where no influence path exists). All deterministic.
+            let p = &data.placement;
+            let predicted: Vec<String> = p.predicted.iter().map(|w| w.to_string()).collect();
+            println!(
+                "placement mode={} splits={} predicted_ratio_x100={} predicted=[{}]",
+                if p.balanced {
+                    "balanced"
+                } else {
+                    "region-major"
+                },
+                p.splits,
+                p.predicted_ratio_x100(),
+                predicted.join(",")
+            );
+            let n = if data.lookahead.is_empty() {
+                0
+            } else {
+                data.shards
+            };
+            for src in 0..n {
+                let row: Vec<String> = (0..n)
+                    .map(|dst| {
+                        let d = data.lookahead[src * n + dst];
+                        if d.0 >= u64::MAX / 4 {
+                            "-".into()
+                        } else {
+                            format!("{}", d.0)
+                        }
+                    })
+                    .collect();
+                println!("lookahead_ns s{src} [{}]", row.join(","));
+            }
         }
         "telemetry" => {
             // The registry snapshot of the crawl campaign, rendered as

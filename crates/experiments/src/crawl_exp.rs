@@ -30,6 +30,12 @@ pub struct CrawlData {
     pub wall_secs: f64,
     /// Engine shards the campaign ran on.
     pub shards: usize,
+    /// Node→shard placement the campaign used (mode, splits, predicted
+    /// per-shard weights — the balance objective).
+    pub placement: netgen::Placement,
+    /// Effective shard×shard conservative lookahead matrix (metric
+    /// closure, row-major; `u64::MAX/4` sentinel on impossible pairs).
+    pub lookahead: Vec<Dur>,
 }
 
 /// Run the crawl campaign: `n_crawls` crawls spread over the scenario
@@ -55,6 +61,11 @@ pub fn collect(cfg: ScenarioConfig, n_crawls: usize) -> CrawlData {
     }
     let snaps = campaign.snapshots().to_vec();
     let dbs = std::mem::take(&mut campaign.scenario.dbs);
+    let lookahead = if campaign.shards() > 1 {
+        campaign.sim.lookahead_matrix().to_vec()
+    } else {
+        Vec::new()
+    };
     CrawlData {
         snaps,
         dbs,
@@ -64,6 +75,8 @@ pub fn collect(cfg: ScenarioConfig, n_crawls: usize) -> CrawlData {
         digest: campaign.sim.trace_digest(),
         wall_secs: started.elapsed().as_secs_f64(),
         shards: campaign.shards(),
+        placement: campaign.placement.clone(),
+        lookahead,
     }
 }
 

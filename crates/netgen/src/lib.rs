@@ -8,11 +8,13 @@
 
 pub mod build;
 pub mod paper;
+pub mod placement;
 pub mod plan;
 pub mod scenario;
 
 pub use build::build;
 pub use paper::{PaperTargets, PAPER};
+pub use placement::{node_weight, Placement, PlacementItem, PlacementMode};
 pub use plan::{
     build_databases, provider_plan, IpAllocator, ProviderPlan, CLOUDFLARE, CLOUD_PROVIDERS,
     DATACAMP, RESIDENTIAL_BLOCKS,

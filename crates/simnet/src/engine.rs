@@ -13,9 +13,11 @@
 //! Nodes are partitioned into N *shards*. Each shard owns its slice of the
 //! node population — per-node state, connection halves, RNGs — plus its own
 //! timer wheel. Cross-shard events travel through per-pair mailboxes drained
-//! under conservative epoch synchronization (see `crate::shard`): a shard
-//! never executes past `T_min + lookahead`, where `lookahead` is the minimum
-//! cross-shard link latency, so no shard can receive an event "from the
+//! under conservative epoch synchronization (see `crate::shard`): shard `i`
+//! never executes past `min_j(t_j + L[j][i])`, where `L` is the shard×shard
+//! *lookahead matrix* — `L[j][i]` is the minimum possible latency of a link
+//! from a region hosted on shard `j` to one hosted on shard `i`
+//! ([`Sim::lookahead_matrix`]) — so no shard can receive an event "from the
 //! past". `Sim::new` builds a single-shard engine (the plain sequential
 //! path); [`Sim::new_sharded`] enables multi-core campaigns.
 //!
@@ -472,12 +474,17 @@ fn ev_key(origin: u32, oseq: u32) -> u64 {
     ((origin as u64) << 32) | oseq as u64
 }
 
-/// Deterministic default node→shard assignment: regions map whole onto
-/// shards (`region % shards`), so two nodes sharing a region always share
-/// a shard and the minimum cross-shard latency is the inter-region floor
-/// of the latency matrix — the lookahead that lets shards run
-/// concurrently. The single definition of the rule: `netgen` re-exports
-/// it and [`Sim::add_node`] applies it.
+/// Deterministic *region-major* node→shard assignment: regions map whole
+/// onto shards (`region % shards`), so two nodes sharing a region always
+/// share a shard and every cross-shard latency sits at the inter-region
+/// floor of the latency matrix. This is the fallback placement
+/// (`TCSB_BALANCE=0`) and the default for [`Sim::add_node`]; campaigns
+/// normally place nodes through `netgen::placement::balanced`, which
+/// equalizes predicted per-shard load by splitting hot regions across
+/// adjacent shards — the engine's per-pair lookahead matrix keeps the
+/// non-split pairs at their full floors, and results are byte-identical
+/// under any assignment. The single definition of the region-major rule:
+/// `netgen` re-exports it and [`Sim::add_node`] applies it.
 pub fn shard_for(region: u16, shards: usize) -> u16 {
     if shards <= 1 {
         0
@@ -526,9 +533,22 @@ pub struct SimCore<M, C> {
     /// Commutative digest accumulator: `wrapping_add` of per-event FNV-1a
     /// hashes over every event this shard processed.
     trace: u64,
-    /// Conservative sync bound, set by the executor for the duration of a
-    /// multi-shard run (debug-asserted on cross-shard pushes).
-    pub(crate) lookahead: Dur,
+    /// This shard's row of the conservative lookahead matrix
+    /// (`lookahead_to[dst]` = channel floor toward shard `dst`), set by the
+    /// executor for the duration of a multi-shard run and debug-asserted on
+    /// cross-shard pushes. Empty on the sequential path.
+    pub(crate) lookahead_to: Vec<Dur>,
+    /// Column of the lookahead *closure* pointing back at this shard
+    /// (`closure_from[src]` = earliest an event on shard `src` can
+    /// influence this shard). Empty on the sequential path.
+    pub(crate) closure_from: Vec<Dur>,
+    /// Dynamic epoch horizon (exclusive), maintained during a sharded
+    /// epoch: starts at the awake-peer bound `min_j(t_j + closure[j][i])`
+    /// and shrinks on every cross-shard push to `at + closure[dst][i]` —
+    /// the earliest instant the woken shard's reaction can reach back.
+    /// A shard that pushes nothing keeps its initial horizon and can
+    /// drain its entire backlog in one epoch even while its peers idle.
+    pub(crate) epoch_horizon: u64,
     /// Events bound for other shards, flushed to mailboxes at epoch
     /// boundaries (`outbox[dst]`; own index unused).
     pub(crate) outbox: Vec<Vec<OutEv<M, C>>>,
@@ -694,12 +714,19 @@ impl<M, C> SimCore<M, C> {
             self.enqueue_local(at, key, ev);
         } else {
             debug_assert!(
-                at >= self.now + self.lookahead,
-                "cross-shard event violates the lookahead bound \
-                 (at {at:?}, now {:?}, lookahead {:?})",
+                self.lookahead_to.is_empty() || at >= self.now + self.lookahead_to[dst as usize],
+                "cross-shard event violates the channel lookahead bound \
+                 (at {at:?}, now {:?}, lookahead[->{dst}] {:?})",
                 self.now,
-                self.lookahead
+                self.lookahead_to.get(dst as usize)
             );
+            // Waking `dst` can draw a reaction back no earlier than the
+            // closure distance — tighten this epoch's horizon. Always at
+            // least `direct + closure > 0` ahead of `now`, so the bound
+            // never retreats behind the event being processed.
+            if let Some(c) = self.closure_from.get(dst as usize) {
+                self.epoch_horizon = self.epoch_horizon.min(at.0.saturating_add(c.0));
+            }
             self.outbox[dst as usize].push(OutEv { at, key, ev });
         }
     }
@@ -1589,8 +1616,68 @@ pub struct Sim<A: Actor> {
     harness_seq: u32,
     /// Engine seed (derives per-node RNG seeds).
     seed: u64,
-    /// Cached conservative lookahead; invalidated by `add_node`.
-    lookahead_cache: Option<Dur>,
+    /// Cached conservative lookahead matrix; invalidated by `add_node`.
+    lookahead_cache: Option<LookaheadInfo>,
+    /// Horizon derivation mode (per-pair matrix vs collapsed baseline).
+    lookahead_mode: LookaheadMode,
+}
+
+/// Cached conservative lookahead bounds, derived from the latency model and
+/// the region-occupancy of every shard (see [`Sim::lookahead_matrix`]).
+#[derive(Clone)]
+pub(crate) struct LookaheadInfo {
+    /// Minimum over all occupied cross-shard directed pairs (the classic
+    /// global lookahead; `NO_LINK` when no such pair exists).
+    min: Dur,
+    /// Maximum over all occupied *finite* cross-shard directed pairs
+    /// (`Dur::ZERO` when none exist) — bounds how far beyond its horizon a
+    /// shard may be asked to schedule a cross-shard event.
+    max_finite: Dur,
+    /// Row-major shard×shard matrix: `direct[src * n + dst]` is the floor
+    /// latency of any single event pushed from `src` to `dst` — the bound
+    /// `route` asserts per push. Diagonal and unoccupied pairs hold
+    /// `NO_LINK`.
+    direct: std::sync::Arc<[Dur]>,
+    /// Metric closure (all-pairs shortest path) of `direct`: the earliest a
+    /// shard can *influence* another through any chain of cross-shard
+    /// events, possibly relayed via intermediate shards. This is the matrix
+    /// the executor's horizons must use — with split regions the direct
+    /// floor of a wide-area pair can exceed the two-hop path through a
+    /// nearby shard, and horizons computed from `direct` alone would admit
+    /// causality violations (events arriving below an already-processed
+    /// horizon).
+    closure: std::sync::Arc<[Dur]>,
+}
+
+/// Sentinel lookahead for shard pairs with no possible link (diagonal, or
+/// one side hosts no regions): far enough to never bind an epoch, small
+/// enough that `t + NO_LINK` cannot overflow under `saturating_add`.
+pub(crate) const NO_LINK: Dur = Dur(u64::MAX / 4);
+
+/// How the sharded executor derives epoch horizons from the channel floors.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LookaheadMode {
+    /// Per-shard-pair matrix (metric closure of the directed channel
+    /// floors): pairs that only talk over wide-area links take wide epoch
+    /// windows; a split region throttles only the pair it spans.
+    #[default]
+    PerPair,
+    /// Collapse every pair to the single global minimum floor — the
+    /// pre-matrix executor's horizon (`T_min + min L` for every shard).
+    /// Kept as a deterministic A/B baseline for the bench and regression
+    /// tests; selectable with `TCSB_LOOKAHEAD=global`.
+    GlobalMin,
+}
+
+impl LookaheadMode {
+    /// Resolve the startup default: `TCSB_LOOKAHEAD=global` selects the
+    /// collapsed baseline, anything else the per-pair matrix.
+    pub fn from_env() -> LookaheadMode {
+        match std::env::var("TCSB_LOOKAHEAD").as_deref() {
+            Ok("global") => LookaheadMode::GlobalMin,
+            _ => LookaheadMode::PerPair,
+        }
+    }
 }
 
 /// Engine forking: cloning a quiesced `Sim` (between `run_*` calls —
@@ -1615,7 +1702,8 @@ where
             shards: self.shards.clone(),
             harness_seq: self.harness_seq,
             seed: self.seed,
-            lookahead_cache: self.lookahead_cache,
+            lookahead_cache: self.lookahead_cache.clone(),
+            lookahead_mode: self.lookahead_mode,
         }
     }
 }
@@ -1732,7 +1820,9 @@ impl<A: Actor> Sim<A> {
                     lat_jitter: latency.jitter(),
                     partition_depth: 0,
                     trace: 0,
-                    lookahead: Dur::ZERO,
+                    lookahead_to: Vec::new(),
+                    closure_from: Vec::new(),
+                    epoch_horizon: u64::MAX,
                     outbox: (0..n_shards).map(|_| Vec::new()).collect(),
                     stats: SimStats::default(),
                     sync: SyncCounters::default(),
@@ -1745,6 +1835,7 @@ impl<A: Actor> Sim<A> {
             harness_seq: 0,
             seed,
             lookahead_cache: None,
+            lookahead_mode: LookaheadMode::from_env(),
         }
     }
 
@@ -2026,52 +2117,129 @@ impl<A: Actor> Sim<A> {
         }
     }
 
-    /// Conservative lookahead: the minimum possible latency of a link
-    /// whose endpoints live on different shards (jitter floor applied).
-    /// Cross-shard events always arrive at least this far in the future,
-    /// which is what lets shards run an epoch concurrently.
-    pub fn lookahead(&mut self) -> Dur {
-        if let Some(l) = self.lookahead_cache {
-            return l;
-        }
-        let core0 = &self.shards[0].core;
-        let n = self.shards.len();
-        let dim = core0.lat_dim;
-        // Region occupancy per shard.
-        let mut occupied = vec![vec![false; dim]; n];
-        for (i, &packed) in core0.owner.iter().enumerate() {
-            occupied[(packed >> LOCAL_BITS) as usize][core0.region_idx[i] as usize] = true;
-        }
-        let mut min_base: Option<Dur> = None;
-        for s1 in 0..n {
-            for s2 in (s1 + 1)..n {
-                for r1 in 0..dim {
-                    if !occupied[s1][r1] {
+    /// Compute (and cache) the per-shard-pair lookahead bounds from the
+    /// latency model and each shard's region occupancy.
+    fn lookahead_info(&mut self) -> &LookaheadInfo {
+        if self.lookahead_cache.is_none() {
+            let core0 = &self.shards[0].core;
+            let n = self.shards.len();
+            let dim = core0.lat_dim;
+            // Region occupancy per shard.
+            let mut occupied = vec![vec![false; dim]; n];
+            for (i, &packed) in core0.owner.iter().enumerate() {
+                occupied[(packed >> LOCAL_BITS) as usize][core0.region_idx[i] as usize] = true;
+            }
+            // Multiplicative jitter draws from (1-j, 1+j) exclusive;
+            // flooring at (1-j) is a safe conservative bound.
+            let jitter_floor = (1.0 - core0.lat_jitter).max(0.0);
+            let mut matrix = vec![NO_LINK; n * n];
+            let mut min = NO_LINK;
+            let mut max_finite = Dur::ZERO;
+            for s1 in 0..n {
+                for s2 in 0..n {
+                    if s1 == s2 {
                         continue;
                     }
-                    for r2 in 0..dim {
-                        if !occupied[s2][r2] {
+                    // Latency is sampled from base[region(src)][region(dst)],
+                    // so the channel floor is directed.
+                    let mut best: Option<Dur> = None;
+                    for r1 in 0..dim {
+                        if !occupied[s1][r1] {
                             continue;
                         }
-                        let d = core0.lat_base[r1 * dim + r2].min(core0.lat_base[r2 * dim + r1]);
-                        min_base = Some(min_base.map_or(d, |m| m.min(d)));
+                        for r2 in 0..dim {
+                            if !occupied[s2][r2] {
+                                continue;
+                            }
+                            let d = core0.lat_base[r1 * dim + r2];
+                            best = Some(best.map_or(d, |m| m.min(d)));
+                        }
+                    }
+                    if let Some(base) = best {
+                        let floor = Dur((base.0 as f64 * jitter_floor).floor() as u64);
+                        matrix[s1 * n + s2] = floor;
+                        min = min.min(floor);
+                        max_finite = max_finite.max(floor);
                     }
                 }
             }
-        }
-        let l = match min_base {
-            // No cross-shard pairs at all: a single epoch can run to the
-            // horizon.
-            None => Dur(u64::MAX / 4),
-            Some(base) => {
-                // Multiplicative jitter draws from (1-j, 1+j) exclusive;
-                // flooring at (1-j) is a safe conservative bound.
-                let floor = (base.0 as f64 * (1.0 - core0.lat_jitter).max(0.0)).floor() as u64;
-                Dur(floor)
+            // Metric closure (Floyd–Warshall): influence can hop through an
+            // intermediate shard, so the safe per-pair horizon bound is the
+            // shortest path over direct channel floors.
+            let mut closure = matrix.clone();
+            for k in 0..n {
+                for a in 0..n {
+                    if a == k {
+                        continue;
+                    }
+                    let lak = closure[a * n + k];
+                    if lak >= NO_LINK {
+                        continue;
+                    }
+                    for b in 0..n {
+                        if b == k || b == a {
+                            continue;
+                        }
+                        let cand = lak.0.saturating_add(closure[k * n + b].0);
+                        if cand < closure[a * n + b].0 {
+                            closure[a * n + b] = Dur(cand);
+                        }
+                    }
+                }
             }
-        };
-        self.lookahead_cache = Some(l);
-        l
+            if self.lookahead_mode == LookaheadMode::GlobalMin && min < NO_LINK {
+                // Collapsed baseline: every pair (including the diagonal,
+                // so a shard's own head participates in its horizon)
+                // advances by `T_min + min` — exactly the pre-matrix
+                // executor. Direct floors collapse too: every actual link
+                // is at least the global minimum, so the per-push assert
+                // stays valid, merely weaker.
+                matrix = vec![min; n * n];
+                closure = matrix.clone();
+                max_finite = min;
+            }
+            self.lookahead_cache = Some(LookaheadInfo {
+                min,
+                max_finite,
+                direct: matrix.into(),
+                closure: closure.into(),
+            });
+        }
+        self.lookahead_cache.as_ref().expect("just populated")
+    }
+
+    /// Select how epoch horizons are derived (per-pair matrix vs the
+    /// collapsed global-minimum baseline). Deterministic A/B switch for
+    /// benches and regression tests; results are byte-identical either
+    /// way, only epoch counts and wall-clock change.
+    pub fn set_lookahead_mode(&mut self, mode: LookaheadMode) {
+        if self.lookahead_mode != mode {
+            self.lookahead_mode = mode;
+            self.lookahead_cache = None;
+        }
+    }
+
+    /// Conservative global lookahead: the minimum possible latency of a link
+    /// whose endpoints live on different shards (jitter floor applied).
+    /// Cross-shard events always arrive at least this far in the future.
+    /// The executor itself uses the finer per-pair bounds of
+    /// [`Sim::lookahead_matrix`]; this global minimum remains the safety
+    /// precondition (it must be strictly positive).
+    pub fn lookahead(&mut self) -> Dur {
+        self.lookahead_info().min
+    }
+
+    /// The effective shard×shard conservative lookahead matrix (row-major,
+    /// `matrix[src * n + dst]`): the earliest a node on shard `src` can
+    /// influence a node on shard `dst` — the metric closure of the per-pair
+    /// channel floors, i.e. the shortest path over direct link floors
+    /// (influence can relay through intermediate shards). Under epoch sync,
+    /// shard `i` safely advances to `min_j(t_j + matrix[j * n + i])` —
+    /// pairs that only talk over wide-area links no longer throttle each
+    /// other down to the global minimum. Diagonal and impossible pairs hold
+    /// a large sentinel (`u64::MAX / 4`).
+    pub fn lookahead_matrix(&mut self) -> std::sync::Arc<[Dur]> {
+        self.lookahead_info().closure.clone()
     }
 
     /// Run until virtual time `t` (inclusive of events at `t`); afterwards
@@ -2089,30 +2257,33 @@ impl<A: Actor> Sim<A> {
             }
             sh.core.now = sh.core.now.max(t);
         } else {
-            let lookahead = self.lookahead();
+            let info = self.lookahead_info().clone();
             assert!(
-                lookahead > Dur::ZERO,
+                info.min > Dur::ZERO,
                 "sharded execution requires a strictly positive minimum \
                  cross-shard link latency (got a zero-latency cross-shard pair)"
             );
             // Failed dials report at `started + dial_timeout`, pushed from
             // the far end after up to two link latencies — conservative
-            // sync needs that report to still be at least `lookahead` in
-            // the pushing shard's future. A debug_assert in `route` guards
-            // each push; this guards the configuration itself so release
-            // builds cannot silently break the shard-invariance contract.
+            // sync needs that report to still clear the *widest* channel
+            // lookahead in the pushing shard's future. A debug_assert in
+            // `route` guards each push; this guards the configuration itself
+            // so release builds cannot silently break the shard-invariance
+            // contract.
             let core0 = &self.shards[0].core;
             let max_base = core0.lat_base.iter().copied().max().unwrap_or(Dur::ZERO);
             let max_lat = Dur((max_base.0 as f64 * (1.0 + core0.lat_jitter)).ceil() as u64);
-            assert!(
-                core0.cfg.dial_timeout >= max_lat * 2 + lookahead,
-                "sharded execution requires dial_timeout ({:?}) >= twice the \
-                 maximum link latency plus the lookahead ({:?})",
-                core0.cfg.dial_timeout,
-                max_lat * 2 + lookahead
-            );
+            if info.max_finite > Dur::ZERO {
+                assert!(
+                    core0.cfg.dial_timeout >= max_lat * 2 + info.max_finite,
+                    "sharded execution requires dial_timeout ({:?}) >= twice the \
+                     maximum link latency plus the widest channel lookahead ({:?})",
+                    core0.cfg.dial_timeout,
+                    max_lat * 2 + info.max_finite
+                );
+            }
             let max_events = self.shards[0].core.cfg.max_events;
-            crate::shard::run_epochs(&mut self.shards, lookahead, max_events, t);
+            crate::shard::run_epochs(&mut self.shards, &info.direct, &info.closure, max_events, t);
         }
     }
 

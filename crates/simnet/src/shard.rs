@@ -1,29 +1,56 @@
 //! Conservative parallel executor for the sharded engine.
 //!
-//! Classic conservative PDES with a global epoch barrier: all shards agree
-//! on the earliest pending event time `T_min`, then each shard processes
-//! its own queue strictly below the horizon `T_min + lookahead`, where
-//! `lookahead` is the minimum possible latency of any cross-shard link
-//! ([`crate::Sim::lookahead`]). Every cross-shard effect in the engine
-//! travels as an event delayed by at least one link latency (dial
-//! handshakes, deliveries, FINs, relay hops), so no event processed inside
-//! an epoch can schedule work for another shard *inside* that same epoch —
-//! the mailboxes drained at the barrier always carry strictly-future
-//! events, and the merged execution is identical to the sequential one.
+//! Classic conservative PDES with per-channel (CMB-style) lookahead: every
+//! cross-shard effect in the engine travels as an event delayed by at least
+//! one link latency (dial handshakes, deliveries, FINs, relay hops), and the
+//! floor latency of a `src → dst` shard pair is the *channel lookahead*.
+//! Horizons use the metric closure `L` of those per-link floors — the
+//! earliest one shard can influence another through any chain of pushes,
+//! possibly relayed via intermediate shards ([`crate::Sim::lookahead_matrix`]).
+//! Each epoch, every shard publishes its next pending event time `t_j`, then
+//! shard `i` processes its own queue strictly below its private horizon
+//!
+//! ```text
+//! h_i = min( min over j != i of (t_j + L[j][i]),
+//!            min over own pushes p of (at_p + L[dst_p][i]) )
+//! ```
+//!
+//! — the earliest instant any *other* shard could still inject an event into
+//! `i`. The first term covers peers with published work; idle peers
+//! (`t_j = ∞`) impose nothing up front. The second term is maintained
+//! *dynamically while processing* (`SimCore::route` shrinks the horizon on
+//! every cross-shard push): waking a peer with an event at `at_p` can draw a
+//! reaction back no earlier than `at_p + L[dst_p][i]`, and since
+//! `at_p ≥ now + direct[i][dst_p]`, the shrunk bound always stays ahead of
+//! the event being processed. No event processed inside an epoch can
+//! schedule work for another shard inside that shard's same window, so the
+//! mailboxes drained at the barrier always carry strictly-future events and
+//! the merged execution is identical to the sequential one. Compared to a
+//! single global `T_min + min(L)` horizon, this lets shards that only talk
+//! over wide-area links take much larger steps, and a shard that pushes
+//! nothing cross-shard drains its entire backlog in one epoch even while
+//! its peers idle.
 //!
 //! Epoch shape (three barriers per epoch):
 //!
 //! 1. every shard publishes its next pending event time; the barrier
-//!    leader reduces them to `T_min` and the horizon;
-//! 2. every shard processes its events in `[now, horizon)`, buffering
-//!    cross-shard pushes in per-destination outboxes, then flushes each
-//!    outbox into the shared `(src, dst)` mailbox cell;
-//! 3. every shard drains the mailboxes addressed to it into its wheel.
+//!    leader decides termination/overflow from their minimum;
+//! 2. every shard computes its own horizon `h_i` from the published times
+//!    (stable between barriers), processes its events in `[now, h_i)`,
+//!    buffering cross-shard pushes in per-destination outboxes, then
+//!    *swaps* each non-empty outbox into the shared `(src, dst)` mailbox
+//!    cell — one lock and one pointer swap per pair per epoch, no
+//!    per-event copying;
+//! 3. every shard drains the mailboxes addressed to it into its wheel,
+//!    in place, handing the emptied (capacity-preserving) buffer back for
+//!    the next epoch's swap.
 //!
 //! Mailbox cells are `Mutex<Vec<…>>`, but the phases never contend: a cell
 //! is written only by its `src` shard (phase 2) and read only by its `dst`
 //! shard (phase 3), with a barrier between — the lock is always
-//! uncontended and costs one atomic pair.
+//! uncontended and costs one atomic pair. Because phase 2 swaps whole
+//! buffers instead of copying events, the outbox and the cell buffer
+//! ping-pong between the two shards and steady state allocates nothing.
 
 use crate::engine::{Actor, OutEv, Shard};
 use crate::time::{Dur, SimTime};
@@ -34,22 +61,28 @@ use std::sync::{Barrier, Mutex};
 type MailboxCell<M, C> = Mutex<Vec<OutEv<M, C>>>;
 
 /// Drive every shard to virtual time `t` (inclusive), under conservative
-/// epoch synchronization with the given lookahead. Panics (after joining
-/// the workers) if the aggregate event count exceeds `max_events`.
+/// epoch synchronization with the given per-pair lookahead matrices
+/// (row-major, `[src * n + dst]`): `direct` is the per-link channel floor
+/// each individual push respects (asserted in `route`), `closure` its
+/// metric closure — the earliest one shard can influence another through
+/// any chain of pushes, which is what the horizons must use. Panics (after
+/// joining the workers) if the aggregate event count exceeds `max_events`.
 pub(crate) fn run_epochs<A: Actor>(
     shards: &mut [Shard<A>],
-    lookahead: Dur,
+    direct: &[Dur],
+    closure: &[Dur],
     max_events: u64,
     t: SimTime,
 ) {
     let n = shards.len();
     debug_assert!(n > 1, "single-shard runs use the sequential path");
+    debug_assert_eq!(direct.len(), n * n, "lookahead matrix must be n×n");
+    debug_assert_eq!(closure.len(), n * n, "lookahead closure must be n×n");
     let mailboxes: Vec<MailboxCell<A::Msg, A::Cmd>> =
         (0..n * n).map(|_| Mutex::new(Vec::new())).collect();
     let barrier = Barrier::new(n);
     let next_at: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
     let ev_count: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-    let horizon = AtomicU64::new(0);
     let done = AtomicBool::new(false);
     let overflow = AtomicBool::new(false);
 
@@ -59,11 +92,11 @@ pub(crate) fn run_epochs<A: Actor>(
             let barrier = &barrier;
             let next_at = &next_at;
             let ev_count = &ev_count;
-            let horizon = &horizon;
             let done = &done;
             let overflow = &overflow;
             scope.spawn(move || {
-                shard.core.lookahead = lookahead;
+                shard.core.lookahead_to = (0..n).map(|dst| direct[i * n + dst]).collect();
+                shard.core.closure_from = (0..n).map(|src| closure[src * n + i]).collect();
                 // Wall-clock epoch profiling is opt-in; the deterministic
                 // sync counters below are always maintained (plain u64
                 // increments, surfaced by `repro budget`).
@@ -97,37 +130,64 @@ pub(crate) fn run_epochs<A: Actor>(
                             done.store(true, Ordering::SeqCst);
                         } else {
                             done.store(false, Ordering::SeqCst);
-                            horizon.store(t_min.saturating_add(lookahead.0), Ordering::SeqCst);
                         }
                     }
                     shard.core.sync.barrier_waits += 1;
                     barrier.wait();
                     if done.load(Ordering::SeqCst) {
-                        shard.core.lookahead = Dur::ZERO;
+                        shard.core.lookahead_to.clear();
+                        shard.core.closure_from.clear();
+                        shard.core.epoch_horizon = u64::MAX;
                         shard.core.now = shard.core.now.max(t);
                         return;
                     }
                     shard.core.sync.epochs += 1;
-                    // Phase 2: process the epoch window, then flush
-                    // outboxes into the shared mailbox matrix.
+                    // Per-channel horizon: the earliest instant any *awake*
+                    // peer's pending events could influence this shard (the
+                    // published `next_at` values are stable between the
+                    // barrier above and the next phase-1 store, so every
+                    // shard reads a consistent snapshot). Idle peers
+                    // (`t_j = ∞`) impose nothing up front — but every
+                    // cross-shard push made below shrinks the horizon to
+                    // `at + closure[dst][i]` (see `SimCore::route`), the
+                    // earliest the woken shard's reaction can arrive back,
+                    // so the bound stays conservative while a shard that
+                    // pushes nothing drains its whole backlog in one epoch.
+                    // The diagonal is `NO_LINK` in per-pair mode (a shard
+                    // never bounds itself) and the global minimum in the
+                    // collapsed baseline (every shard advances by exactly
+                    // `T_min + min L`, the pre-matrix horizon).
+                    let h0 = (0..n)
+                        .map(|j| {
+                            next_at[j]
+                                .load(Ordering::SeqCst)
+                                .saturating_add(closure[j * n + i].0)
+                        })
+                        .min()
+                        .unwrap_or(u64::MAX);
+                    shard.core.epoch_horizon = h0;
+                    // Phase 2: process the epoch window (re-reading the
+                    // dynamic horizon every step), then swap outboxes into
+                    // the shared mailbox matrix (one lock + one pointer
+                    // swap per non-empty pair).
                     let work_t0 = if profiling {
                         telemetry::profile::now_us()
                     } else {
                         0
                     };
-                    let h = horizon.load(Ordering::SeqCst);
-                    while shard.step_bounded(Some(h), t) {}
+                    while shard.step_bounded(Some(shard.core.epoch_horizon), t) {}
+                    let h = shard.core.epoch_horizon;
                     let mut mb_events: u64 = 0;
                     for dst in 0..n {
                         if dst == i || shard.core.outbox[dst].is_empty() {
                             continue;
                         }
-                        let out = std::mem::take(&mut shard.core.outbox[dst]);
-                        mb_events += out.len() as u64;
-                        mailboxes[i * n + dst]
-                            .lock()
-                            .expect("mailbox poisoned")
-                            .extend(out);
+                        mb_events += shard.core.outbox[dst].len() as u64;
+                        let mut cell = mailboxes[i * n + dst].lock().expect("mailbox poisoned");
+                        debug_assert!(cell.is_empty(), "mailbox cell not drained");
+                        // The buffer coming back is the one `dst` drained
+                        // (and emptied, capacity intact) last epoch.
+                        std::mem::swap(&mut *cell, &mut shard.core.outbox[dst]);
                     }
                     let mb_bytes = mb_events * std::mem::size_of::<OutEv<A::Msg, A::Cmd>>() as u64;
                     shard.core.sync.mailbox_events_out += mb_events;
@@ -139,18 +199,16 @@ pub(crate) fn run_epochs<A: Actor>(
                     };
                     shard.core.sync.barrier_waits += 1;
                     barrier.wait();
-                    // Phase 3: drain inbound mailboxes. Conservative bound:
-                    // everything in them is at or beyond the horizon we
-                    // just processed up to.
+                    // Phase 3: drain inbound mailboxes in place (the cell
+                    // keeps its capacity for the src shard's next swap).
+                    // Conservative bound: everything in them is at or
+                    // beyond the horizon we just processed up to.
                     for src in 0..n {
                         if src == i {
                             continue;
                         }
-                        let mut inbox = {
-                            let mut cell = mailboxes[src * n + i].lock().expect("mailbox poisoned");
-                            std::mem::take(&mut *cell)
-                        };
-                        for e in inbox.drain(..) {
+                        let mut cell = mailboxes[src * n + i].lock().expect("mailbox poisoned");
+                        for e in cell.drain(..) {
                             debug_assert!(
                                 e.at.0 >= h,
                                 "mailbox event below the epoch horizon \

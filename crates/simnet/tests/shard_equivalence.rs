@@ -270,6 +270,65 @@ fn replica_bytes_stay_o_nodes() {
     }
 }
 
+/// Like [`run`], but with an explicit node→shard assignment (the engine
+/// API the balanced partitioner drives) instead of the region-major
+/// default. `shard_of[i]` places node `i`.
+fn run_placed(shards: usize, seed: u64, shard_of: &[u16]) -> Fingerprint {
+    let mut s: Sim<Chatter> = Sim::new_sharded(
+        SimConfig {
+            loss: 0.01,
+            dial_timeout: Dur::from_secs(9),
+            max_events: u64::MAX,
+        },
+        LatencyModel::continents(4, Dur::from_millis(11), Dur::from_millis(87), 0.3),
+        seed,
+        shards,
+    );
+    for i in 0..POP {
+        let setup = NodeSetup::public(Ipv4Addr::new(10, 1, (i / 256) as u8, (i % 256) as u8))
+            .in_region(RegionId((i % 4) as u16));
+        let id = s.add_node_in(Chatter::default(), setup, shard_of[i as usize]);
+        s.schedule_command(
+            SimTime::ZERO + Dur::from_millis(17 * (i as u64 + 1)),
+            id,
+            Cmd::DialRing,
+        );
+        if i % 3 == 0 {
+            s.schedule_down(SimTime::ZERO + Dur::from_mins(40 + i as u64), id);
+            s.schedule_up(
+                SimTime::ZERO + Dur::from_hours(2) + Dur::from_mins(i as u64),
+                id,
+                None,
+            );
+        }
+    }
+    for k in 1..=5u64 {
+        s.run_for(Dur::from_mins(36 * k));
+    }
+    let stats = s.stats();
+    let mut actor_fold = 0u64;
+    for i in 0..POP {
+        let a = s.actor(NodeId(i));
+        for v in [a.hops, a.closed, a.dials_ok, a.dials_failed] {
+            actor_fold = actor_fold
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add(v as u64);
+        }
+    }
+    Fingerprint {
+        digest: s.trace_digest(),
+        events: stats.events,
+        delivered: stats.msgs_delivered,
+        dropped: stats.msgs_dropped,
+        lost: stats.msgs_lost,
+        dials_ok: stats.dials_ok,
+        dials_failed: stats.dials_failed,
+        timers: stats.timers_fired,
+        commands: stats.commands,
+        actor_fold,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -280,5 +339,22 @@ proptest! {
         let one = run(1, seed, faults, nat_stride);
         prop_assert_eq!(&one, &run(2, seed, faults, nat_stride));
         prop_assert_eq!(&one, &run(4, seed, faults, nat_stride));
+    }
+
+    /// Placement invariance: an *arbitrary* node→shard assignment — the
+    /// general case of which the balanced partitioner is one instance —
+    /// replays the 1-shard history byte-for-byte, including assignments
+    /// that split every region across many shards (the per-pair lookahead
+    /// matrix then carries intra-region floors on the split pairs).
+    #[test]
+    fn placement_equivalence_randomized(
+        seed in 1u64..1_000_000,
+        shards_pick in 0usize..3,
+        assign in proptest::collection::vec(0u16..7, POP as usize),
+    ) {
+        let shards = [2usize, 4, 7][shards_pick];
+        let shard_of: Vec<u16> = assign.iter().map(|&a| a % shards as u16).collect();
+        let one = run(1, seed, false, 0);
+        prop_assert_eq!(&one, &run_placed(shards, seed, &shard_of));
     }
 }
