@@ -457,6 +457,69 @@ fn write_engine_json() {
         fmt_walls(&telem_walls),
     );
 
+    // Workload replay under load: a bench-sized generative request stream
+    // (Zipf popularity, diurnal curves, a flash crowd) on the stress
+    // scenario — 45k requests over a 6-virtual-hour window, the
+    // fetch-path throughput venue (each request fans out into DHT lookup
+    // + Bitswap traffic, ~1.5k engine events apiece, so this slice stays
+    // minutes-not-hours in CI). Reports requests/s wall throughput and
+    // the want-coalesce hit rate (coalesced / (coalesced + pipelines
+    // started)) from the telemetry counters; the registry is forced on for
+    // exactly this run so the rate reflects this row alone. The digest
+    // pins the replay's determinism contract in the same file that tracks
+    // its speed.
+    let replay_row = {
+        let hour = 3_600_000_000_000u64;
+        let window = (SimTime(6 * hour), SimTime(12 * hour));
+        let mut spec = netgen::WorkloadSpec::preset(40_000, window, 7 ^ 0xF00D);
+        let span = window.1 .0 - window.0 .0;
+        let f0 = window.0 .0 + span * 2 / 5;
+        spec.flash = Some(netgen::FlashCrowdSpec {
+            rank: 3,
+            boost: 150,
+            extra_requests: spec.total_requests / 8,
+            window: (SimTime(f0), SimTime(f0 + span / 10)),
+        });
+        let total_requests = spec.total_requests + spec.flash.unwrap().extra_requests;
+        let scenario = netgen::build(stress.clone().with_shards(1));
+        telemetry::reset();
+        telemetry::set_enabled(true);
+        let mut campaign = tcsb_core::Campaign::new(
+            scenario,
+            tcsb_core::CampaignOptions {
+                with_workload: true,
+                with_requests: false,
+                live_workload: Some(spec),
+                ..Default::default()
+            },
+        );
+        let t = Instant::now();
+        campaign.run_for(Dur::from_hours(13));
+        let wall = t.elapsed().as_secs_f64();
+        let snap = telemetry::snapshot();
+        telemetry::set_enabled(false);
+        telemetry::reset();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let started = counter("fetches_started");
+        let coalesced = counter("want_coalesce_hits");
+        format!(
+            "  \"workload_replay_stress\": {{ \"requests\": {total_requests}, \
+\"wall_secs\": {wall:.3}, \"requests_per_sec\": {:.0}, \"events_per_sec\": {:.0}, \
+\"fetch_pipelines_started\": {started}, \"want_coalesce_hits\": {coalesced}, \
+\"want_coalesce_hit_rate\": {:.4}, \"digest\": \"{:#018x}\" }}",
+            total_requests as f64 / wall.max(1e-9),
+            campaign.sim.stats().events as f64 / wall.max(1e-9),
+            coalesced as f64 / (coalesced + started).max(1) as f64,
+            campaign.sim.trace_digest(),
+        )
+    };
+
     // Internet-scale row (~1M nodes): opt-in via TCSB_BENCH_INTERNET=1 —
     // the nightly workflow sets it; PR CI stays fast without it.
     let internet_row = if std::env::var("TCSB_BENCH_INTERNET").as_deref() == Ok("1") {
@@ -478,7 +541,7 @@ fn write_engine_json() {
     };
 
     let body = format!(
-        "{{\n  \"schema\": \"tcsb-bench-engine/5\",\n  \"host_cpus\": {host_cpus},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{}{}\n}}\n",
+        "{{\n  \"schema\": \"tcsb-bench-engine/6\",\n  \"host_cpus\": {host_cpus},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{}{}\n}}\n",
         json_line("pingpong_512pairs_60s", &pp_stats, pp_wall),
         json_line("timer_storm_1024_10min", &st_stats, st_wall),
         json_line("campaign_tiny_12h", &camp_stats, camp_wall),
@@ -491,6 +554,7 @@ fn write_engine_json() {
         ab_summary,
         balance_row,
         telemetry_row,
+        replay_row,
         internet_row,
     );
     // `cargo bench` runs with the package dir as CWD; anchor the file at the

@@ -200,6 +200,56 @@ impl Bitswap {
             }
             l.wants.clear();
         }
+        debug_assert!(
+            !self.peer_indexed(peer),
+            "want_index retained entries for disconnected peer"
+        );
+    }
+
+    /// Drop a peer entirely: unregister its wants from every `want_index`
+    /// bucket *and* discard its ledger, counters included. Where
+    /// [`Bitswap::peer_disconnected`] keeps the counters for a peer that
+    /// may reconnect, this is the full-removal path the owner uses to
+    /// bound ledger memory (under sustained request load every fetch
+    /// broadcast seeds ledgers on ephemeral peers that never return).
+    /// Purging the index here is what keeps a later block receipt from
+    /// trying to serve the gone peer.
+    pub fn forget_peer(&mut self, peer: &PeerId) {
+        let Bitswap {
+            ledgers,
+            want_index,
+            ..
+        } = self;
+        if let Some(l) = ledgers.remove(peer) {
+            for cid in l.wants.keys() {
+                index_remove(want_index, cid, peer);
+            }
+        }
+        debug_assert!(
+            !self.peer_indexed(peer),
+            "want_index retained entries for forgotten peer"
+        );
+    }
+
+    /// Whether any `want_index` bucket still names `peer` (cheap oracle
+    /// for the disconnect/forget paths; the full mirror check is
+    /// [`Bitswap::assert_want_index_consistent`]).
+    pub fn peer_indexed(&self, peer: &PeerId) -> bool {
+        self.want_index.values().any(|peers| peers.contains(peer))
+    }
+
+    /// Peers whose ledgers carry no outstanding wants and are not in
+    /// `keep` — the candidates a periodic connection-manager sweep feeds
+    /// to [`Bitswap::forget_peer`]. Sorted for deterministic iteration.
+    pub fn prunable_peers(&self, keep: impl Fn(&PeerId) -> bool) -> Vec<PeerId> {
+        let mut out: Vec<PeerId> = self
+            .ledgers
+            .iter()
+            .filter(|(p, l)| l.wants.is_empty() && !keep(p))
+            .map(|(p, _)| *p)
+            .collect();
+        out.sort();
+        out
     }
 
     /// Debugging/test oracle: panic unless the want-index mirrors the
@@ -700,6 +750,88 @@ mod tests {
             a.ledger(&peer(2)).unwrap().wants().next().is_none(),
             "disconnect clears wants"
         );
+    }
+
+    #[test]
+    fn forget_peer_purges_every_want_index_bucket() {
+        // Regression: forgetting a peer used to drop only the ledger,
+        // leaving its entries in `want_index`, so a later block receipt
+        // tried to serve the gone peer.
+        let mut a = Bitswap::new();
+        let mut store = MemoryBlockstore::new();
+        let (c1, c2) = (cid(1), cid(2));
+        for (p, entries) in [
+            (peer(2), vec![WantEntry::block(c1), WantEntry::block(c2)]),
+            (peer(3), vec![WantEntry::block(c1)]),
+        ] {
+            a.handle_message(
+                SimTime::ZERO,
+                p,
+                BitswapMessage::Wantlist {
+                    entries,
+                    full: false,
+                },
+                &mut store,
+            );
+        }
+        a.forget_peer(&peer(2));
+        assert!(a.ledger(&peer(2)).is_none(), "ledger fully discarded");
+        assert!(!a.peer_indexed(&peer(2)), "no stale index entries remain");
+        a.assert_want_index_consistent();
+        // A block arriving now is served only to the surviving wanter.
+        let out = a.handle_message(
+            SimTime::ZERO,
+            peer(7),
+            BitswapMessage::Blocks {
+                blocks: vec![Block { cid: c1, size: 8 }],
+            },
+            &mut store,
+        );
+        let served: Vec<PeerId> = out
+            .sends
+            .iter()
+            .filter(|(_, m)| matches!(m, BitswapMessage::Blocks { .. }))
+            .map(|(p, _)| *p)
+            .collect();
+        assert_eq!(served, vec![peer(3)]);
+        a.assert_want_index_consistent();
+        // Forgetting an unknown peer is a no-op.
+        a.forget_peer(&peer(42));
+        a.assert_want_index_consistent();
+    }
+
+    #[test]
+    fn prunable_peers_skips_wants_and_kept() {
+        let mut a = Bitswap::new();
+        let mut store = MemoryBlockstore::new();
+        // peer 2 has an outstanding want, peers 3 and 4 only counters.
+        a.handle_message(
+            SimTime::ZERO,
+            peer(2),
+            BitswapMessage::Wantlist {
+                entries: vec![WantEntry::block(cid(1))],
+                full: false,
+            },
+            &mut store,
+        );
+        for p in [peer(3), peer(4)] {
+            a.handle_message(
+                SimTime::ZERO,
+                p,
+                BitswapMessage::Blocks {
+                    blocks: vec![Block {
+                        cid: cid(9),
+                        size: 4,
+                    }],
+                },
+                &mut store,
+            );
+        }
+        let keep3 = peer(3);
+        assert_eq!(a.prunable_peers(|p| *p == keep3), vec![peer(4)]);
+        a.forget_peer(&peer(4));
+        a.assert_want_index_consistent();
+        assert_eq!(a.peer_count(), 2);
     }
 
     #[test]

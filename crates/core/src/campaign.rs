@@ -7,7 +7,7 @@
 //! searcher. Hydra hosts from the scenario are instantiated as [`Hydra`]
 //! actors in place of regular nodes.
 
-use crate::actors::{EcoActor, EcoCmd, Frontend, WebUser};
+use crate::actors::{EcoActor, EcoCmd, Frontend, ReplayDriver, WebUser};
 use crate::crawler::{CrawlSnapshot, Crawler, CrawlerCmd, CrawlerConfig};
 use crate::hydra::{Hydra, HydraConfig, HydraLogEntry};
 use ipfs_node::{BitswapLogEntry, IpfsNode, NodeCmd, NodeConfig, NodeEvent};
@@ -33,6 +33,11 @@ pub struct CampaignOptions {
     /// `false` keeps publishes (so provider records exist) but drops the
     /// retrieval traffic — the cheap configuration for resilience probes.
     pub with_requests: bool,
+    /// Live request replay: drive retrieval traffic generatively from a
+    /// [`netgen::WorkloadSpec`] instead of the scenario's materialised
+    /// request trace. Publishes still come from the scenario; the static
+    /// request loop is skipped. Requires `with_workload`.
+    pub live_workload: Option<netgen::WorkloadSpec>,
     /// Override the engine seed (defaults to scenario seed).
     pub engine_seed: Option<u64>,
     /// Node→shard placement policy. `Auto` honors `TCSB_BALANCE`
@@ -50,6 +55,7 @@ impl Default for CampaignOptions {
             loss: 0.002,
             with_workload: true,
             with_requests: true,
+            live_workload: None,
             engine_seed: None,
             placement: netgen::PlacementMode::Auto,
         }
@@ -151,7 +157,14 @@ impl Campaign {
             .collect();
         let scenario_total: u64 = items.iter().map(|it| it.weight).sum();
         let permille = |p: u64| (scenario_total * p / 1000).max(1);
-        let frontend_weight = if opts.with_workload && opts.with_requests {
+        // Retrieval traffic materializes through the frontends and the
+        // web-user actor whether it comes from the static trace or the
+        // live replay stream — the weight model must match the actors
+        // actually spawned, or the balanced partitioner packs a busy
+        // replay web-user as if it were idle.
+        let requests_flow =
+            opts.with_workload && (opts.with_requests || opts.live_workload.is_some());
+        let frontend_weight = if requests_flow {
             permille(FRONTENDS_WEIGHT_PERMILLE) / scenario.gateways.len().max(1) as u64
         } else {
             1
@@ -160,7 +173,7 @@ impl Campaign {
             region: 0,
             weight: frontend_weight,
         }));
-        let webuser_weight = if opts.with_workload && opts.with_requests {
+        let webuser_weight = if requests_flow {
             permille(WEBUSER_WEIGHT_PERMILLE)
         } else {
             1
@@ -312,8 +325,51 @@ impl Campaign {
             placement.shard_of[tools_base + 1],
         );
 
+        // Live replay: resolve the workload spec against this campaign's
+        // wiring — content catalog, functional gateways (traffic-weighted)
+        // and per-region fetcher pools — and hand the driver to the
+        // web-user actor. The pools mirror the static generator's fetcher
+        // mix: ephemeral users dominate, fringe nodes and NAT clients
+        // follow (build.rs samples the same 3:2:1 copies).
+        let replay = opts.live_workload.as_ref().map(|spec| {
+            let items: Vec<(u32, f64)> = scenario
+                .content
+                .iter()
+                .enumerate()
+                .filter(|(_, it)| it.publish_at <= spec.window.0)
+                .map(|(c, it)| (c as u32, it.weight))
+                .collect();
+            let cids: Vec<Cid> = scenario.content.iter().map(|it| it.cid).collect();
+            let mut gw_frontends = Vec::new();
+            let mut gw_cum = Vec::new();
+            let mut acc = 0u64;
+            for (g_idx, g) in scenario.gateways.iter().enumerate() {
+                if g.functional {
+                    acc += ((g.traffic_weight * 1000.0) as u64).max(1);
+                    gw_frontends.push(frontends[g_idx]);
+                    gw_cum.push(acc);
+                }
+            }
+            let mut pools: [Vec<NodeId>; netgen::N_REGIONS] = Default::default();
+            for (i, spec_n) in scenario.nodes.iter().enumerate() {
+                let copies = match spec_n.segment {
+                    netgen::Segment::Ephemeral => 3,
+                    netgen::Segment::PublicFringe => 2,
+                    netgen::Segment::NatClient => 1,
+                    _ => 0,
+                };
+                let r = spec_n.region as usize % netgen::N_REGIONS;
+                for _ in 0..copies {
+                    pools[r].push(node_ids[i]);
+                }
+            }
+            ReplayDriver::new(spec.clone(), &items, cids, gw_frontends, gw_cum, pools)
+        });
         let webuser = sim.add_node_in(
-            EcoActor::WebUser(WebUser::new()),
+            EcoActor::WebUser(match replay {
+                Some(driver) => WebUser::with_replay(driver),
+                None => WebUser::new(),
+            }),
             NodeSetup::public(Ipv4Addr::new(198, 18, 0, 3)),
             placement.shard_of[tools_base + 2],
         );
@@ -345,7 +401,12 @@ impl Campaign {
                     );
                 }
             }
-            let requests: &[Request] = if opts.with_requests {
+            // Live replay supersedes the materialised trace: the stream
+            // starts at its window and the static request loop is skipped.
+            if let Some(spec) = &opts.live_workload {
+                sim.schedule_command(spec.window.0, webuser, EcoCmd::ReplayTick);
+            }
+            let requests: &[Request] = if opts.with_requests && opts.live_workload.is_none() {
                 &scenario.requests
             } else {
                 &[]

@@ -18,7 +18,7 @@ pub mod crawler;
 pub mod dataset;
 pub mod hydra;
 
-pub use actors::{EcoActor, EcoCmd, Frontend, WebUser};
+pub use actors::{EcoActor, EcoCmd, Frontend, ReplayDriver, WebUser};
 pub use analysis::{
     cdf, cid_cloud_stats, classify_provider, days_seen_histogram, degree_stats, lorenz_curve,
     percentile, share_of_top, CidCloudStats, DegreeStats, Graph, LorenzPoint, ProviderClass,

@@ -9,6 +9,7 @@
 //! repro engine                                # scheduler counters only
 //! repro budget                                # deterministic per-shard budget
 //! repro telemetry                             # deterministic metrics registry snapshot
+//! repro workload-replay                       # generative Zipf/diurnal/flash request replay
 //! ```
 
 //! With `--telemetry` (or `TCSB_TELEMETRY=1`) every run also records the
@@ -17,7 +18,8 @@
 //! telemetry on or off.
 
 use experiments::{
-    crawl_exp, entry_exp, recovery_exp, resilience_exp, telemetry_exp, traffic_exp, Scale, SCALES,
+    crawl_exp, entry_exp, recovery_exp, resilience_exp, telemetry_exp, traffic_exp,
+    workload_replay_exp, Scale, SCALES,
 };
 
 /// Every producible artefact: `(name, what it regenerates)`.
@@ -62,6 +64,10 @@ const ARTEFACTS: &[(&str, &str)] = &[
     (
         "telemetry",
         "deterministic virtual-time metrics registry snapshot of the crawl campaign (CI expectation diff)",
+    ),
+    (
+        "workload-replay",
+        "production workload replay — Zipf stream, diurnal cycles, flash crowd (CI expectation diff)",
     ),
 ];
 
@@ -109,7 +115,7 @@ fn main() {
         eprintln!("error: unknown artefact {cmd:?}");
         eprintln!(
             "       known artefacts: all, table1, stats, fig03..fig20, \
-whatif-cloud-exit, whatif-recovery, engine, budget, telemetry"
+whatif-cloud-exit, whatif-recovery, engine, budget, telemetry, workload-replay"
         );
         eprintln!("       run `repro list` for the full annotated index");
         std::process::exit(2);
@@ -249,6 +255,14 @@ whatif-cloud-exit, whatif-recovery, engine, budget, telemetry"
             );
             println!("digest {:#018x}", data.digest);
             println!("events {}", data.engine.events);
+            // Live vs raw provider-record totals over scenario nodes. The
+            // live figure uses `ProviderStore::record_count`, which skips
+            // expired-but-unpruned records; the raw figure keeps them so
+            // the gap (store garbage awaiting cleanup) stays visible.
+            println!(
+                "providers live={} raw={}",
+                data.providers_live, data.providers_raw
+            );
             for l in &data.loads {
                 println!(
                     "s{} owned_nodes={} dispatched={} replica_bytes={} owned_bytes={} \
@@ -314,6 +328,17 @@ shared_bytes={} epochs={} barrier_waits={} mailbox_out_events={} mailbox_out_byt
             print!(
                 "{}",
                 telemetry_exp::render_lines(scale.name(), seed, data.digest, &snap)
+            );
+        }
+        "workload-replay" => {
+            // Generative request replay; seed derivation matches `run_all`.
+            // Forces the metrics registry on for exactly this campaign and
+            // renders stable plain text (virtual-time figures only) for the
+            // CI 1-vs-4-shard expectation diff.
+            let data = workload_replay_exp::run(scale, seed ^ 0xF00D, shards);
+            print!(
+                "{}",
+                workload_replay_exp::render_lines(scale.name(), seed, &data)
             );
         }
         "stats" | "fig03" | "fig04" | "fig05" | "fig06" | "fig07" | "fig08" => {

@@ -36,6 +36,12 @@ pub struct CrawlData {
     /// Effective shard×shard conservative lookahead matrix (metric
     /// closure, row-major; `u64::MAX/4` sentinel on impossible pairs).
     pub lookahead: Vec<Dur>,
+    /// Provider records over scenario nodes, counting only live (unexpired)
+    /// records — what a lookup could actually return at campaign end.
+    pub providers_live: usize,
+    /// Same sum including expired-but-unpruned records; `raw - live` is
+    /// the garbage a naive store-length count would have over-reported.
+    pub providers_raw: usize,
 }
 
 /// Run the crawl campaign: `n_crawls` crawls spread over the scenario
@@ -66,6 +72,14 @@ pub fn collect(cfg: ScenarioConfig, n_crawls: usize) -> CrawlData {
     } else {
         Vec::new()
     };
+    let now = campaign.now();
+    let (mut providers_live, mut providers_raw) = (0usize, 0usize);
+    for &id in &campaign.node_ids {
+        if let tcsb_core::EcoActor::Node(n) = campaign.sim.actor(id) {
+            providers_live += n.dht().providers().record_count(now);
+            providers_raw += n.dht().providers().raw_record_count();
+        }
+    }
     CrawlData {
         snaps,
         dbs,
@@ -77,6 +91,8 @@ pub fn collect(cfg: ScenarioConfig, n_crawls: usize) -> CrawlData {
         shards: campaign.shards(),
         placement: campaign.placement.clone(),
         lookahead,
+        providers_live,
+        providers_raw,
     }
 }
 

@@ -11,7 +11,10 @@
 //!   sweep executing the paper's cloud-exit scenario mid-campaign;
 //! * **recovery group** (`recovery_exp`): the `whatif-recovery` observatory
 //!   — crawler-eye timelines and recovery metrics over staged multi-wave
-//!   exits, sampled on engine forks.
+//!   exits, sampled on engine forks;
+//! * **replay group** (`workload_replay_exp`): the `workload-replay`
+//!   artefact driving a generative production-shaped request stream (Zipf
+//!   popularity, diurnal curves, a flash crowd) through a live campaign.
 //!
 //! The `repro` binary dispatches these and can emit EXPERIMENTS.md.
 
@@ -22,6 +25,7 @@ pub mod report;
 pub mod resilience_exp;
 pub mod telemetry_exp;
 pub mod traffic_exp;
+pub mod workload_replay_exp;
 
 pub use report::{Report, Row, Unit};
 
@@ -189,6 +193,13 @@ pub fn run_all(scale: Scale, seed: u64, shards: usize) -> Vec<Report> {
     // Recovery group.
     eprintln!("[repro] running what-if recovery observatory ({scale:?}) …");
     reports.push(recovery_exp::whatif_recovery(scale, seed ^ 0x7EC0, shards));
+
+    // Replay group — the generative request stream. Same seed derivation
+    // as the standalone `repro workload-replay` artefact, so the digests
+    // in EXPERIMENTS.md and the CI expectation file cross-check.
+    eprintln!("[repro] running workload replay ({scale:?}) …");
+    let rd = workload_replay_exp::run(scale, seed ^ 0xF00D, shards);
+    reports.push(workload_replay_exp::report(&rd));
     reports
 }
 

@@ -52,7 +52,7 @@ reruns and shard counts; the trace digest is byte-identical with telemetry on or
     ));
     r.note(
         "tiny-scale pin (CI-diffed via ci/expected-telemetry-tiny.txt): trace digest \
-0x0cf5aa2e25cac8d1, registry digest 0xe8ee616473b7b37d",
+0x0cf5aa2e25cac8d1, registry digest 0xdeb4313488b366fd",
     );
     r
 }

@@ -181,7 +181,10 @@ enum Op {
     },
     Fetch {
         cid: Cid,
-        reply: Option<(NodeId, u64)>,
+        /// Every HTTP requester waiting on this fetch. Concurrent requests
+        /// for an in-flight CID coalesce onto the existing op instead of
+        /// spawning a second pipeline (or, worse, being dropped).
+        replies: Vec<(NodeId, u64)>,
         via_dht: bool,
     },
     Resolve {
@@ -215,6 +218,9 @@ pub struct IpfsNode {
     /// Virtual start time per in-flight lookup — telemetry only, populated
     /// solely while telemetry is enabled (empty and free otherwise).
     lookup_started: HashMap<u64, SimTime>,
+    /// Virtual start time per in-flight fetch op — same telemetry-only
+    /// contract as `lookup_started`; feeds the request-latency histogram.
+    fetch_started: HashMap<u64, SimTime>,
     fetch_by_cid: HashMap<Cid, u64>,
     relay: Option<(PeerId, NodeId, SocketAddrV4)>,
     relay_clients: HashSet<NodeId>,
@@ -256,6 +262,7 @@ impl IpfsNode {
             ops: HashMap::default(),
             lookup_to_op: HashMap::default(),
             lookup_started: HashMap::default(),
+            fetch_started: HashMap::default(),
             fetch_by_cid: HashMap::default(),
             relay: None,
             relay_clients: HashSet::default(),
@@ -426,6 +433,7 @@ impl IpfsNode {
         self.ops.clear();
         self.lookup_to_op.clear();
         self.lookup_started.clear();
+        self.fetch_started.clear();
         self.fetch_by_cid.clear();
         self.relay = None;
         self.relay_clients.clear();
@@ -884,7 +892,7 @@ impl IpfsNode {
             }
             Op::Fetch {
                 cid,
-                reply,
+                replies,
                 via_dht,
             } => {
                 // DHT resolution finished: dial providers, request the block.
@@ -892,7 +900,7 @@ impl IpfsNode {
                     op_id,
                     Op::Fetch {
                         cid,
-                        reply,
+                        replies,
                         via_dht,
                     },
                 );
@@ -973,6 +981,8 @@ impl IpfsNode {
         reply: Option<(NodeId, u64)>,
     ) {
         if self.store.has(&cid) {
+            telemetry::count(telemetry::Counter::RequestsServedCache, 1);
+            telemetry::observe(telemetry::Metric::RequestLatencyNs, 0);
             self.record(NodeEvent::FetchCompleted {
                 cid,
                 from: self.id,
@@ -994,16 +1004,28 @@ impl IpfsNode {
             }
             return;
         }
-        if self.fetch_by_cid.contains_key(&cid) {
-            return; // already fetching
+        if let Some(&op_id) = self.fetch_by_cid.get(&cid) {
+            // Already fetching: coalesce onto the in-flight op. The old
+            // early-return silently dropped `reply` here, so a gateway
+            // request racing an in-flight fetch of the same CID hung until
+            // the client timed out instead of sharing the answer.
+            telemetry::count(telemetry::Counter::WantCoalesceHits, 1);
+            if let (Some(r), Some(Op::Fetch { replies, .. })) = (reply, self.ops.get_mut(&op_id)) {
+                replies.push(r);
+            }
+            return;
         }
         let op_id = self.next_req;
         self.next_req += 1;
+        telemetry::count(telemetry::Counter::FetchesStarted, 1);
+        if telemetry::enabled() {
+            self.fetch_started.insert(op_id, ctx.now());
+        }
         self.ops.insert(
             op_id,
             Op::Fetch {
                 cid,
-                reply,
+                replies: reply.into_iter().collect(),
                 via_dht: false,
             },
         );
@@ -1018,14 +1040,18 @@ impl IpfsNode {
     }
 
     fn fail_fetch<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>, op_id: u64) {
-        let Some(Op::Fetch { cid, reply, .. }) = self.ops.remove(&op_id) else {
+        let Some(Op::Fetch { cid, replies, .. }) = self.ops.remove(&op_id) else {
             return;
         };
         self.fetch_by_cid.remove(&cid);
+        if let Some(started) = self.fetch_started.remove(&op_id) {
+            let elapsed = ctx.now().0.saturating_sub(started.0);
+            telemetry::observe(telemetry::Metric::RequestLatencyNs, elapsed);
+        }
         let out = self.bitswap.cancel_fetch(&cid);
         self.flush_bitswap(ctx, out);
         self.record(NodeEvent::FetchFailed { cid });
-        if let Some((to, req_id)) = reply {
+        for (to, req_id) in replies {
             ctx.send(
                 to,
                 WireMsg::HttpResponse {
@@ -1050,11 +1076,28 @@ impl IpfsNode {
         let Some(op_id) = self.fetch_by_cid.remove(&cid) else {
             return;
         };
-        let Some(Op::Fetch { reply, via_dht, .. }) = self.ops.remove(&op_id) else {
+        let Some(Op::Fetch {
+            replies, via_dht, ..
+        }) = self.ops.remove(&op_id)
+        else {
             return;
         };
+        // One op may satisfy several coalesced requests; each counts.
+        let served = replies.len().max(1) as u64;
+        telemetry::count(
+            if via_dht {
+                telemetry::Counter::RequestsServedDht
+            } else {
+                telemetry::Counter::RequestsServedBitswap
+            },
+            served,
+        );
+        if let Some(started) = self.fetch_started.remove(&op_id) {
+            let elapsed = ctx.now().0.saturating_sub(started.0);
+            telemetry::observe(telemetry::Metric::RequestLatencyNs, elapsed);
+        }
         self.record(NodeEvent::FetchCompleted { cid, from, via_dht });
-        if let Some((to, req_id)) = reply {
+        for (to, req_id) in replies {
             ctx.send(
                 to,
                 WireMsg::HttpResponse {
@@ -1256,7 +1299,7 @@ impl IpfsNode {
             }
             tok::FETCH_BS => {
                 // Bitswap phase expired without the block: fall back to DHT.
-                if let Some(Op::Fetch { cid, reply, .. }) = self.ops.get(&low).cloned() {
+                if let Some(Op::Fetch { cid, replies, .. }) = self.ops.get(&low).cloned() {
                     if self.store.has(&cid) {
                         return;
                     }
@@ -1264,7 +1307,7 @@ impl IpfsNode {
                         low,
                         Op::Fetch {
                             cid,
-                            reply,
+                            replies,
                             via_dht: true,
                         },
                     );
@@ -1321,6 +1364,16 @@ impl IpfsNode {
 
     fn connmgr_tick<C: std::fmt::Debug>(&mut self, ctx: &mut Ctx<'_, WireMsg, C>) {
         self.dht.providers_mut().cleanup(ctx.now());
+        // Drop empty Bitswap ledgers for peers we are no longer connected
+        // to. Their want-index entries were purged on disconnect; the
+        // ledger shells themselves are pure memory growth under sustained
+        // churn. Emits no events, so this is digest-neutral.
+        let stale = self
+            .bitswap
+            .prunable_peers(|p| self.conn_by_peer.contains_key(p));
+        for p in &stale {
+            self.bitswap.forget_peer(p);
+        }
         if self.cfg.table_entry_ttl > Dur::ZERO {
             // Live connections count as usefulness: refresh their entries
             // before pruning (go-ipfs v0.11 kept connected peers in the

@@ -318,6 +318,55 @@ fn gateway_serves_http_and_caches() {
 }
 
 #[test]
+fn concurrent_gateway_requests_for_same_cid_coalesce() {
+    // Regression: a second HTTP request arriving while the gateway was
+    // already fetching the same CID used to be dropped on the floor —
+    // the client hung until its own timeout and the gateway never
+    // answered. Both requests must now share the in-flight fetch.
+    let (mut sim, ids) = build_network(20, 9);
+    sim.actor_mut(ids[1]).0.cfg.is_gateway = true;
+    sim.run_for(Dur::from_mins(5));
+    let cid = Cid::from_seed(808);
+    sim.schedule_command(
+        sim.core().now(),
+        ids[9],
+        NodeCmd::Publish { cid, size: 2048 },
+    );
+    sim.run_for(Dur::from_mins(2));
+    // Two clients race for the same CID; the gateway sees the second
+    // request while the first fetch is still in flight.
+    for &client in &[ids[15], ids[16]] {
+        sim.schedule_command(
+            sim.core().now(),
+            client,
+            NodeCmd::HttpGet {
+                frontend: ids[1],
+                cid,
+            },
+        );
+    }
+    sim.run_for(Dur::from_mins(3));
+    let gw = &sim.actor(ids[1]).0;
+    let served_ok = gw
+        .events
+        .iter()
+        .filter(|e| matches!(e, NodeEvent::HttpServed { found: true, .. }))
+        .count();
+    assert_eq!(
+        served_ok, 2,
+        "both coalesced requests must be answered: {:?}",
+        gw.events
+    );
+    // Only one fetch pipeline ran for the pair.
+    let fetches = gw
+        .events
+        .iter()
+        .filter(|e| matches!(e, NodeEvent::FetchCompleted { cid: c, .. } if *c == cid))
+        .count();
+    assert_eq!(fetches, 1, "requests must share one fetch: {:?}", gw.events);
+}
+
+#[test]
 fn resolve_providers_exhaustive_collects_records() {
     let (mut sim, ids) = build_network(25, 8);
     sim.run_for(Dur::from_mins(5));

@@ -99,8 +99,21 @@ impl ProviderStore {
         self.map.len()
     }
 
-    /// Total stored records (possibly including expired ones until pruned).
-    pub fn record_count(&self) -> usize {
+    /// Records still live at `now`. Expiry is lazy, so the map can hold
+    /// expired-but-unpruned records between cleanups; counting those
+    /// inflated the provider-record budget lines under sustained churn.
+    pub fn record_count(&self, now: SimTime) -> usize {
+        let ttl = self.cfg.ttl;
+        self.map
+            .values()
+            .map(|v| v.iter().filter(|r| now.since(r.stored_at) <= ttl).count())
+            .sum()
+    }
+
+    /// Every stored record including expired-but-unpruned ones — the raw
+    /// store footprint (what [`ProviderStore::record_count`] used to
+    /// return; the budget artefact reports both).
+    pub fn raw_record_count(&self) -> usize {
         self.map.values().map(|v| v.len()).sum()
     }
 
@@ -151,7 +164,7 @@ mod tests {
         let mut s = ProviderStore::new(ProviderStoreConfig::default());
         s.add(rec(cid(1), 10), SimTime::ZERO);
         s.add(rec(cid(1), 10), SimTime::ZERO + Dur::from_hours(12));
-        assert_eq!(s.record_count(), 1);
+        assert_eq!(s.record_count(SimTime::ZERO + Dur::from_hours(12)), 1);
         // Refreshed at 12h ⇒ still alive at 30h (TTL counts from refresh).
         let got = s.get(&cid(1), SimTime::ZERO + Dur::from_hours(30));
         assert_eq!(got.len(), 1);
@@ -164,6 +177,23 @@ mod tests {
         assert_eq!(s.get(&cid(1), SimTime::ZERO + Dur::from_hours(23)).len(), 1);
         assert_eq!(s.get(&cid(1), SimTime::ZERO + Dur::from_hours(25)).len(), 0);
         assert_eq!(s.key_count(), 0, "expired key must be pruned");
+    }
+
+    #[test]
+    fn record_count_ignores_expired_unpruned_records() {
+        // Regression: the count used to include expired-but-unpruned
+        // records, inflating the budget lines under sustained churn.
+        let mut s = ProviderStore::new(ProviderStoreConfig::default());
+        s.add(rec(cid(1), 10), SimTime::ZERO);
+        s.add(rec(cid(2), 11), SimTime::ZERO + Dur::from_hours(20));
+        let late = SimTime::ZERO + Dur::from_hours(30);
+        // Nothing has been read or cleaned: both records still occupy the
+        // store, but only one is live.
+        assert_eq!(s.raw_record_count(), 2);
+        assert_eq!(s.record_count(late), 1);
+        s.cleanup(late);
+        assert_eq!(s.raw_record_count(), 1);
+        assert_eq!(s.record_count(late), 1);
     }
 
     #[test]

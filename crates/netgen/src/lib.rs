@@ -11,6 +11,7 @@ pub mod paper;
 pub mod placement;
 pub mod plan;
 pub mod scenario;
+pub mod workload;
 
 pub use build::build;
 pub use paper::{PaperTargets, PAPER};
@@ -23,4 +24,7 @@ pub use scenario::{
     canonical_plan_order, region_of, shard_for, ContentItem, ExitStyle, ExitWave, GatewaySpec,
     InterventionKind, InterventionSpec, InterventionTarget, NodeSpec, Platform, Request, Scenario,
     ScenarioConfig, Segment, Session, StagedExitSpec,
+};
+pub use workload::{
+    FlashCrowdSpec, RateCurve, RateStream, TickEmission, WorkloadSpec, ZipfSampler, N_REGIONS,
 };

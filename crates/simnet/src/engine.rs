@@ -229,6 +229,8 @@ pub struct EventKindCounts {
     pub timer: u64,
     /// Harness/loopback commands.
     pub command: u64,
+    /// Batched command deliveries (one per batch, not per inner command).
+    pub command_batch: u64,
     /// Node up transitions.
     pub node_up: u64,
     /// Node down transitions.
@@ -249,6 +251,7 @@ impl EventKindCounts {
         self.dial_outcome += o.dial_outcome;
         self.timer += o.timer;
         self.command += o.command;
+        self.command_batch += o.command_batch;
         self.node_up += o.node_up;
         self.node_down += o.node_down;
         self.conn_closed += o.conn_closed;
@@ -625,6 +628,14 @@ pub(crate) enum Ev<M, C> {
         node: NodeId,
         cmd: C,
     },
+    /// A batch of commands delivered to one node at one instant. Bulk
+    /// request sources (the live workload replay) emit hundreds of
+    /// commands per virtual tick; carrying them in one event keeps the
+    /// timer wheel's population proportional to ticks, not requests.
+    CommandBatch {
+        node: NodeId,
+        cmds: Vec<C>,
+    },
     NodeUp {
         node: NodeId,
         addr: Option<SocketAddrV4>,
@@ -798,6 +809,10 @@ impl<M, C> SimCore<M, C> {
             Ev::Command { node, .. } => {
                 self.stats.kinds.command += 1;
                 (5, node.0 as u64, 0)
+            }
+            Ev::CommandBatch { node, cmds } => {
+                self.stats.kinds.command_batch += 1;
+                (12, node.0 as u64, cmds.len() as u64)
             }
             Ev::NodeUp { node, .. } => {
                 self.stats.kinds.node_up += 1;
@@ -1115,6 +1130,23 @@ impl<'a, M: Clone + std::fmt::Debug, C: std::fmt::Debug> Ctx<'a, M, C> {
         let at = self.core.now + delay;
         self.core
             .push_from(self.me, self.me, at, Ev::Command { node: self.me, cmd });
+    }
+
+    /// Deliver a whole batch of commands to `target` after `delay` as ONE
+    /// engine event (the batched request-event source: per-request
+    /// scheduling must not dominate the timer wheel). The batch executes
+    /// in order at a single virtual instant. For a cross-shard target,
+    /// `delay` must be at least the conservative lookahead to that shard —
+    /// same contract as every other cross-shard push; bulk drivers use
+    /// tick-scale delays (seconds), far above the lookahead floor
+    /// (milliseconds), and `route` debug-asserts the invariant.
+    pub fn schedule_batch(&mut self, target: NodeId, delay: Dur, cmds: Vec<C>) {
+        if cmds.is_empty() {
+            return;
+        }
+        let at = self.core.now + delay;
+        self.core
+            .push_from(self.me, target, at, Ev::CommandBatch { node: target, cmds });
     }
 }
 
@@ -1462,6 +1494,19 @@ impl<A: Actor> Shard<A> {
                 }
                 self.core.stats.commands += 1;
                 self.with_actor(node, |a, ctx| a.on_command(ctx, cmd));
+            }
+            Ev::CommandBatch { node, cmds } => {
+                // One online check per batch: a node that went down between
+                // scheduling and delivery drops the whole batch, exactly as
+                // the per-command path would have dropped each one.
+                if !self.core.is_online(node) {
+                    self.core.stats.commands_dropped += cmds.len() as u64;
+                    return;
+                }
+                self.core.stats.commands += cmds.len() as u64;
+                for cmd in cmds {
+                    self.with_actor(node, |a, ctx| a.on_command(ctx, cmd));
+                }
             }
             Ev::NodeUp { node, addr } => {
                 let l = self.core.local(node);
@@ -2518,6 +2563,41 @@ mod tests {
         s.run_for(Dur::from_secs(30));
         assert!(!s.actor(b).dial_ok.last().unwrap().1);
         let _ = dropped_before;
+    }
+
+    #[test]
+    fn command_batch_executes_in_order_as_one_event() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)));
+        let b = s.add_node(
+            Echo {
+                echo: true,
+                ..Default::default()
+            },
+            NodeSetup::public(ip(2)),
+        );
+        with_ctx(&mut s, a, |ctx| {
+            ctx.schedule_batch(b, Dur::from_secs(1), vec!["dial0", "dial0", "dial0"]);
+        });
+        s.run_for(Dur::from_secs(10));
+        // All three commands ran (three dial attempts from b to a, the
+        // later two while already connected), but the wheel saw one event.
+        assert_eq!(s.core().stats.commands, 3);
+        assert_eq!(s.core().stats.kinds.command_batch, 1);
+        assert_eq!(s.actor(b).dial_ok.len(), 3);
+    }
+
+    #[test]
+    fn command_batch_to_offline_node_drops_whole_batch() {
+        let mut s = sim();
+        let a = s.add_node(Echo::default(), NodeSetup::public(ip(1)).offline());
+        let b = s.add_node(Echo::default(), NodeSetup::public(ip(2)));
+        with_ctx(&mut s, b, |ctx| {
+            ctx.schedule_batch(a, Dur::from_secs(1), vec!["dial0", "dial0"]);
+        });
+        s.run_for(Dur::from_secs(2));
+        assert_eq!(s.core().stats.commands, 0);
+        assert_eq!(s.core().stats.commands_dropped, 2);
     }
 
     #[test]

@@ -28,14 +28,31 @@ pub enum Counter {
     LookupPeerFailures,
     /// Bitswap fetch sessions resolved by a received block.
     BitswapFetchesResolved,
+    /// Fetch pipelines started (one per distinct in-flight CID).
+    FetchesStarted,
+    /// Requests for a CID already being fetched, coalesced onto the
+    /// in-flight pipeline instead of starting a new one (the want-coalesce
+    /// hit; rate = hits / (hits + started)).
+    WantCoalesceHits,
+    /// Requests answered straight from the local blockstore.
+    RequestsServedCache,
+    /// Requests resolved by the 1-hop Bitswap broadcast.
+    RequestsServedBitswap,
+    /// Requests that needed the DHT provider-lookup fallback.
+    RequestsServedDht,
 }
 
-const COUNTERS: [Counter; 5] = [
+const COUNTERS: [Counter; 10] = [
     Counter::DialsOk,
     Counter::DialsFailed,
     Counter::LookupsCompleted,
     Counter::LookupPeerFailures,
     Counter::BitswapFetchesResolved,
+    Counter::FetchesStarted,
+    Counter::WantCoalesceHits,
+    Counter::RequestsServedCache,
+    Counter::RequestsServedBitswap,
+    Counter::RequestsServedDht,
 ];
 
 impl Counter {
@@ -46,6 +63,11 @@ impl Counter {
             Counter::LookupsCompleted => "lookups_completed",
             Counter::LookupPeerFailures => "lookup_peer_failures",
             Counter::BitswapFetchesResolved => "bitswap_fetches_resolved",
+            Counter::FetchesStarted => "fetches_started",
+            Counter::WantCoalesceHits => "want_coalesce_hits",
+            Counter::RequestsServedCache => "requests_served_cache",
+            Counter::RequestsServedBitswap => "requests_served_bitswap",
+            Counter::RequestsServedDht => "requests_served_dht",
         }
     }
 }
@@ -88,15 +110,19 @@ pub enum Metric {
     /// the fine wheel (< 2^21 ns), 21–32 in the coarse wheel (< 2^33 ns),
     /// 33+ in the far heap — so this histogram *is* band residency.
     SchedDelayNs,
+    /// End-to-end request latency, virtual ns, from fetch-pipeline start
+    /// to completion or failure (cache hits resolve at latency 0).
+    RequestLatencyNs,
 }
 
-const METRICS: [Metric; 6] = [
+const METRICS: [Metric; 7] = [
     Metric::DialLatencyNs,
     Metric::LookupLatencyNs,
     Metric::LookupContacted,
     Metric::WantResolutionNs,
     Metric::ConnOccupancy,
     Metric::SchedDelayNs,
+    Metric::RequestLatencyNs,
 ];
 
 impl Metric {
@@ -108,6 +134,7 @@ impl Metric {
             Metric::WantResolutionNs => "want_resolution_ns",
             Metric::ConnOccupancy => "conn_occupancy",
             Metric::SchedDelayNs => "sched_delay_ns",
+            Metric::RequestLatencyNs => "request_latency_ns",
         }
     }
 }
